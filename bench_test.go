@@ -1,0 +1,330 @@
+package facs_test
+
+// Benchmark harness: one benchmark per paper artifact (Tables 1-2,
+// Figs. 7-10) plus the ablation benches listed in DESIGN.md and
+// micro-benchmarks of the hot paths. Figure benches run a reduced-size
+// replica of the experiment per iteration and report the measured
+// acceptance percentage via b.ReportMetric, so `go test -bench .` both
+// regenerates the artifact shapes and times them.
+
+import (
+	"testing"
+
+	"facs"
+	ifacs "facs/internal/facs"
+	ifuzzy "facs/internal/fuzzy"
+	igps "facs/internal/gps"
+)
+
+// BenchmarkTable1FRB1 measures compiling the prediction controller with
+// the paper's Table 1 (42 rules); the table itself is verified by unit
+// tests.
+func BenchmarkTable1FRB1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ifacs.NewFLC1(ifacs.DefaultParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2FRB2 measures compiling the admission controller with
+// the paper's Table 2 (27 rules).
+func BenchmarkTable2FRB2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ifacs.NewFLC2(ifacs.DefaultParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFigure runs one reduced figure per iteration and reports the mean
+// acceptance of the first and last series, so that shape regressions are
+// visible in benchmark output.
+func benchFigure(b *testing.B, build func(facs.FigureConfig) (facs.Figure, error)) {
+	b.Helper()
+	fc := facs.FigureConfig{LoadPoints: []int{60}, Seeds: []int64{1}}
+	var fig facs.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = build(fc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(fig.Series) > 0 {
+		first := fig.Series[0]
+		last := fig.Series[len(fig.Series)-1]
+		b.ReportMetric(first.MeanY(), "first%")
+		b.ReportMetric(last.MeanY(), "last%")
+	}
+}
+
+// BenchmarkFigure7 regenerates a reduced paper Fig. 7 (speed series).
+func BenchmarkFigure7(b *testing.B) { benchFigure(b, facs.Figure7) }
+
+// BenchmarkFigure8 regenerates a reduced paper Fig. 8 (angle series).
+func BenchmarkFigure8(b *testing.B) { benchFigure(b, facs.Figure8) }
+
+// BenchmarkFigure9 regenerates a reduced paper Fig. 9 (distance series).
+func BenchmarkFigure9(b *testing.B) { benchFigure(b, facs.Figure9) }
+
+// BenchmarkFigure10 regenerates a reduced paper Fig. 10 (FACS vs SCC).
+func BenchmarkFigure10(b *testing.B) { benchFigure(b, facs.Figure10) }
+
+// BenchmarkAblationDefuzzifier (A1) times a full FACS evaluation under
+// each defuzzifier, quantifying the real-time cost of the centroid method
+// against the height fast path.
+func BenchmarkAblationDefuzzifier(b *testing.B) {
+	methods := []struct {
+		name string
+		mk   func() ifuzzy.Defuzzifier
+	}{
+		{"centroid", func() ifuzzy.Defuzzifier { return ifuzzy.Centroid{} }},
+		{"weighted-average", func() ifuzzy.Defuzzifier { return ifuzzy.NewWeightedAverage() }},
+		{"bisector", func() ifuzzy.Defuzzifier { return ifuzzy.Bisector{} }},
+		{"mean-of-maxima", func() ifuzzy.Defuzzifier { return ifuzzy.MeanOfMaxima{} }},
+	}
+	obs := facs.Observation{SpeedKmh: 45, AngleDeg: 20, DistanceKm: 4}
+	for _, m := range methods {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			system, err := facs.NewSystem(ifacs.WithDefuzzifier(m.mk))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := system.Evaluate(obs, 5, 20, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationThreshold (A2) times one single-cell run per accept
+// threshold and reports the acceptance level it produces.
+func BenchmarkAblationThreshold(b *testing.B) {
+	for _, th := range []float64{0, 0.25, 0.5} {
+		th := th
+		b.Run(thresholdName(th), func(b *testing.B) {
+			system, err := facs.NewSystem(facs.WithAcceptThreshold(th))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var last facs.SingleCellResult
+			for i := 0; i < b.N; i++ {
+				last, err = facs.RunSingleCell(facs.SingleCellConfig{
+					Controller:  system,
+					NumRequests: 60,
+					Seed:        1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(last.AcceptedPct(), "accept%")
+		})
+	}
+}
+
+func thresholdName(th float64) string {
+	switch {
+	case th == 0:
+		return "th=0.00"
+	case th == 0.25:
+		return "th=0.25"
+	default:
+		return "th=0.50"
+	}
+}
+
+// BenchmarkAblationSCC (A3) times one multi-cell SCC run per horizon,
+// showing how the projection depth scales.
+func BenchmarkAblationSCC(b *testing.B) {
+	for _, horizon := range []int{2, 6, 12} {
+		horizon := horizon
+		b.Run(horizonName(horizon), func(b *testing.B) {
+			factory := func(net *facs.Network) (facs.Controller, error) {
+				return facs.NewSCC(facs.SCCConfig{
+					Network:                net,
+					Horizon:                horizon,
+					Reservation:            facs.SCCReservationFull,
+					RequireClusterCoverage: true,
+				})
+			}
+			var last facs.MultiCellResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				last, err = facs.RunMultiCell(facs.MultiCellConfig{
+					NewController: factory,
+					NumRequests:   60,
+					Seed:          1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(last.AcceptedPct(), "accept%")
+		})
+	}
+}
+
+func horizonName(h int) string {
+	switch h {
+	case 2:
+		return "K=2"
+	case 6:
+		return "K=6"
+	default:
+		return "K=12"
+	}
+}
+
+// BenchmarkAblationBaselines (A4) times one multi-cell run per classical
+// scheme on the Fig. 10 workload.
+func BenchmarkAblationBaselines(b *testing.B) {
+	schemes := []struct {
+		name    string
+		factory func(*facs.Network) (facs.Controller, error)
+	}{
+		{"facs", facs.FACSFactory()},
+		{"scc", facs.SCCFactory()},
+		{"complete-sharing", func(*facs.Network) (facs.Controller, error) {
+			return facs.CompleteSharing{}, nil
+		}},
+		{"guard-channel", func(*facs.Network) (facs.Controller, error) {
+			return facs.NewGuardChannel(8)
+		}},
+	}
+	for _, sc := range schemes {
+		sc := sc
+		b.Run(sc.name, func(b *testing.B) {
+			var last facs.MultiCellResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				last, err = facs.RunMultiCell(facs.MultiCellConfig{
+					NewController: sc.factory,
+					NumRequests:   60,
+					Seed:          1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(last.AcceptedPct(), "accept%")
+			b.ReportMetric(last.DropPct(), "drop%")
+		})
+	}
+}
+
+// BenchmarkAblationGPSNoise (A5) times one single-cell run per GPS noise
+// level, reporting the acceptance it produces for walking users.
+func BenchmarkAblationGPSNoise(b *testing.B) {
+	for _, sc := range []struct {
+		name  string
+		noise float64
+	}{
+		{"no-noise", -1},
+		{"sigma=5m", 5},
+		{"sigma=30m", 30},
+	} {
+		sc := sc
+		b.Run(sc.name, func(b *testing.B) {
+			var last facs.SingleCellResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				last, err = facs.RunSingleCell(facs.SingleCellConfig{
+					Controller:  facs.MustSystem(),
+					NumRequests: 60,
+					SpeedKmh:    facs.Pin(10),
+					GPSNoiseM:   sc.noise,
+					Seed:        1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(last.AcceptedPct(), "accept%")
+		})
+	}
+}
+
+// --- micro benchmarks of the hot paths ---
+
+// BenchmarkFLC1Evaluate times one prediction inference (42 rules,
+// centroid defuzzification).
+func BenchmarkFLC1Evaluate(b *testing.B) {
+	eng, err := ifacs.NewFLC1(ifacs.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.EvaluateVec(45, 20, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFLC2Evaluate times one admission inference (27 rules).
+func BenchmarkFLC2Evaluate(b *testing.B) {
+	eng, err := ifacs.NewFLC2(ifacs.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.EvaluateVec(0.7, 5, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFACSEvaluate times the full two-stage decision.
+func BenchmarkFACSEvaluate(b *testing.B) {
+	system := facs.MustSystem()
+	obs := facs.Observation{SpeedKmh: 45, AngleDeg: 20, DistanceKm: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := system.Evaluate(obs, 5, 20, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSCCDecide times one shadow-cluster admission decision over a
+// seven-cell network with 50 tracked calls.
+func BenchmarkSCCDecide(b *testing.B) {
+	net, err := facs.NewNetwork(facs.NetworkConfig{Rings: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl, err := facs.NewSCC(facs.SCCConfig{Network: net})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bs, err := net.StationAt(facs.Point{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := igps.Estimate{SpeedKmh: 60, HeadingDeg: 30}
+	for id := 0; id < 50; id++ {
+		ctrl.OnAdmit(facs.AdmissionRequest{
+			Call:    facs.Call{ID: id, Class: facs.Voice, BU: 5},
+			Station: bs,
+			Est:     est,
+		})
+	}
+	req := facs.AdmissionRequest{
+		Call:    facs.Call{ID: 999, Class: facs.Voice, BU: 5},
+		Station: bs,
+		Est:     est,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctrl.Decide(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

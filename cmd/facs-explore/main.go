@@ -1,0 +1,189 @@
+// Command facs-explore prints decision surfaces and inference traces of
+// the two fuzzy controllers, for understanding and debugging the rule
+// bases.
+//
+// Examples:
+//
+//	facs-explore -surface flc1 -fix D=5        # Cv over (S, A) at D=5 km
+//	facs-explore -surface flc2 -fix R=5        # A/R over (Cv, Cs) at R=5 BU
+//	facs-explore -explain 30,0,2               # trace FLC1 at S=30 A=0 D=2
+//	facs-explore -explain2 0.9,5,20            # trace FLC2 at Cv=.9 R=5 Cs=20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	ifacs "facs/internal/facs"
+	ifuzzy "facs/internal/fuzzy"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "facs-explore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("facs-explore", flag.ContinueOnError)
+	surface := fs.String("surface", "", "print a decision surface: flc1 or flc2")
+	fix := fs.String("fix", "", "fixed variable for -surface, e.g. D=5 (flc1) or R=5 (flc2)")
+	explain := fs.String("explain", "", "trace FLC1 at S,A,D (e.g. 30,0,2)")
+	explain2 := fs.String("explain2", "", "trace FLC2 at Cv,R,Cs (e.g. 0.9,5,20)")
+	steps := fs.Int("steps", 13, "grid resolution per axis for -surface")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := ifacs.DefaultParams()
+	switch {
+	case *surface != "":
+		return printSurface(*surface, *fix, *steps, p)
+	case *explain != "":
+		return explainEngine("FLC1", *explain, mustFLC1(p))
+	case *explain2 != "":
+		return explainEngine("FLC2", *explain2, mustFLC2(p))
+	default:
+		fs.Usage()
+		return nil
+	}
+}
+
+func mustFLC1(p ifacs.Params) *ifuzzy.Engine {
+	eng, err := ifacs.NewFLC1(p)
+	if err != nil {
+		panic(err)
+	}
+	return eng
+}
+
+func mustFLC2(p ifacs.Params) *ifuzzy.Engine {
+	eng, err := ifacs.NewFLC2(p)
+	if err != nil {
+		panic(err)
+	}
+	return eng
+}
+
+func parseFix(fix, def string) (string, float64, error) {
+	if fix == "" {
+		fix = def
+	}
+	name, valStr, ok := strings.Cut(fix, "=")
+	if !ok {
+		return "", 0, fmt.Errorf("bad -fix %q, want NAME=VALUE", fix)
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad -fix value %q: %w", valStr, err)
+	}
+	return name, v, nil
+}
+
+// printSurface renders the controller output over a 2-D grid with the
+// third input fixed.
+func printSurface(which, fix string, steps int, p ifacs.Params) error {
+	if steps < 2 {
+		steps = 2
+	}
+	var eng *ifuzzy.Engine
+	var def string
+	switch which {
+	case "flc1":
+		eng = mustFLC1(p)
+		def = "D=5"
+	case "flc2":
+		eng = mustFLC2(p)
+		def = "R=5"
+	default:
+		return fmt.Errorf("unknown surface %q, want flc1 or flc2", which)
+	}
+	fixName, fixVal, err := parseFix(fix, def)
+	if err != nil {
+		return err
+	}
+	inputs := eng.Inputs()
+	fixIdx := -1
+	for i, v := range inputs {
+		if v.Name() == fixName {
+			fixIdx = i
+		}
+	}
+	if fixIdx < 0 {
+		names := make([]string, len(inputs))
+		for i, v := range inputs {
+			names[i] = v.Name()
+		}
+		return fmt.Errorf("variable %q not an input of %s (have %s)", fixName, which, strings.Join(names, ", "))
+	}
+	var free []int
+	for i := range inputs {
+		if i != fixIdx {
+			free = append(free, i)
+		}
+	}
+	rowVar, colVar := inputs[free[0]], inputs[free[1]]
+	rowMin, rowMax := rowVar.Universe()
+	colMin, colMax := colVar.Universe()
+
+	fmt.Printf("%s output (%s) over %s (rows) x %s (cols), %s = %g\n\n",
+		strings.ToUpper(which), eng.Output().Name(), rowVar.Name(), colVar.Name(), fixName, fixVal)
+	fmt.Printf("%10s", rowVar.Name()+"\\"+colVar.Name())
+	for c := 0; c < steps; c++ {
+		fmt.Printf(" %6.4g", colMin+(colMax-colMin)*float64(c)/float64(steps-1))
+	}
+	fmt.Println()
+	vals := make([]float64, 3)
+	for r := 0; r < steps; r++ {
+		rowVal := rowMin + (rowMax-rowMin)*float64(r)/float64(steps-1)
+		fmt.Printf("%10.4g", rowVal)
+		for c := 0; c < steps; c++ {
+			colVal := colMin + (colMax-colMin)*float64(c)/float64(steps-1)
+			vals[fixIdx] = fixVal
+			vals[free[0]] = rowVal
+			vals[free[1]] = colVal
+			out, err := eng.EvaluateVec(vals...)
+			if err != nil {
+				return err
+			}
+			fmt.Printf(" %6.2f", out)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// explainEngine prints the fired rules and the defuzzified output for one
+// input triple.
+func explainEngine(name, csv string, eng *ifuzzy.Engine) error {
+	parts := strings.Split(csv, ",")
+	if len(parts) != len(eng.Inputs()) {
+		return fmt.Errorf("%s needs %d comma-separated inputs, got %q", name, len(eng.Inputs()), csv)
+	}
+	vals := make([]float64, len(parts))
+	for i, s := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return fmt.Errorf("bad input %q: %w", s, err)
+		}
+		vals[i] = v
+	}
+	ex, err := eng.Explain(vals)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s inference trace\n", name)
+	for i, v := range eng.Inputs() {
+		fmt.Printf("  %-4s = %g (clamped %g), strongest term %q\n",
+			v.Name(), vals[i], ex.Inputs[i], v.HighestTerm(vals[i]))
+	}
+	fmt.Printf("fired %d of %d rules:\n", len(ex.Fired), eng.NumRules())
+	for _, f := range ex.Fired {
+		fmt.Printf("  [%5.3f] rule %2d: %s\n", f.Strength, f.Index, f.Rule.String())
+	}
+	fmt.Printf("output %s = %.4f (grade %q)\n", eng.Output().Name(), ex.Output, ex.OutputTerm)
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"testing"
+
+	ifacs "facs/internal/facs"
+)
+
+func TestParseFix(t *testing.T) {
+	name, val, err := parseFix("D=5", "")
+	if err != nil || name != "D" || val != 5 {
+		t.Fatalf("parseFix = %q %v %v", name, val, err)
+	}
+	// Empty fix falls back to the default.
+	name, val, err = parseFix("", "R=7.5")
+	if err != nil || name != "R" || val != 7.5 {
+		t.Fatalf("default parseFix = %q %v %v", name, val, err)
+	}
+	if _, _, err := parseFix("D", ""); err == nil {
+		t.Fatal("missing '=' should fail")
+	}
+	if _, _, err := parseFix("D=abc", ""); err == nil {
+		t.Fatal("non-numeric value should fail")
+	}
+}
+
+func TestPrintSurface(t *testing.T) {
+	p := ifacs.DefaultParams()
+	if err := printSurface("flc1", "D=5", 5, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := printSurface("flc2", "", 5, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := printSurface("flc1", "S=30", 1, p); err != nil {
+		t.Fatal(err) // steps clamps to 2
+	}
+	if err := printSurface("bogus", "", 5, p); err == nil {
+		t.Fatal("unknown surface should fail")
+	}
+	if err := printSurface("flc1", "Z=1", 5, p); err == nil {
+		t.Fatal("unknown fixed variable should fail")
+	}
+	if err := printSurface("flc1", "D=x", 5, p); err == nil {
+		t.Fatal("bad fix value should fail")
+	}
+}
+
+func TestExplainEngine(t *testing.T) {
+	p := ifacs.DefaultParams()
+	if err := explainEngine("FLC1", "30,0,2", mustFLC1(p)); err != nil {
+		t.Fatal(err)
+	}
+	if err := explainEngine("FLC2", "0.9,5,20", mustFLC2(p)); err != nil {
+		t.Fatal(err)
+	}
+	if err := explainEngine("FLC1", "30,0", mustFLC1(p)); err == nil {
+		t.Fatal("wrong arity should fail")
+	}
+	if err := explainEngine("FLC1", "30,abc,2", mustFLC1(p)); err == nil {
+		t.Fatal("non-numeric input should fail")
+	}
+}
+
+func TestRunCLI(t *testing.T) {
+	if err := run([]string{"-surface", "flc1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-explain", "30,0,2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-explain2", "0.5,5,20"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(nil); err != nil {
+		t.Fatal("no-op invocation should print usage and succeed")
+	}
+}

@@ -1,0 +1,166 @@
+// Command facs-sim runs a single parametric simulation — either the
+// paper's single-cell scenario (Figs. 7-9) or the multi-cell handoff
+// scenario (Fig. 10) — and prints a result summary.
+//
+// Examples:
+//
+//	facs-sim -n 100 -speed 4                 # walking users, single cell
+//	facs-sim -n 100 -angle 90                # sideways users
+//	facs-sim -n 100 -multicell -controller scc
+//	facs-sim -n 100 -controller guard -guard 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"facs"
+	icell "facs/internal/cell"
+	iscc "facs/internal/scc"
+	itraffic "facs/internal/traffic"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "facs-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("facs-sim", flag.ContinueOnError)
+	controller := fs.String("controller", "facs", "admission controller: facs, scc, cs, guard, threshold")
+	n := fs.Int("n", 100, "number of requesting connections")
+	window := fs.Float64("window", 0, "arrival window in seconds (0 = scenario default)")
+	holding := fs.Float64("holding", 120, "mean call holding time in seconds")
+	speed := fs.Float64("speed", -1, "pin user speed in km/h (-1 = scenario default)")
+	angle := fs.Float64("angle", 0, "pin user angle offset in degrees (single cell)")
+	dist := fs.Float64("dist", -1, "pin user-BS distance in km (-1 = sample 0.5..9.5)")
+	seed := fs.Int64("seed", 1, "random seed")
+	multicell := fs.Bool("multicell", false, "run the multi-cell handoff scenario")
+	guard := fs.Int("guard", 8, "guard bandwidth for -controller guard")
+	threshold := fs.Float64("accept-threshold", facs.DefaultAcceptThreshold, "FACS accept threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *multicell {
+		return runMulti(*controller, *n, *window, *holding, *speed, *seed, *guard, *threshold)
+	}
+	return runSingle(*controller, *n, *window, *holding, *speed, *angle, *dist, *seed, *guard, *threshold)
+}
+
+// buildController constructs a standalone controller (single-cell
+// scenarios; SCC needs a network and is built separately).
+func buildController(name string, guard int, threshold float64) (facs.Controller, error) {
+	switch name {
+	case "facs":
+		return facs.NewSystem(facs.WithAcceptThreshold(threshold))
+	case "cs":
+		return facs.CompleteSharing{}, nil
+	case "guard":
+		return facs.NewGuardChannel(guard)
+	case "threshold":
+		return facs.NewThresholdPolicy(map[facs.Class]int{facs.Video: 10})
+	default:
+		return nil, fmt.Errorf("unknown controller %q (single cell supports facs, cs, guard, threshold)", name)
+	}
+}
+
+func runSingle(name string, n int, window, holding, speed, angle, dist float64, seed int64, guard int, threshold float64) error {
+	if name == "scc" {
+		// SCC over a single isolated cell: build a 1-cell network.
+		net, err := facs.NewNetwork(facs.NetworkConfig{Rings: 0})
+		if err != nil {
+			return err
+		}
+		_ = net
+		return fmt.Errorf("scc requires -multicell (its projections need a neighbourhood)")
+	}
+	ctrl, err := buildController(name, guard, threshold)
+	if err != nil {
+		return err
+	}
+	cfg := facs.SingleCellConfig{
+		Controller:     ctrl,
+		NumRequests:    n,
+		WindowSec:      window,
+		MeanHoldingSec: holding,
+		AngleOffsetDeg: facs.Pin(angle),
+		Seed:           seed,
+	}
+	if speed >= 0 {
+		cfg.SpeedKmh = facs.Pin(speed)
+	}
+	if dist >= 0 {
+		cfg.DistanceKm = facs.Pin(dist)
+	}
+	res, err := facs.RunSingleCell(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario      single cell (40 BU)\n")
+	fmt.Printf("controller    %s\n", ctrl.Name())
+	fmt.Printf("requested     %d\n", res.Requested)
+	fmt.Printf("accepted      %d (%.1f%%)\n", res.Accepted, res.AcceptedPct())
+	for _, class := range []facs.Class{facs.Text, facs.Voice, facs.Video} {
+		r := res.ByClass[class]
+		fmt.Printf("  %-8s    %s\n", class, r)
+	}
+	fmt.Printf("occupancy     mean %.1f BU, max %.0f BU\n", res.Occupancy.Mean(), res.Occupancy.Max())
+	fmt.Printf("observed      mean |angle| %.0f deg, mean speed %.0f km/h\n",
+		res.MeanObservedAngleDeg.Mean(), res.MeanObservedSpeedKmh.Mean())
+	return nil
+}
+
+func runMulti(name string, n int, window, holding, speed float64, seed int64, guard int, threshold float64) error {
+	var factory func(*facs.Network) (facs.Controller, error)
+	switch name {
+	case "facs":
+		factory = func(*facs.Network) (facs.Controller, error) {
+			return facs.NewSystem(facs.WithAcceptThreshold(threshold))
+		}
+	case "scc":
+		factory = func(net *facs.Network) (facs.Controller, error) {
+			return iscc.New(iscc.Config{
+				Network:                net,
+				Reservation:            iscc.ReservationFull,
+				RequireClusterCoverage: true,
+			})
+		}
+	case "cs":
+		factory = func(*facs.Network) (facs.Controller, error) { return facs.CompleteSharing{}, nil }
+	case "guard":
+		factory = func(*facs.Network) (facs.Controller, error) { return facs.NewGuardChannel(guard) }
+	case "threshold":
+		factory = func(*facs.Network) (facs.Controller, error) {
+			return facs.NewThresholdPolicy(map[itraffic.Class]int{itraffic.Video: 10})
+		}
+	default:
+		return fmt.Errorf("unknown controller %q", name)
+	}
+	cfg := facs.MultiCellConfig{
+		NewController:  factory,
+		NumRequests:    n,
+		WindowSec:      window,
+		MeanHoldingSec: holding,
+		Seed:           seed,
+	}
+	if speed >= 0 {
+		cfg.SpeedKmh = facs.Pin(speed)
+	}
+	res, err := facs.RunMultiCell(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario      multi cell (7 x %d BU, handoffs)\n", icell.DefaultCapacityBU)
+	fmt.Printf("controller    %s\n", res.ControllerName)
+	fmt.Printf("requested     %d\n", res.Requested)
+	fmt.Printf("accepted      %d (%.1f%%)\n", res.Accepted, res.AcceptedPct())
+	fmt.Printf("handoffs      %d attempts, %d drops (%.2f%%)\n",
+		res.HandoffAttempts, res.HandoffDrops, res.DropPct())
+	fmt.Printf("completed     %d\n", res.Completed)
+	fmt.Printf("utilization   mean %.1f%%\n", 100*res.Utilization.Mean())
+	return nil
+}

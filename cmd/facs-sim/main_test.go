@@ -1,0 +1,75 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestBuildController(t *testing.T) {
+	tests := []struct {
+		name     string
+		wantName string
+		wantErr  bool
+	}{
+		{"facs", "facs", false},
+		{"cs", "complete-sharing", false},
+		{"guard", "guard-channel", false},
+		{"threshold", "multi-priority-threshold", false},
+		{"bogus", "", true},
+		{"scc", "", true}, // scc is multi-cell only
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			ctrl, err := buildController(tc.name, 8, 0.25)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("expected an error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ctrl.Name() != tc.wantName {
+				t.Fatalf("Name = %q, want %q", ctrl.Name(), tc.wantName)
+			}
+		})
+	}
+}
+
+func TestRunSingleCellCLI(t *testing.T) {
+	if err := run([]string{"-n", "20", "-speed", "30", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "20", "-controller", "cs"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "20", "-controller", "guard", "-guard", "6"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "20", "-dist", "3", "-angle", "45"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleCellSCCRefused(t *testing.T) {
+	if err := run([]string{"-n", "10", "-controller", "scc"}); err == nil {
+		t.Fatal("single-cell scc should be refused")
+	}
+}
+
+func TestRunMultiCellCLI(t *testing.T) {
+	for _, ctrl := range []string{"facs", "scc", "cs", "guard", "threshold"} {
+		if err := run([]string{"-multicell", "-n", "20", "-controller", ctrl}); err != nil {
+			t.Fatalf("%s: %v", ctrl, err)
+		}
+	}
+	if err := run([]string{"-multicell", "-n", "20", "-controller", "bogus"}); err == nil {
+		t.Fatal("unknown controller should fail")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}

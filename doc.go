@@ -1,0 +1,34 @@
+// Package facs is a from-scratch Go reproduction of
+//
+//	L. Barolli, F. Xhafa, A. Durresi, A. Koyama,
+//	"A Fuzzy-based Call Admission Control System for Wireless Cellular
+//	Networks", 27th International Conference on Distributed Computing
+//	Systems Workshops (ICDCSW'07), 2007.
+//
+// The package exposes the paper's Fuzzy Admission Control System (FACS):
+// a two-stage Mamdani fuzzy controller that predicts how useful it is to
+// grant a mobile user bandwidth (FLC1: speed, angle, distance -> correction
+// value) and renders a soft admission decision (FLC2: correction value,
+// request size, counter state -> accept/reject), together with the Shadow
+// Cluster Concept (SCC) baseline it is evaluated against, the classical
+// admission schemes surveyed in the paper's introduction, and the full
+// simulation and experiment harness that regenerates every figure of the
+// paper's evaluation section.
+//
+// # Quick start
+//
+//	ctrl := facs.MustSystem()
+//	obs := facs.Observation{SpeedKmh: 60, AngleDeg: 0, DistanceKm: 2}
+//	ev, err := ctrl.Evaluate(obs, 5 /* BU */, 12 /* occupied BU */, false)
+//	if err != nil { ... }
+//	if ev.Accepted { ... }
+//
+// # Reproduction
+//
+//	fig, err := facs.Figure10(facs.FigureConfig{})
+//	fmt.Print(facs.Chart(fig.Series, facs.ChartOptions{Title: fig.Title}))
+//
+// The cmd/facs-repro binary regenerates every table and figure; DESIGN.md
+// maps each paper artifact to the module that rebuilds it and
+// EXPERIMENTS.md records paper-vs-measured results.
+package facs

@@ -1,0 +1,50 @@
+// Quickstart: build the paper's Fuzzy Admission Control System and ask it
+// to admit a handful of calls against a base station at various loads.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"facs"
+)
+
+func main() {
+	// The default system carries the paper's exact membership functions
+	// (Figs. 5, 6) and rule bases (Tables 1, 2).
+	system, err := facs.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three users with different kinematics relative to the base station:
+	// speed (km/h), angle between heading and the bearing to the BS
+	// (0 = straight at it), and distance (km).
+	users := []struct {
+		name string
+		obs  facs.Observation
+	}{
+		{"commuter driving at the BS", facs.Observation{SpeedKmh: 60, AngleDeg: 0, DistanceKm: 2}},
+		{"pedestrian wandering", facs.Observation{SpeedKmh: 4, AngleDeg: 75, DistanceKm: 5}},
+		{"car leaving the cell", facs.Observation{SpeedKmh: 80, AngleDeg: 170, DistanceKm: 8}},
+	}
+
+	fmt.Println("Request: voice call (5 BU) against a 40 BU base station")
+	fmt.Println()
+	for _, occupied := range []int{0, 20, 36} {
+		fmt.Printf("--- station occupancy %d/40 BU ---\n", occupied)
+		for _, u := range users {
+			ev, err := system.Evaluate(u.obs, facs.Voice.BandwidthUnits(), occupied, false)
+			if err != nil {
+				log.Fatal(err)
+			}
+			verdict := "REJECT"
+			if ev.Accepted {
+				verdict = "ACCEPT"
+			}
+			fmt.Printf("%-28s Cv=%.2f  A/R=%+.2f  grade=%-21s -> %s\n",
+				u.name, ev.Cv, ev.AR, ev.Grade, verdict)
+		}
+		fmt.Println()
+	}
+}

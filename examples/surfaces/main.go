@@ -1,0 +1,73 @@
+// Surfaces: render the complete decision surface of the two-stage system:
+// for each (speed, angle) the prediction Cv, and for each (Cv-proxy,
+// occupancy) the admission verdict for a voice call. This is the fastest
+// way to see the paper's rule bases acting together.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"facs"
+)
+
+func main() {
+	system, err := facs.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("FLC1 prediction surface: Cv over speed x angle (distance = 5 km)")
+	fmt.Printf("%12s", "speed\\angle")
+	angles := []float64{0, 30, 60, 90, 120, 150, 180}
+	for _, a := range angles {
+		fmt.Printf(" %6.0f", a)
+	}
+	fmt.Println()
+	for _, speed := range []float64{4, 10, 30, 60, 90, 120} {
+		fmt.Printf("%12.0f", speed)
+		for _, angle := range angles {
+			cv, err := system.Predict(facs.Observation{
+				SpeedKmh: speed, AngleDeg: angle, DistanceKm: 5,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %6.2f", cv)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("admission verdicts for a voice call (5 BU) over user quality x occupancy")
+	fmt.Println("legend: A=accept  .=reject")
+	users := []struct {
+		label string
+		obs   facs.Observation
+	}{
+		{"inbound 60km/h 2km", facs.Observation{SpeedKmh: 60, AngleDeg: 0, DistanceKm: 2}},
+		{"inbound 30km/h 5km", facs.Observation{SpeedKmh: 30, AngleDeg: 0, DistanceKm: 5}},
+		{"sideways 30km/h", facs.Observation{SpeedKmh: 30, AngleDeg: 90, DistanceKm: 5}},
+		{"walker wandering", facs.Observation{SpeedKmh: 4, AngleDeg: 60, DistanceKm: 5}},
+		{"outbound 80km/h", facs.Observation{SpeedKmh: 80, AngleDeg: 170, DistanceKm: 8}},
+	}
+	fmt.Printf("%22s  occupancy 0..40 BU\n", "")
+	for _, u := range users {
+		fmt.Printf("%22s  ", u.label)
+		for used := 0; used <= 40; used += 2 {
+			ev, err := system.Evaluate(u.obs, facs.Voice.BandwidthUnits(), used, false)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ev.Accepted {
+				fmt.Print("A")
+			} else {
+				fmt.Print(".")
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("Better-predicted users keep being admitted deeper into congestion;")
+	fmt.Println("everyone is admitted into an empty cell and no one into a full one.")
+}

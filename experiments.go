@@ -1,0 +1,94 @@
+package facs
+
+import (
+	iexp "facs/internal/experiments"
+	imetrics "facs/internal/metrics"
+	iplot "facs/internal/plot"
+)
+
+// Span is a closed interval for sampling per-user parameters; Pin returns
+// a degenerate span (a constant).
+type Span = iexp.Span
+
+// Pin returns a span holding exactly v.
+func Pin(v float64) Span { return iexp.Pin(v) }
+
+// SingleCellConfig parameterises the paper's single-base-station scenario
+// (Figs. 7-9); SingleCellResult aggregates one run.
+type (
+	SingleCellConfig = iexp.SingleCellConfig
+	SingleCellResult = iexp.SingleCellResult
+)
+
+// RunSingleCell executes the single-cell scenario.
+var RunSingleCell = iexp.RunSingleCell
+
+// MultiCellConfig parameterises the Fig. 10 multi-cell handoff scenario;
+// MultiCellResult aggregates one run.
+type (
+	MultiCellConfig = iexp.MultiCellConfig
+	MultiCellResult = iexp.MultiCellResult
+)
+
+// RunMultiCell executes the multi-cell scenario.
+var RunMultiCell = iexp.RunMultiCell
+
+// HandoffPolicy selects how handoffs are admitted in the multi-cell
+// scenario: HandoffPhysical admits whenever the target cell has room
+// (the paper's implicit baseline), HandoffControlled routes the handoff
+// through the admission controller (the paper's future work; pair with
+// WithHandoffBias).
+type HandoffPolicy = iexp.HandoffPolicy
+
+// Handoff policies.
+const (
+	HandoffPhysical   = iexp.HandoffPhysical
+	HandoffControlled = iexp.HandoffControlled
+)
+
+// Figure is one regenerated paper artifact; FigureConfig controls load
+// points and replication seeds.
+type (
+	Figure       = iexp.Figure
+	FigureConfig = iexp.FigureConfig
+)
+
+// Figure regenerators, one per result figure of the paper, plus the
+// ablation studies listed in DESIGN.md.
+var (
+	Figure7                 = iexp.Figure7
+	Figure8                 = iexp.Figure8
+	Figure9                 = iexp.Figure9
+	Figure10                = iexp.Figure10
+	AllFigures              = iexp.AllFigures
+	AblationDefuzzifier     = iexp.AblationDefuzzifier
+	AblationThreshold       = iexp.AblationThreshold
+	AblationSCC             = iexp.AblationSCC
+	AblationBaselines       = iexp.AblationBaselines
+	AblationGPSNoise        = iexp.AblationGPSNoise
+	AblationHandoffPriority = iexp.AblationHandoffPriority
+	AblationQueueing        = iexp.AblationQueueing
+	AllAblations            = iexp.AllAblations
+)
+
+// FACSFactory and SCCFactory build the Fig. 10 contestants for multi-cell
+// runs.
+var (
+	FACSFactory = iexp.FACSFactory
+	SCCFactory  = iexp.SCCFactory
+)
+
+// Series is a labelled (x, y) curve, the unit of figure regeneration.
+type Series = imetrics.Series
+
+// ChartOptions controls ASCII chart rendering.
+type ChartOptions = iplot.Options
+
+// Chart renders series as an ASCII line chart with a legend.
+var Chart = iplot.Chart
+
+// Table renders series as an aligned text table.
+var Table = iplot.Table
+
+// CSV renders series as comma-separated values.
+var CSV = iplot.CSV

@@ -1,0 +1,125 @@
+package cac
+
+import (
+	"fmt"
+
+	"facs/internal/traffic"
+)
+
+// CompleteSharing is the simplest CAC scheme discussed in the paper's
+// introduction: admit whenever enough free channels exist. It is fast but
+// unfair to wide calls and blind to mobility.
+type CompleteSharing struct{}
+
+var _ Controller = CompleteSharing{}
+
+// Name implements Controller.
+func (CompleteSharing) Name() string { return "complete-sharing" }
+
+// Decide implements Controller.
+func (CompleteSharing) Decide(req Request) (Decision, error) {
+	if err := req.Validate(); err != nil {
+		return Reject, err
+	}
+	if req.Station.Fits(req.Call.BU) {
+		return Accept, nil
+	}
+	return Reject, nil
+}
+
+// GuardChannel reserves a fixed number of bandwidth units for handoff
+// calls: new calls are admitted only into Free - GuardBU, handoffs into
+// the full free pool. This is the classical way to prioritise handoffs
+// over new calls ("users are much more sensitive to call dropping than to
+// call blocking").
+type GuardChannel struct {
+	// GuardBU is the bandwidth reserved for handoffs.
+	GuardBU int
+}
+
+var _ Controller = GuardChannel{}
+
+// NewGuardChannel validates and constructs the scheme.
+func NewGuardChannel(guardBU int) (GuardChannel, error) {
+	if guardBU < 0 {
+		return GuardChannel{}, fmt.Errorf("cac: guard bandwidth must be >= 0, got %d", guardBU)
+	}
+	return GuardChannel{GuardBU: guardBU}, nil
+}
+
+// Name implements Controller.
+func (g GuardChannel) Name() string { return "guard-channel" }
+
+// Decide implements Controller.
+func (g GuardChannel) Decide(req Request) (Decision, error) {
+	if err := req.Validate(); err != nil {
+		return Reject, err
+	}
+	free := req.Station.Free()
+	if req.Handoff {
+		if req.Call.BU <= free {
+			return Accept, nil
+		}
+		return Reject, nil
+	}
+	if req.Call.BU <= free-g.GuardBU {
+		return Accept, nil
+	}
+	return Reject, nil
+}
+
+// ThresholdPolicy is the Multi-Priority Threshold policy shape referenced
+// by the paper ([4], Bartolini & Chlamtac): each class may only occupy
+// bandwidth up to its own threshold. Admission requires both the global
+// fit and the class budget.
+type ThresholdPolicy struct {
+	// MaxBU maps each class to its occupancy ceiling in BU. Classes
+	// absent from the map are uncapped (bounded only by capacity).
+	MaxBU map[traffic.Class]int
+}
+
+var _ Controller = ThresholdPolicy{}
+
+// NewThresholdPolicy validates and constructs the policy.
+func NewThresholdPolicy(maxBU map[traffic.Class]int) (ThresholdPolicy, error) {
+	for class, limit := range maxBU {
+		if !class.Valid() {
+			return ThresholdPolicy{}, fmt.Errorf("cac: threshold for invalid class %v", class)
+		}
+		if limit < 0 {
+			return ThresholdPolicy{}, fmt.Errorf("cac: threshold for %v must be >= 0, got %d", class, limit)
+		}
+	}
+	copied := make(map[traffic.Class]int, len(maxBU))
+	for k, v := range maxBU {
+		copied[k] = v
+	}
+	return ThresholdPolicy{MaxBU: copied}, nil
+}
+
+// Name implements Controller.
+func (ThresholdPolicy) Name() string { return "multi-priority-threshold" }
+
+// Decide implements Controller.
+func (p ThresholdPolicy) Decide(req Request) (Decision, error) {
+	if err := req.Validate(); err != nil {
+		return Reject, err
+	}
+	if !req.Station.Fits(req.Call.BU) {
+		return Reject, nil
+	}
+	limit, capped := p.MaxBU[req.Call.Class]
+	if !capped {
+		return Accept, nil
+	}
+	var classUsed int
+	for _, c := range req.Station.Calls() {
+		if c.Class == req.Call.Class {
+			classUsed += c.BU
+		}
+	}
+	if classUsed+req.Call.BU <= limit {
+		return Accept, nil
+	}
+	return Reject, nil
+}

@@ -1,0 +1,109 @@
+// Package cac defines the call-admission-control framework shared by the
+// paper's FACS system, the SCC baseline and the classical schemes the
+// paper's introduction surveys (Complete Sharing, Guard Channel and the
+// Multi-Priority Threshold policy).
+//
+// A Controller only renders decisions; the simulation (or caller) performs
+// the actual bandwidth allocation on the base station, then notifies
+// controllers that track state through the optional Observer interface.
+package cac
+
+import (
+	"fmt"
+
+	"facs/internal/cell"
+	"facs/internal/gps"
+)
+
+// Decision is an admission outcome.
+type Decision int
+
+// Admission outcomes.
+const (
+	// Accept grants the requested bandwidth.
+	Accept Decision = iota + 1
+	// Reject denies the request.
+	Reject
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case Accept:
+		return "accept"
+	case Reject:
+		return "reject"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// Accepted reports whether the decision admits the call.
+func (d Decision) Accepted() bool { return d == Accept }
+
+// Request is one admission question posed to a controller.
+type Request struct {
+	// Call is the proposed call (ID, class and bandwidth).
+	Call cell.Call
+	// Station is the base station that would carry the call.
+	Station *cell.BaseStation
+	// Obs is the user's estimated kinematics relative to Station
+	// (speed, angle, distance) as produced by the GPS substrate.
+	Obs gps.Observation
+	// Est is the absolute kinematic estimate (position, heading, speed)
+	// behind Obs. Mobility-predictive controllers such as SCC consume
+	// this; FACS consumes only the relative Obs.
+	Est gps.Estimate
+	// Handoff marks requests arriving via handoff rather than new calls.
+	Handoff bool
+	// Now is the simulation time in seconds.
+	Now float64
+}
+
+// Validate checks structural preconditions shared by all controllers.
+func (r Request) Validate() error {
+	if r.Station == nil {
+		return fmt.Errorf("cac: request for call %d has no station", r.Call.ID)
+	}
+	if r.Call.BU <= 0 {
+		return fmt.Errorf("cac: request for call %d has non-positive bandwidth %d", r.Call.ID, r.Call.BU)
+	}
+	if !r.Call.Class.Valid() {
+		return fmt.Errorf("cac: request for call %d has invalid class %v", r.Call.ID, r.Call.Class)
+	}
+	return nil
+}
+
+// Controller renders admission decisions.
+type Controller interface {
+	// Name identifies the scheme, e.g. "facs" or "scc".
+	Name() string
+	// Decide returns the admission outcome for one request. Controllers
+	// must not mutate the station; the caller allocates on Accept.
+	Decide(req Request) (Decision, error)
+}
+
+// Observer is implemented by controllers that maintain per-call state
+// (e.g. SCC's shadow clusters). The simulation invokes these callbacks
+// after the corresponding ledger operation succeeded.
+type Observer interface {
+	// OnAdmit notifies that req was accepted and allocated.
+	OnAdmit(req Request)
+	// OnRelease notifies that a call ended or left the station.
+	OnRelease(callID int, station *cell.BaseStation, now float64)
+}
+
+// Ticker is implemented by controllers with time-driven state (e.g. SCC's
+// demand projections). The simulation calls OnTick periodically.
+type Ticker interface {
+	OnTick(now float64)
+}
+
+// StateUpdater is implemented by controllers that refresh per-call
+// kinematics while a call is active (e.g. SCC after a handoff delivers a
+// new position estimate).
+type StateUpdater interface {
+	// OnStateUpdate reports the latest kinematic estimate for a carried
+	// call and the station now carrying it.
+	OnStateUpdate(callID int, est gps.Estimate, station *cell.BaseStation)
+}

@@ -1,0 +1,167 @@
+// Package cell models the radio resource substrate: base stations with a
+// fixed bandwidth-unit capacity and an allocation ledger split into the
+// paper's Real-Time and Non-Real-Time counters (RTC/NRTC), plus a
+// hexagonal multi-cell network with neighbour topology and handoffs.
+//
+// The paper's evaluation uses a base station with 40 bandwidth units (BU);
+// text, voice and video calls consume 1, 5 and 10 BU respectively.
+package cell
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"facs/internal/geo"
+	"facs/internal/traffic"
+)
+
+// DefaultCapacityBU is the paper's base-station bandwidth: 40 BU.
+const DefaultCapacityBU = 40
+
+// Sentinel errors returned by the allocation ledger.
+var (
+	// ErrInsufficientBandwidth reports that a call does not fit into the
+	// station's free bandwidth.
+	ErrInsufficientBandwidth = errors.New("cell: insufficient bandwidth")
+	// ErrUnknownCall reports a release/lookup of a call the station does
+	// not carry.
+	ErrUnknownCall = errors.New("cell: unknown call")
+	// ErrDuplicateCall reports an admit of a call ID already carried.
+	ErrDuplicateCall = errors.New("cell: duplicate call")
+)
+
+// Call is one admitted connection occupying bandwidth at a base station.
+type Call struct {
+	// ID is unique across the simulation.
+	ID int
+	// Class is the service class (text/voice/video).
+	Class traffic.Class
+	// BU is the occupied bandwidth.
+	BU int
+	// AdmittedAt is the simulation time of admission at this station.
+	AdmittedAt float64
+	// Handoff records whether the call arrived via handoff rather than as
+	// a new call.
+	Handoff bool
+}
+
+// BaseStation is one cell's radio resource manager. It is not safe for
+// concurrent use; the simulation kernel is single-threaded by design.
+type BaseStation struct {
+	hex      geo.Hex
+	pos      geo.Point
+	capacity int
+	calls    map[int]Call
+	usedRT   int
+	usedNRT  int
+}
+
+// NewBaseStation constructs a station at the given hex/position with the
+// given capacity in BU.
+func NewBaseStation(hex geo.Hex, pos geo.Point, capacityBU int) (*BaseStation, error) {
+	if capacityBU <= 0 {
+		return nil, fmt.Errorf("cell: capacity must be > 0 BU, got %d", capacityBU)
+	}
+	return &BaseStation{
+		hex:      hex,
+		pos:      pos,
+		capacity: capacityBU,
+		calls:    make(map[int]Call),
+	}, nil
+}
+
+// Hex returns the station's grid coordinate.
+func (b *BaseStation) Hex() geo.Hex { return b.hex }
+
+// Pos returns the station's plane position in metres.
+func (b *BaseStation) Pos() geo.Point { return b.pos }
+
+// Capacity returns the total bandwidth in BU.
+func (b *BaseStation) Capacity() int { return b.capacity }
+
+// Used returns the occupied bandwidth in BU (RTC + NRTC).
+func (b *BaseStation) Used() int { return b.usedRT + b.usedNRT }
+
+// Free returns the available bandwidth in BU.
+func (b *BaseStation) Free() int { return b.capacity - b.Used() }
+
+// RTC returns the paper's Real Time Counter: BU held by voice and video.
+func (b *BaseStation) RTC() int { return b.usedRT }
+
+// NRTC returns the paper's Non Real Time Counter: BU held by text.
+func (b *BaseStation) NRTC() int { return b.usedNRT }
+
+// Occupancy returns Used/Capacity in [0, 1].
+func (b *BaseStation) Occupancy() float64 {
+	return float64(b.Used()) / float64(b.capacity)
+}
+
+// NumCalls returns the number of carried calls.
+func (b *BaseStation) NumCalls() int { return len(b.calls) }
+
+// Fits reports whether a call of the given size would fit right now.
+func (b *BaseStation) Fits(bu int) bool { return bu >= 0 && bu <= b.Free() }
+
+// Admit adds a call to the ledger, debiting the class counter. The call
+// must fit and its ID must be new, otherwise the ledger is unchanged and
+// an error wrapping ErrInsufficientBandwidth / ErrDuplicateCall is
+// returned.
+func (b *BaseStation) Admit(c Call) error {
+	if c.BU <= 0 {
+		return fmt.Errorf("cell: call %d has non-positive bandwidth %d", c.ID, c.BU)
+	}
+	if !c.Class.Valid() {
+		return fmt.Errorf("cell: call %d has invalid class %v", c.ID, c.Class)
+	}
+	if _, dup := b.calls[c.ID]; dup {
+		return fmt.Errorf("cell: admitting call %d at %v: %w", c.ID, b.hex, ErrDuplicateCall)
+	}
+	if c.BU > b.Free() {
+		return fmt.Errorf("cell: admitting call %d (%d BU) at %v with %d BU free: %w",
+			c.ID, c.BU, b.hex, b.Free(), ErrInsufficientBandwidth)
+	}
+	b.calls[c.ID] = c
+	if c.Class.RealTime() {
+		b.usedRT += c.BU
+	} else {
+		b.usedNRT += c.BU
+	}
+	return nil
+}
+
+// Release removes a call from the ledger, crediting its bandwidth back.
+func (b *BaseStation) Release(id int) (Call, error) {
+	c, ok := b.calls[id]
+	if !ok {
+		return Call{}, fmt.Errorf("cell: releasing call %d at %v: %w", id, b.hex, ErrUnknownCall)
+	}
+	delete(b.calls, id)
+	if c.Class.RealTime() {
+		b.usedRT -= c.BU
+	} else {
+		b.usedNRT -= c.BU
+	}
+	return c, nil
+}
+
+// Call looks up a carried call by ID.
+func (b *BaseStation) Call(id int) (Call, bool) {
+	c, ok := b.calls[id]
+	return c, ok
+}
+
+// Calls returns the carried calls sorted by ID (a defensive copy).
+func (b *BaseStation) Calls() []Call {
+	out := make([]Call, 0, len(b.calls))
+	for _, c := range b.calls {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// String implements fmt.Stringer.
+func (b *BaseStation) String() string {
+	return fmt.Sprintf("BS%v used=%d/%d (RTC=%d NRTC=%d)", b.hex, b.Used(), b.capacity, b.usedRT, b.usedNRT)
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"testing"
+
+	"facs/internal/cac"
+	"facs/internal/cell"
+	"facs/internal/facs"
+	"facs/internal/sim"
+)
+
+// TestSingleCellInvariantsAcrossRandomConfigs fuzzes the single-cell
+// scenario over randomized workloads and controllers, asserting the
+// system-wide invariants that must hold for any admission policy:
+// occupancy never exceeds capacity, accounting is conserved, and
+// acceptance percentages stay in [0, 100].
+func TestSingleCellInvariantsAcrossRandomConfigs(t *testing.T) {
+	rng := sim.NewRNG(20240610)
+	controllers := []cac.Controller{
+		facs.Must(),
+		facs.Must(facs.WithAcceptThreshold(-0.5)),
+		facs.Must(facs.WithAcceptThreshold(0.6)),
+		cac.CompleteSharing{},
+	}
+	guard, err := cac.NewGuardChannel(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	controllers = append(controllers, guard)
+
+	for trial := 0; trial < 25; trial++ {
+		ctrl := controllers[rng.Intn(len(controllers))]
+		cfg := SingleCellConfig{
+			Controller:        ctrl,
+			NumRequests:       10 + rng.Intn(90),
+			WindowSec:         200 + rng.Float64()*1800,
+			MeanHoldingSec:    30 + rng.Float64()*240,
+			SpeedKmh:          Span{Min: 1 + rng.Float64()*30, Max: 40 + rng.Float64()*80},
+			AngleOffsetDeg:    Span{Min: -rng.Float64() * 180, Max: rng.Float64() * 180},
+			DistanceKm:        Span{Min: 0.2 + rng.Float64()*2, Max: 4 + rng.Float64()*5},
+			GPSNoiseM:         []float64{-1, 2, 5, 20}[rng.Intn(4)],
+			CapacityBU:        []int{20, 40, 80}[rng.Intn(3)],
+			QueueTextRequests: rng.Intn(2) == 0,
+			Seed:              int64(trial),
+		}
+		res, err := RunSingleCell(cfg)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, ctrl.Name(), err)
+		}
+		if res.Requested != cfg.NumRequests {
+			t.Fatalf("trial %d: requested %d != configured %d", trial, res.Requested, cfg.NumRequests)
+		}
+		if res.Accepted < 0 || res.Accepted > res.Requested {
+			t.Fatalf("trial %d: accepted %d out of range", trial, res.Accepted)
+		}
+		if pct := res.AcceptedPct(); pct < 0 || pct > 100 {
+			t.Fatalf("trial %d: acceptance %v%%", trial, pct)
+		}
+		if res.Occupancy.Max() > float64(cfg.CapacityBU) {
+			t.Fatalf("trial %d: occupancy %v exceeded capacity %d", trial, res.Occupancy.Max(), cfg.CapacityBU)
+		}
+		var classTotal uint64
+		var classHits uint64
+		for _, r := range res.ByClass {
+			classTotal += r.Total()
+			classHits += r.Hits()
+		}
+		if classTotal != uint64(res.Requested) {
+			t.Fatalf("trial %d: class outcomes %d != requested %d", trial, classTotal, res.Requested)
+		}
+		if classHits != uint64(res.Accepted) {
+			t.Fatalf("trial %d: class hits %d != accepted %d", trial, classHits, res.Accepted)
+		}
+		if res.QueuedAccepted > res.Queued {
+			t.Fatalf("trial %d: queued accounting broken: %d > %d", trial, res.QueuedAccepted, res.Queued)
+		}
+	}
+}
+
+// TestMultiCellInvariantsAcrossRandomConfigs fuzzes the multi-cell
+// scenario: call conservation (accepted = completed + dropped), handoff
+// accounting, and per-station ledger integrity at the end of every run.
+func TestMultiCellInvariantsAcrossRandomConfigs(t *testing.T) {
+	rng := sim.NewRNG(996)
+	factories := []func(*cell.Network) (cac.Controller, error){
+		FACSFactory(),
+		SCCFactory(),
+		func(*cell.Network) (cac.Controller, error) { return cac.CompleteSharing{}, nil },
+	}
+	for trial := 0; trial < 12; trial++ {
+		policy := HandoffPhysical
+		if rng.Intn(2) == 0 {
+			policy = HandoffControlled
+		}
+		cfg := MultiCellConfig{
+			NewController:  factories[rng.Intn(len(factories))],
+			Rings:          1 + rng.Intn(2),
+			NumRequests:    20 + rng.Intn(80),
+			WindowSec:      80 + rng.Float64()*200,
+			MeanHoldingSec: 40 + rng.Float64()*160,
+			SpeedKmh:       Span{Min: 5, Max: 30 + rng.Float64()*90},
+			HandoffPolicy:  policy,
+			Seed:           int64(trial * 7),
+		}
+		res, err := RunMultiCell(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Completed+res.HandoffDrops != res.Accepted {
+			t.Fatalf("trial %d: conservation broken: accepted=%d completed=%d dropped=%d",
+				trial, res.Accepted, res.Completed, res.HandoffDrops)
+		}
+		if res.HandoffDrops > res.HandoffAttempts {
+			t.Fatalf("trial %d: drops %d > attempts %d", trial, res.HandoffDrops, res.HandoffAttempts)
+		}
+		if res.Requested > cfg.NumRequests {
+			t.Fatalf("trial %d: requested %d > generated %d", trial, res.Requested, cfg.NumRequests)
+		}
+		if u := res.Utilization.Max(); u > 1 {
+			t.Fatalf("trial %d: utilization %v > 1", trial, u)
+		}
+	}
+}

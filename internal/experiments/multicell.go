@@ -1,0 +1,505 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"facs/internal/cac"
+	"facs/internal/cell"
+	"facs/internal/geo"
+	"facs/internal/gps"
+	"facs/internal/metrics"
+	"facs/internal/mobility"
+	"facs/internal/sim"
+	"facs/internal/traffic"
+)
+
+// MultiCellConfig parameterises the Fig. 10 comparison scenario: a
+// hexagonal multi-cell network with mobile users, handoffs, and one
+// admission controller deciding new-call admission. Running the identical
+// workload (same seed) through two controllers yields the paper's
+// FACS-vs-SCC comparison.
+type MultiCellConfig struct {
+	// NewController builds the controller under test for a freshly
+	// built network. Required.
+	NewController func(net *cell.Network) (cac.Controller, error)
+	// Rings is the network size (default 1: seven cells).
+	Rings int
+	// CellRadiusM is the hex cell radius (default 1500 m).
+	CellRadiusM float64
+	// CapacityBU is the per-station bandwidth (default 40).
+	CapacityBU int
+	// NumRequests is the paper's x-axis.
+	NumRequests int
+	// WindowSec is the arrival window. The default of 150 s is chosen
+	// so that 100 requesting connections saturate the seven-cell
+	// network, giving the figure its full dynamic range (EXPERIMENTS.md
+	// records the calibration).
+	WindowSec float64
+	// MeanHoldingSec is the exponential mean call duration (default 120).
+	MeanHoldingSec float64
+	// Mix is the class mix (default 60/30/10).
+	Mix traffic.Mix
+	// SpeedKmh samples user speeds (default Span{10, 80}: a mixed
+	// pedestrian-to-vehicular population).
+	SpeedKmh Span
+	// TurnSigmaDeg / RefSpeedKmh parameterise user turning (defaults
+	// 12 / 15).
+	TurnSigmaDeg float64
+	RefSpeedKmh  float64
+	// GPSNoiseM is the per-axis GPS error (default 5 m; negative
+	// disables).
+	GPSNoiseM float64
+	// ObserveSteps is the GPS warm-up before admission (default 10).
+	ObserveSteps int
+	// MoveIntervalSec is how often active calls update their position
+	// and check for handoffs (default 5 s).
+	MoveIntervalSec float64
+	// HandoffPolicy selects how handoffs are admitted at the target
+	// cell. Default HandoffPhysical.
+	HandoffPolicy HandoffPolicy
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// HandoffPolicy selects the handoff admission rule.
+type HandoffPolicy int
+
+// Handoff policies.
+const (
+	// HandoffPhysical admits a handoff whenever the target cell has
+	// room: the paper's implicit baseline (it leaves call priority to
+	// future work).
+	HandoffPhysical HandoffPolicy = iota + 1
+	// HandoffControlled asks the admission controller with the Handoff
+	// flag set, so that priority-aware controllers (e.g. FACS with
+	// WithHandoffBias, or the guard-channel scheme) can privilege or
+	// throttle handoffs. This implements the paper's stated future work.
+	HandoffControlled
+)
+
+// String implements fmt.Stringer.
+func (h HandoffPolicy) String() string {
+	switch h {
+	case HandoffPhysical:
+		return "physical"
+	case HandoffControlled:
+		return "controlled"
+	default:
+		return fmt.Sprintf("HandoffPolicy(%d)", int(h))
+	}
+}
+
+func (c MultiCellConfig) withDefaults() MultiCellConfig {
+	if c.Rings == 0 {
+		c.Rings = 1
+	}
+	if c.CellRadiusM == 0 {
+		c.CellRadiusM = 1500
+	}
+	if c.CapacityBU == 0 {
+		c.CapacityBU = cell.DefaultCapacityBU
+	}
+	if c.WindowSec == 0 {
+		c.WindowSec = 150
+	}
+	if c.MeanHoldingSec == 0 {
+		c.MeanHoldingSec = 120
+	}
+	if (c.Mix == traffic.Mix{}) {
+		c.Mix = traffic.DefaultMix()
+	}
+	if (c.SpeedKmh == Span{}) {
+		c.SpeedKmh = Span{Min: 10, Max: 80}
+	}
+	if c.TurnSigmaDeg == 0 {
+		c.TurnSigmaDeg = 12
+	}
+	if c.RefSpeedKmh == 0 {
+		c.RefSpeedKmh = 15
+	}
+	if c.GPSNoiseM == 0 {
+		c.GPSNoiseM = 5
+	}
+	if c.ObserveSteps == 0 {
+		c.ObserveSteps = 10
+	}
+	if c.MoveIntervalSec == 0 {
+		c.MoveIntervalSec = 5
+	}
+	if c.HandoffPolicy == 0 {
+		c.HandoffPolicy = HandoffPhysical
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c MultiCellConfig) Validate() error {
+	if c.NewController == nil {
+		return fmt.Errorf("experiments: multi-cell config needs a controller factory")
+	}
+	if c.NumRequests <= 0 {
+		return fmt.Errorf("experiments: NumRequests must be > 0, got %d", c.NumRequests)
+	}
+	if !(c.WindowSec > 0) || !(c.MeanHoldingSec > 0) || !(c.MoveIntervalSec > 0) {
+		return fmt.Errorf("experiments: time parameters must be > 0")
+	}
+	if c.ObserveSteps < 2 {
+		return fmt.Errorf("experiments: ObserveSteps must be >= 2, got %d", c.ObserveSteps)
+	}
+	if err := c.SpeedKmh.Validate(); err != nil {
+		return err
+	}
+	if c.HandoffPolicy != HandoffPhysical && c.HandoffPolicy != HandoffControlled {
+		return fmt.Errorf("experiments: unknown handoff policy %v", c.HandoffPolicy)
+	}
+	return c.Mix.Validate()
+}
+
+// MultiCellResult aggregates one multi-cell run.
+type MultiCellResult struct {
+	// ControllerName identifies the scheme under test.
+	ControllerName string
+	// Requested/Accepted count new-call admission outcomes.
+	Requested int
+	Accepted  int
+	// HandoffAttempts/HandoffDrops count inter-cell moves of active
+	// calls; a drop is a forced termination because the target cell had
+	// no room.
+	HandoffAttempts int
+	HandoffDrops    int
+	// Completed counts calls that ended normally (including leaving
+	// coverage).
+	Completed int
+	// Utilization summarises network occupancy (fraction of total BU)
+	// sampled at every arrival.
+	Utilization metrics.Summary
+}
+
+// AcceptedPct returns 100 * accepted / requested.
+func (r MultiCellResult) AcceptedPct() float64 {
+	if r.Requested == 0 {
+		return 0
+	}
+	return 100 * float64(r.Accepted) / float64(r.Requested)
+}
+
+// DropPct returns 100 * drops / handoff attempts.
+func (r MultiCellResult) DropPct() float64 {
+	if r.HandoffAttempts == 0 {
+		return 0
+	}
+	return 100 * float64(r.HandoffDrops) / float64(r.HandoffAttempts)
+}
+
+// activeCall is the runtime state of one admitted call in the multi-cell
+// simulation.
+type activeCall struct {
+	id      int
+	bu      int
+	class   traffic.Class
+	walk    *mobility.TurningWalk
+	hex     geo.Hex
+	endEv   *sim.Event
+	moveEv  *sim.Event
+	dropped bool
+}
+
+// RunMultiCell executes the multi-cell scenario.
+func RunMultiCell(cfg MultiCellConfig) (MultiCellResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return MultiCellResult{}, err
+	}
+	net, err := cell.NewNetwork(cell.NetworkConfig{
+		Rings:       cfg.Rings,
+		CellRadiusM: cfg.CellRadiusM,
+		CapacityBU:  cfg.CapacityBU,
+	})
+	if err != nil {
+		return MultiCellResult{}, err
+	}
+	controller, err := cfg.NewController(net)
+	if err != nil {
+		return MultiCellResult{}, err
+	}
+	observer, _ := controller.(cac.Observer)
+	updater, _ := controller.(cac.StateUpdater)
+
+	gen, err := traffic.NewGenerator(traffic.GeneratorConfig{
+		Mix:              cfg.Mix,
+		MeanInterarrival: cfg.WindowSec / float64(cfg.NumRequests),
+		MeanHolding:      cfg.MeanHoldingSec,
+	}, sim.NewStream(cfg.Seed, "traffic"))
+	if err != nil {
+		return MultiCellResult{}, err
+	}
+	userRNG := sim.NewStream(cfg.Seed, "users")
+	gpsRNG := sim.NewStream(cfg.Seed, "gps")
+
+	result := MultiCellResult{ControllerName: controller.Name()}
+	run := &multiCellRun{
+		cfg:      cfg,
+		net:      net,
+		ctrl:     controller,
+		observer: observer,
+		updater:  updater,
+		userRNG:  userRNG,
+		gpsRNG:   gpsRNG,
+		result:   &result,
+	}
+
+	sched := sim.NewScheduler()
+	for _, req := range gen.Take(cfg.NumRequests) {
+		req := req
+		if _, err := sched.At(req.ArrivalTime, func(s *sim.Scheduler) {
+			run.arrive(s, req)
+		}); err != nil {
+			return MultiCellResult{}, err
+		}
+	}
+	sched.Run(0)
+	if run.err != nil {
+		return MultiCellResult{}, run.err
+	}
+	return result, nil
+}
+
+type multiCellRun struct {
+	cfg      MultiCellConfig
+	net      *cell.Network
+	ctrl     cac.Controller
+	observer cac.Observer
+	updater  cac.StateUpdater
+	userRNG  *rand.Rand
+	gpsRNG   *rand.Rand
+	result   *MultiCellResult
+	err      error
+}
+
+// spawn places a new user uniformly inside network coverage with a random
+// heading and a sampled speed, returning its mobility model.
+func (r *multiCellRun) spawn() (*mobility.TurningWalk, error) {
+	// Bounding box of the deployment with half-cell margin.
+	radius := r.cfg.CellRadiusM * (1.8*float64(r.cfg.Rings) + 1)
+	var pos geo.Point
+	for tries := 0; ; tries++ {
+		pos = geo.Point{
+			X: sim.Uniform(r.userRNG, -radius, radius),
+			Y: sim.Uniform(r.userRNG, -radius, radius),
+		}
+		if _, err := r.net.StationAt(pos); err == nil {
+			break
+		}
+		if tries > 1000 {
+			return nil, fmt.Errorf("experiments: could not place a user inside coverage")
+		}
+	}
+	return mobility.NewTurningWalk(mobility.State{
+		Pos:        pos,
+		SpeedKmh:   r.cfg.SpeedKmh.Sample(r.userRNG),
+		HeadingDeg: sim.Uniform(r.userRNG, -180, 180),
+	}, mobility.TurningConfig{
+		TurnSigmaDeg: r.cfg.TurnSigmaDeg,
+		RefSpeedKmh:  r.cfg.RefSpeedKmh,
+	}, r.userRNG)
+}
+
+// arrive handles one new connection request.
+func (r *multiCellRun) arrive(s *sim.Scheduler, req traffic.Request) {
+	if r.err != nil {
+		return
+	}
+	walk, err := r.spawn()
+	if err != nil {
+		r.err = err
+		return
+	}
+	receiver, err := gps.NewReceiver(walk, gps.ReceiverConfig{
+		SampleInterval: 1,
+		NoiseSigmaM:    r.cfg.GPSNoiseM,
+	}, r.gpsRNG)
+	if err != nil {
+		r.err = err
+		return
+	}
+	estimator := gps.NewEstimator(5)
+	for _, fix := range receiver.Track(r.cfg.ObserveSteps) {
+		estimator.AddFix(fix)
+	}
+	est, ok := estimator.Estimate()
+	if !ok {
+		r.err = fmt.Errorf("experiments: estimator not ready")
+		return
+	}
+	// The warm-up may have carried the user outside coverage; skip such
+	// arrivals without counting them (the user is not in the network).
+	bs, err := r.net.StationAt(walk.State().Pos)
+	if err != nil {
+		return
+	}
+	r.result.Utilization.Add(float64(r.net.TotalUsed()) / float64(r.net.TotalCapacity()))
+	cacReq := cac.Request{
+		Call: cell.Call{
+			ID:         req.ID,
+			Class:      req.Class,
+			BU:         req.BU,
+			AdmittedAt: s.Now(),
+		},
+		Station: bs,
+		Obs:     gps.Observe(est, bs.Pos()),
+		Est:     est,
+		Now:     s.Now(),
+	}
+	decision, err := r.ctrl.Decide(cacReq)
+	if err != nil {
+		r.err = err
+		return
+	}
+	r.result.Requested++
+	if !decision.Accepted() {
+		return
+	}
+	if err := bs.Admit(cacReq.Call); err != nil {
+		r.err = fmt.Errorf("experiments: controller accepted an unfittable call: %w", err)
+		return
+	}
+	r.result.Accepted++
+	if r.observer != nil {
+		r.observer.OnAdmit(cacReq)
+	}
+	call := &activeCall{
+		id:    req.ID,
+		bu:    req.BU,
+		class: req.Class,
+		walk:  walk,
+		hex:   bs.Hex(),
+	}
+	call.endEv, err = s.After(req.HoldingTime, func(s *sim.Scheduler) { r.complete(s, call) })
+	if err != nil {
+		r.err = err
+		return
+	}
+	call.moveEv, err = s.After(r.cfg.MoveIntervalSec, func(s *sim.Scheduler) { r.move(s, call) })
+	if err != nil {
+		r.err = err
+	}
+}
+
+// complete ends a call normally.
+func (r *multiCellRun) complete(s *sim.Scheduler, call *activeCall) {
+	if r.err != nil || call.dropped {
+		return
+	}
+	if call.moveEv != nil {
+		call.moveEv.Cancel()
+	}
+	bs, ok := r.net.At(call.hex)
+	if !ok {
+		r.err = fmt.Errorf("experiments: call %d completed in unknown cell %v", call.id, call.hex)
+		return
+	}
+	if _, err := bs.Release(call.id); err != nil {
+		r.err = err
+		return
+	}
+	r.result.Completed++
+	if r.observer != nil {
+		r.observer.OnRelease(call.id, bs, s.Now())
+	}
+}
+
+// dropCall force-terminates a call whose handoff was denied.
+func (r *multiCellRun) dropCall(s *sim.Scheduler, call *activeCall) {
+	r.result.HandoffDrops++
+	call.dropped = true
+	if call.endEv != nil {
+		call.endEv.Cancel()
+	}
+	src, ok := r.net.At(call.hex)
+	if !ok {
+		r.err = fmt.Errorf("experiments: dropping call %d from unknown cell %v", call.id, call.hex)
+		return
+	}
+	if _, err := src.Release(call.id); err != nil {
+		r.err = err
+		return
+	}
+	if r.observer != nil {
+		r.observer.OnRelease(call.id, src, s.Now())
+	}
+}
+
+// move advances an active call's user and performs handoffs.
+func (r *multiCellRun) move(s *sim.Scheduler, call *activeCall) {
+	if r.err != nil || call.dropped {
+		return
+	}
+	st := call.walk.Step(r.cfg.MoveIntervalSec)
+	newBS, err := r.net.StationAt(st.Pos)
+	if err != nil {
+		// The user left coverage: terminate the call normally (the
+		// paper's single-operator world has no roaming).
+		if errors.Is(err, cell.ErrOutsideCoverage) {
+			if call.endEv != nil {
+				call.endEv.Cancel()
+			}
+			call.endEv = nil
+			r.complete(s, call)
+			return
+		}
+		r.err = err
+		return
+	}
+	if newBS.Hex() != call.hex {
+		r.result.HandoffAttempts++
+		if r.cfg.HandoffPolicy == HandoffControlled {
+			est := gps.Estimate{
+				SpeedKmh:   st.SpeedKmh,
+				HeadingDeg: st.HeadingDeg,
+				Pos:        st.Pos,
+				Time:       s.Now(),
+			}
+			hoReq := cac.Request{
+				Call:    cell.Call{ID: call.id, Class: call.class, BU: call.bu, AdmittedAt: s.Now()},
+				Station: newBS,
+				Obs:     gps.Observe(est, newBS.Pos()),
+				Est:     est,
+				Handoff: true,
+				Now:     s.Now(),
+			}
+			decision, err := r.ctrl.Decide(hoReq)
+			if err != nil {
+				r.err = err
+				return
+			}
+			if !decision.Accepted() {
+				r.dropCall(s, call)
+				return
+			}
+		}
+		if err := r.net.Handoff(call.id, call.hex, newBS.Hex(), s.Now()); err != nil {
+			if errors.Is(err, cell.ErrInsufficientBandwidth) {
+				r.dropCall(s, call)
+				return
+			}
+			r.err = err
+			return
+		}
+		call.hex = newBS.Hex()
+		if r.updater != nil {
+			r.updater.OnStateUpdate(call.id, gps.Estimate{
+				SpeedKmh:   st.SpeedKmh,
+				HeadingDeg: st.HeadingDeg,
+				Pos:        st.Pos,
+				Time:       s.Now(),
+			}, newBS)
+		}
+	}
+	var schedErr error
+	call.moveEv, schedErr = s.After(r.cfg.MoveIntervalSec, func(s *sim.Scheduler) { r.move(s, call) })
+	if schedErr != nil {
+		r.err = schedErr
+	}
+}

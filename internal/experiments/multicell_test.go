@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"testing"
+
+	"facs/internal/cac"
+	"facs/internal/cell"
+)
+
+func TestRunMultiCellValidation(t *testing.T) {
+	base := MultiCellConfig{NewController: FACSFactory(), NumRequests: 10}
+	tests := []struct {
+		name   string
+		mutate func(*MultiCellConfig)
+	}{
+		{"no factory", func(c *MultiCellConfig) { c.NewController = nil }},
+		{"zero requests", func(c *MultiCellConfig) { c.NumRequests = 0 }},
+		{"negative window", func(c *MultiCellConfig) { c.WindowSec = -1 }},
+		{"one observe step", func(c *MultiCellConfig) { c.ObserveSteps = 1 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if _, err := RunMultiCell(cfg); err == nil {
+				t.Fatal("expected a validation error")
+			}
+		})
+	}
+}
+
+func TestRunMultiCellFactoryErrorPropagates(t *testing.T) {
+	cfg := MultiCellConfig{
+		NewController: func(*cell.Network) (cac.Controller, error) {
+			return nil, errTest
+		},
+		NumRequests: 5,
+	}
+	if _, err := RunMultiCell(cfg); err == nil {
+		t.Fatal("factory error should propagate")
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }
+
+func TestRunMultiCellBasicAccounting(t *testing.T) {
+	res, err := RunMultiCell(MultiCellConfig{
+		NewController: FACSFactory(),
+		NumRequests:   60,
+		Seed:          9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ControllerName != "facs" {
+		t.Fatalf("ControllerName = %q", res.ControllerName)
+	}
+	// A few arrivals may drift out of coverage during GPS warm-up, so
+	// Requested <= NumRequests.
+	if res.Requested <= 0 || res.Requested > 60 {
+		t.Fatalf("Requested = %d", res.Requested)
+	}
+	if res.Accepted > res.Requested {
+		t.Fatal("Accepted > Requested")
+	}
+	if res.HandoffDrops > res.HandoffAttempts {
+		t.Fatal("drops exceed attempts")
+	}
+	// Every accepted call either completed or was dropped.
+	if res.Completed+res.HandoffDrops != res.Accepted {
+		t.Fatalf("call conservation violated: accepted=%d completed=%d dropped=%d",
+			res.Accepted, res.Completed, res.HandoffDrops)
+	}
+	if res.DropPct() < 0 || res.DropPct() > 100 {
+		t.Fatalf("DropPct = %v", res.DropPct())
+	}
+}
+
+func TestRunMultiCellDeterminism(t *testing.T) {
+	run := func() MultiCellResult {
+		res, err := RunMultiCell(MultiCellConfig{
+			NewController: SCCFactory(),
+			NumRequests:   40,
+			Seed:          13,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Accepted != b.Accepted || a.HandoffAttempts != b.HandoffAttempts || a.Completed != b.Completed {
+		t.Fatalf("identical runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunMultiCellHandoffsHappen(t *testing.T) {
+	res, err := RunMultiCell(MultiCellConfig{
+		NewController: FACSFactory(),
+		NumRequests:   80,
+		SpeedKmh:      Pin(100),
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HandoffAttempts == 0 {
+		t.Fatal("fast users over small cells must produce handoffs")
+	}
+}
+
+// TestMultiCellFig10Shape asserts the paper's Fig. 10 headline: FACS
+// accepts more than SCC at light load and less at heavy load.
+func TestMultiCellFig10Shape(t *testing.T) {
+	mean := func(factory func(*cell.Network) (cac.Controller, error), n int) float64 {
+		var acc float64
+		const seeds = 3
+		for seed := int64(1); seed <= seeds; seed++ {
+			res, err := RunMultiCell(MultiCellConfig{
+				NewController: factory,
+				NumRequests:   n,
+				Seed:          seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc += res.AcceptedPct()
+		}
+		return acc / seeds
+	}
+	facsLow, sccLow := mean(FACSFactory(), 20), mean(SCCFactory(), 20)
+	if facsLow <= sccLow {
+		t.Fatalf("light load: FACS %.1f%% should exceed SCC %.1f%%", facsLow, sccLow)
+	}
+	facsHigh, sccHigh := mean(FACSFactory(), 100), mean(SCCFactory(), 100)
+	if facsHigh >= sccHigh {
+		t.Fatalf("heavy load: SCC %.1f%% should exceed FACS %.1f%%", sccHigh, facsHigh)
+	}
+}
+
+func TestFigureConfigDefaults(t *testing.T) {
+	fc := FigureConfig{}.withDefaults()
+	if len(fc.LoadPoints) != 10 || fc.LoadPoints[0] != 10 || fc.LoadPoints[9] != 100 {
+		t.Fatalf("default load points = %v", fc.LoadPoints)
+	}
+	if len(fc.Seeds) != 5 {
+		t.Fatalf("default seeds = %v", fc.Seeds)
+	}
+	if err := (FigureConfig{LoadPoints: []int{-1}}).Validate(); err == nil {
+		t.Fatal("negative load point should be invalid")
+	}
+}
+
+func TestFigure7Structure(t *testing.T) {
+	fig, err := Figure7(FigureConfig{LoadPoints: []int{15, 60}, Seeds: []int64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "fig7" {
+		t.Fatalf("ID = %q", fig.ID)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("Fig. 7 needs 4 speed series, got %d", len(fig.Series))
+	}
+	wantLabels := []string{"4km/h", "10km/h", "30km/h", "60km/h"}
+	for i, s := range fig.Series {
+		if s.Label != wantLabels[i] {
+			t.Fatalf("series %d label = %q, want %q", i, s.Label, wantLabels[i])
+		}
+		if s.Len() != 2 {
+			t.Fatalf("series %q has %d points, want 2", s.Label, s.Len())
+		}
+		for _, y := range s.Y {
+			if y < 0 || y > 100 {
+				t.Fatalf("acceptance %v out of range", y)
+			}
+		}
+	}
+}
+
+func TestFigure8And9Structure(t *testing.T) {
+	fc := FigureConfig{LoadPoints: []int{40}, Seeds: []int64{1}}
+	fig8, err := Figure8(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig8.Series) != 5 {
+		t.Fatalf("Fig. 8 needs 5 angle series, got %d", len(fig8.Series))
+	}
+	fig9, err := Figure9(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig9.Series) != 4 {
+		t.Fatalf("Fig. 9 needs 4 distance series, got %d", len(fig9.Series))
+	}
+}
+
+func TestFigure10Structure(t *testing.T) {
+	fig, err := Figure10(FigureConfig{LoadPoints: []int{20}, Seeds: []int64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("Fig. 10 needs FACS and SCC series, got %d", len(fig.Series))
+	}
+	if fig.Series[0].Label != "FACS" || fig.Series[1].Label != "SCC" {
+		t.Fatalf("labels = %q, %q", fig.Series[0].Label, fig.Series[1].Label)
+	}
+	if len(fig.Notes) != 2 {
+		t.Fatalf("Fig. 10 should carry one note per scheme, got %d", len(fig.Notes))
+	}
+}

@@ -1,0 +1,459 @@
+// Package experiments contains the reproduction harness: one driver per
+// figure of the paper's evaluation section (Figs. 7-10) plus the ablation
+// studies listed in DESIGN.md. Every experiment is deterministic for a
+// given seed.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"facs/internal/cac"
+	"facs/internal/cell"
+	ifacs "facs/internal/facs"
+	"facs/internal/geo"
+	"facs/internal/gps"
+	"facs/internal/metrics"
+	"facs/internal/mobility"
+	"facs/internal/sim"
+	"facs/internal/traffic"
+)
+
+// Span is a closed interval used to sample per-user parameters uniformly.
+// Min == Max pins the parameter to a constant.
+type Span struct {
+	Min float64
+	Max float64
+}
+
+// Pin returns a degenerate span holding exactly v.
+func Pin(v float64) Span { return Span{Min: v, Max: v} }
+
+// Sample draws from the span.
+func (s Span) Sample(rng interface{ Float64() float64 }) float64 {
+	if s.Min == s.Max {
+		return s.Min
+	}
+	lo, hi := s.Min, s.Max
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// Validate checks the span for NaNs.
+func (s Span) Validate() error {
+	if math.IsNaN(s.Min) || math.IsNaN(s.Max) {
+		return fmt.Errorf("experiments: span bounds must not be NaN")
+	}
+	return nil
+}
+
+// SingleCellConfig parameterises the paper's single-base-station scenario
+// used by Figs. 7, 8 and 9: one 40 BU cell, N requesting connections
+// arriving as a Poisson stream over a window, each belonging to a distinct
+// user whose kinematics are sampled from the configured spans and observed
+// through the GPS substrate.
+type SingleCellConfig struct {
+	// Controller renders the admission decisions. Required.
+	Controller cac.Controller
+	// NumRequests is the paper's x-axis: the number of requesting
+	// connections.
+	NumRequests int
+	// WindowSec is the arrival window; the Poisson arrival rate is
+	// NumRequests/WindowSec. Default 2000 s.
+	WindowSec float64
+	// MeanHoldingSec is the exponential mean call duration. Default 120 s.
+	MeanHoldingSec float64
+	// Mix is the class mix. Default 60/30/10 text/voice/video.
+	Mix traffic.Mix
+	// SpeedKmh samples each user's speed. Default Pin(30).
+	SpeedKmh Span
+	// AngleOffsetDeg samples the user's heading relative to the bearing
+	// towards the base station: 0 means heading straight at it.
+	// Default Pin(0).
+	AngleOffsetDeg Span
+	// DistanceKm samples the user's distance from the base station.
+	// Default Span{0.5, 9.5}.
+	DistanceKm Span
+	// ObserveSteps is the number of 1 Hz GPS fixes collected (while the
+	// user moves under the turning-walk model) before the admission
+	// decision. Default 10.
+	ObserveSteps int
+	// GPSNoiseM is the per-axis GPS error. Default 5 m; negative
+	// disables noise.
+	GPSNoiseM float64
+	// TurnSigmaDeg / RefSpeedKmh parameterise the speed-dependent
+	// turning walk (see mobility.TurningConfig). Defaults 12 / 15.
+	TurnSigmaDeg float64
+	RefSpeedKmh  float64
+	// CapacityBU is the station bandwidth. Default 40.
+	CapacityBU int
+	// QueueTextRequests enables the queueing extension motivated by the
+	// paper's introduction ("data traffic is queue-able and a certain
+	// amount of delay can be acceptable"): a text request whose soft
+	// decision grade is exactly NRNA (not reject, not accept) is held in
+	// a FIFO queue and retried whenever bandwidth is released, up to
+	// MaxQueueWaitSec. Requires a controller that exposes decision
+	// grades (FACS); other controllers silently ignore the option.
+	QueueTextRequests bool
+	// MaxQueueWaitSec bounds the queueing delay. Default 30 s.
+	MaxQueueWaitSec float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c SingleCellConfig) withDefaults() SingleCellConfig {
+	if c.WindowSec == 0 {
+		c.WindowSec = 2000
+	}
+	if c.MeanHoldingSec == 0 {
+		c.MeanHoldingSec = 120
+	}
+	if (c.Mix == traffic.Mix{}) {
+		c.Mix = traffic.DefaultMix()
+	}
+	if (c.SpeedKmh == Span{}) {
+		c.SpeedKmh = Pin(30)
+	}
+	if (c.DistanceKm == Span{}) {
+		c.DistanceKm = Span{Min: 0.5, Max: 9.5}
+	}
+	if c.ObserveSteps == 0 {
+		c.ObserveSteps = 10
+	}
+	if c.GPSNoiseM == 0 {
+		c.GPSNoiseM = 5
+	}
+	if c.TurnSigmaDeg == 0 {
+		c.TurnSigmaDeg = 12
+	}
+	if c.RefSpeedKmh == 0 {
+		c.RefSpeedKmh = 15
+	}
+	if c.CapacityBU == 0 {
+		c.CapacityBU = cell.DefaultCapacityBU
+	}
+	if c.MaxQueueWaitSec == 0 {
+		c.MaxQueueWaitSec = 30
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c SingleCellConfig) Validate() error {
+	if c.Controller == nil {
+		return fmt.Errorf("experiments: single-cell config needs a controller")
+	}
+	if c.NumRequests <= 0 {
+		return fmt.Errorf("experiments: NumRequests must be > 0, got %d", c.NumRequests)
+	}
+	if !(c.WindowSec > 0) {
+		return fmt.Errorf("experiments: WindowSec must be > 0, got %v", c.WindowSec)
+	}
+	if !(c.MeanHoldingSec > 0) {
+		return fmt.Errorf("experiments: MeanHoldingSec must be > 0, got %v", c.MeanHoldingSec)
+	}
+	for _, s := range []Span{c.SpeedKmh, c.AngleOffsetDeg, c.DistanceKm} {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.ObserveSteps < 2 {
+		return fmt.Errorf("experiments: ObserveSteps must be >= 2, got %d", c.ObserveSteps)
+	}
+	if c.CapacityBU <= 0 {
+		return fmt.Errorf("experiments: CapacityBU must be > 0, got %d", c.CapacityBU)
+	}
+	if !(c.MaxQueueWaitSec > 0) {
+		return fmt.Errorf("experiments: MaxQueueWaitSec must be > 0, got %v", c.MaxQueueWaitSec)
+	}
+	return c.Mix.Validate()
+}
+
+// SingleCellResult aggregates one single-cell run.
+type SingleCellResult struct {
+	// Requested and Accepted count connection requests.
+	Requested int
+	Accepted  int
+	// ByClass splits the acceptance ratio per service class.
+	ByClass map[traffic.Class]*metrics.Ratio
+	// Occupancy summarises the station occupancy (in BU) sampled at
+	// every arrival.
+	Occupancy metrics.Summary
+	// MeanCv summarises the FLC1-visible prediction inputs actually
+	// measured (only meaningful for controllers that use them).
+	MeanObservedAngleDeg metrics.Summary
+	MeanObservedSpeedKmh metrics.Summary
+	// Queueing-extension outcomes (zero unless QueueTextRequests).
+	// Queued counts text requests held in the NRNA queue; QueuedAccepted
+	// counts those eventually admitted; QueueWait summarises the waiting
+	// time of admitted queued requests in seconds.
+	Queued         int
+	QueuedAccepted int
+	QueueWait      metrics.Summary
+}
+
+// AcceptedPct returns the paper's y-axis: 100 * accepted / requested.
+func (r SingleCellResult) AcceptedPct() float64 {
+	if r.Requested == 0 {
+		return 0
+	}
+	return 100 * float64(r.Accepted) / float64(r.Requested)
+}
+
+// RunSingleCell executes the single-cell scenario and returns aggregate
+// acceptance statistics.
+func RunSingleCell(cfg SingleCellConfig) (SingleCellResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return SingleCellResult{}, err
+	}
+	bs, err := cell.NewBaseStation(geo.Hex{}, geo.Point{}, cfg.CapacityBU)
+	if err != nil {
+		return SingleCellResult{}, err
+	}
+	gen, err := traffic.NewGenerator(traffic.GeneratorConfig{
+		Mix:              cfg.Mix,
+		MeanInterarrival: cfg.WindowSec / float64(cfg.NumRequests),
+		MeanHolding:      cfg.MeanHoldingSec,
+	}, sim.NewStream(cfg.Seed, "traffic"))
+	if err != nil {
+		return SingleCellResult{}, err
+	}
+	run := &singleCellRun{
+		cfg:     cfg,
+		bs:      bs,
+		userRNG: sim.NewStream(cfg.Seed, "users"),
+		gpsRNG:  sim.NewStream(cfg.Seed, "gps"),
+		result: SingleCellResult{
+			ByClass: map[traffic.Class]*metrics.Ratio{
+				traffic.Text:  {},
+				traffic.Voice: {},
+				traffic.Video: {},
+			},
+		},
+	}
+	run.observer, _ = cfg.Controller.(cac.Observer)
+	if cfg.QueueTextRequests {
+		run.grader, _ = cfg.Controller.(grader)
+	}
+	sched := sim.NewScheduler()
+	for _, req := range gen.Take(cfg.NumRequests) {
+		req := req
+		if _, err := sched.At(req.ArrivalTime, func(s *sim.Scheduler) {
+			run.arrive(s, req)
+		}); err != nil {
+			return SingleCellResult{}, err
+		}
+	}
+	sched.Run(0)
+	// Requests still queued at the end of the run were never admitted.
+	for _, q := range run.queue {
+		run.result.ByClass[q.class].Observe(false)
+	}
+	if run.err != nil {
+		return SingleCellResult{}, run.err
+	}
+	return run.result, nil
+}
+
+// grader is the optional controller capability the queueing extension
+// needs: access to the soft decision grade (FACS exposes it through
+// Evaluate).
+type grader interface {
+	Evaluate(obs gps.Observation, requestBU, usedBU int, handoff bool) (ifacs.Evaluation, error)
+}
+
+// queuedRequest is one text request waiting in the NRNA queue.
+type queuedRequest struct {
+	id         int
+	class      traffic.Class
+	bu         int
+	obs        gps.Observation
+	est        gps.Estimate
+	holding    float64
+	enqueuedAt float64
+	deadline   float64
+}
+
+type singleCellRun struct {
+	cfg      SingleCellConfig
+	bs       *cell.BaseStation
+	userRNG  *rand.Rand
+	gpsRNG   *rand.Rand
+	observer cac.Observer
+	grader   grader
+	queue    []queuedRequest
+	result   SingleCellResult
+	err      error
+}
+
+// arrive handles one connection request.
+func (r *singleCellRun) arrive(s *sim.Scheduler, req traffic.Request) {
+	if r.err != nil {
+		return
+	}
+	obs, est, err := observeUser(r.cfg, r.userRNG, r.gpsRNG)
+	if err != nil {
+		r.err = err
+		return
+	}
+	r.result.Occupancy.Add(float64(r.bs.Used()))
+	r.result.MeanObservedAngleDeg.Add(math.Abs(obs.AngleDeg))
+	r.result.MeanObservedSpeedKmh.Add(obs.SpeedKmh)
+	cacReq := cac.Request{
+		Call: cell.Call{
+			ID:         req.ID,
+			Class:      req.Class,
+			BU:         req.BU,
+			AdmittedAt: s.Now(),
+		},
+		Station: r.bs,
+		Obs:     obs,
+		Est:     est,
+		Now:     s.Now(),
+	}
+	decision, err := r.cfg.Controller.Decide(cacReq)
+	if err != nil {
+		r.err = err
+		return
+	}
+	r.result.Requested++
+	if decision.Accepted() {
+		r.result.ByClass[req.Class].Observe(true)
+		r.admit(s, cacReq, req.HoldingTime)
+		return
+	}
+	// Queueing extension: hold NRNA text requests instead of rejecting.
+	if r.grader != nil && req.Class == traffic.Text {
+		ev, err := r.grader.Evaluate(obs, req.BU, r.bs.Used(), false)
+		if err != nil {
+			r.err = err
+			return
+		}
+		if ev.Grade == ifacs.GradeNRNA {
+			r.queue = append(r.queue, queuedRequest{
+				id:         req.ID,
+				class:      req.Class,
+				bu:         req.BU,
+				obs:        obs,
+				est:        est,
+				holding:    req.HoldingTime,
+				enqueuedAt: s.Now(),
+				deadline:   s.Now() + r.cfg.MaxQueueWaitSec,
+			})
+			r.result.Queued++
+			return // outcome decided later
+		}
+	}
+	r.result.ByClass[req.Class].Observe(false)
+}
+
+// admit allocates the call and schedules its release.
+func (r *singleCellRun) admit(s *sim.Scheduler, cacReq cac.Request, holding float64) {
+	if err := r.bs.Admit(cacReq.Call); err != nil {
+		r.err = fmt.Errorf("experiments: controller accepted an unfittable call: %w", err)
+		return
+	}
+	r.result.Accepted++
+	if r.observer != nil {
+		r.observer.OnAdmit(cacReq)
+	}
+	callID := cacReq.Call.ID
+	if _, err := s.After(holding, func(s *sim.Scheduler) {
+		if _, err := r.bs.Release(callID); err != nil {
+			r.err = err
+			return
+		}
+		if r.observer != nil {
+			r.observer.OnRelease(callID, r.bs, s.Now())
+		}
+		r.drainQueue(s)
+	}); err != nil {
+		r.err = err
+	}
+}
+
+// drainQueue retries queued text requests after bandwidth was released.
+func (r *singleCellRun) drainQueue(s *sim.Scheduler) {
+	if r.err != nil || len(r.queue) == 0 {
+		return
+	}
+	var remaining []queuedRequest
+	for _, q := range r.queue {
+		if r.err != nil {
+			remaining = append(remaining, q)
+			continue
+		}
+		if s.Now() > q.deadline {
+			r.result.ByClass[q.class].Observe(false)
+			continue
+		}
+		cacReq := cac.Request{
+			Call: cell.Call{
+				ID:         q.id,
+				Class:      q.class,
+				BU:         q.bu,
+				AdmittedAt: s.Now(),
+			},
+			Station: r.bs,
+			Obs:     q.obs,
+			Est:     q.est,
+			Now:     s.Now(),
+		}
+		decision, err := r.cfg.Controller.Decide(cacReq)
+		if err != nil {
+			r.err = err
+			remaining = append(remaining, q)
+			continue
+		}
+		if !decision.Accepted() {
+			remaining = append(remaining, q)
+			continue
+		}
+		r.result.ByClass[q.class].Observe(true)
+		r.result.QueuedAccepted++
+		r.result.QueueWait.Add(s.Now() - q.enqueuedAt)
+		r.admit(s, cacReq, q.holding)
+	}
+	r.queue = remaining
+}
+
+// observeUser samples one user's kinematics, runs the turning-walk /
+// GPS pipeline for the configured observation window, and returns the
+// admission-time observation relative to the base station at the origin.
+func observeUser(cfg SingleCellConfig, userRNG, gpsRNG *rand.Rand) (gps.Observation, gps.Estimate, error) {
+	distanceM := geo.KmToM(cfg.DistanceKm.Sample(userRNG))
+	bearingFromBS := sim.Uniform(userRNG, -180, 180)
+	pos := geo.Move(geo.Point{}, bearingFromBS, distanceM)
+	headingToBS := geo.BearingDeg(pos, geo.Point{})
+	heading := geo.NormalizeDeg(headingToBS + cfg.AngleOffsetDeg.Sample(userRNG))
+	speed := cfg.SpeedKmh.Sample(userRNG)
+
+	walk, err := mobility.NewTurningWalk(
+		mobility.State{Pos: pos, SpeedKmh: speed, HeadingDeg: heading},
+		mobility.TurningConfig{TurnSigmaDeg: cfg.TurnSigmaDeg, RefSpeedKmh: cfg.RefSpeedKmh},
+		userRNG,
+	)
+	if err != nil {
+		return gps.Observation{}, gps.Estimate{}, err
+	}
+	receiver, err := gps.NewReceiver(walk, gps.ReceiverConfig{
+		SampleInterval: 1,
+		NoiseSigmaM:    cfg.GPSNoiseM,
+	}, gpsRNG)
+	if err != nil {
+		return gps.Observation{}, gps.Estimate{}, err
+	}
+	estimator := gps.NewEstimator(5)
+	for _, fix := range receiver.Track(cfg.ObserveSteps) {
+		estimator.AddFix(fix)
+	}
+	est, ok := estimator.Estimate()
+	if !ok {
+		return gps.Observation{}, gps.Estimate{}, fmt.Errorf("experiments: estimator not ready after %d fixes", cfg.ObserveSteps)
+	}
+	return gps.Observe(est, geo.Point{}), est, nil
+}

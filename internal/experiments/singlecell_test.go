@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"facs/internal/cac"
+	"facs/internal/facs"
+	"facs/internal/sim"
+	"facs/internal/traffic"
+)
+
+func TestSpan(t *testing.T) {
+	rng := sim.NewRNG(1)
+	pinned := Pin(7)
+	for i := 0; i < 10; i++ {
+		if got := pinned.Sample(rng); got != 7 {
+			t.Fatalf("pinned sample = %v", got)
+		}
+	}
+	span := Span{Min: 2, Max: 5}
+	for i := 0; i < 1000; i++ {
+		x := span.Sample(rng)
+		if x < 2 || x >= 5 {
+			t.Fatalf("sample out of range: %v", x)
+		}
+	}
+	inverted := Span{Min: 5, Max: 2}
+	for i := 0; i < 100; i++ {
+		x := inverted.Sample(rng)
+		if x < 2 || x >= 5 {
+			t.Fatalf("inverted sample out of range: %v", x)
+		}
+	}
+	if err := (Span{Min: math.NaN()}).Validate(); err == nil {
+		t.Fatal("NaN span should be invalid")
+	}
+	if err := Pin(3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleCellValidation(t *testing.T) {
+	base := SingleCellConfig{Controller: facs.Must(), NumRequests: 10}
+	tests := []struct {
+		name   string
+		mutate func(*SingleCellConfig)
+	}{
+		{"no controller", func(c *SingleCellConfig) { c.Controller = nil }},
+		{"zero requests", func(c *SingleCellConfig) { c.NumRequests = 0 }},
+		{"negative window", func(c *SingleCellConfig) { c.WindowSec = -1 }},
+		{"negative holding", func(c *SingleCellConfig) { c.MeanHoldingSec = -1 }},
+		{"NaN span", func(c *SingleCellConfig) { c.SpeedKmh = Span{Min: math.NaN()} }},
+		{"one observe step", func(c *SingleCellConfig) { c.ObserveSteps = 1 }},
+		{"negative capacity", func(c *SingleCellConfig) { c.CapacityBU = -1 }},
+		{"bad mix", func(c *SingleCellConfig) { c.Mix = traffic.Mix{Text: -1} }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if _, err := RunSingleCell(cfg); err == nil {
+				t.Fatal("expected a validation error")
+			}
+		})
+	}
+}
+
+func TestRunSingleCellBasicAccounting(t *testing.T) {
+	res, err := RunSingleCell(SingleCellConfig{
+		Controller:  facs.Must(),
+		NumRequests: 50,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requested != 50 {
+		t.Fatalf("Requested = %d, want 50", res.Requested)
+	}
+	if res.Accepted < 0 || res.Accepted > res.Requested {
+		t.Fatalf("Accepted = %d out of range", res.Accepted)
+	}
+	if got := res.AcceptedPct(); got < 0 || got > 100 {
+		t.Fatalf("AcceptedPct = %v", got)
+	}
+	var classTotal uint64
+	for _, r := range res.ByClass {
+		classTotal += r.Total()
+	}
+	if classTotal != 50 {
+		t.Fatalf("per-class totals sum to %d, want 50", classTotal)
+	}
+	if res.Occupancy.Count() != 50 {
+		t.Fatalf("occupancy samples = %d, want 50", res.Occupancy.Count())
+	}
+	if res.Occupancy.Max() > 40 {
+		t.Fatalf("occupancy exceeded capacity: %v", res.Occupancy.Max())
+	}
+}
+
+func TestRunSingleCellDeterminism(t *testing.T) {
+	run := func() SingleCellResult {
+		res, err := RunSingleCell(SingleCellConfig{
+			Controller:  facs.Must(),
+			NumRequests: 40,
+			Seed:        11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Accepted != b.Accepted || a.Requested != b.Requested {
+		t.Fatalf("runs differ: %d/%d vs %d/%d", a.Accepted, a.Requested, b.Accepted, b.Requested)
+	}
+	if a.Occupancy.Mean() != b.Occupancy.Mean() {
+		t.Fatal("occupancy traces differ between identical runs")
+	}
+}
+
+func TestRunSingleCellSeedsDiffer(t *testing.T) {
+	run := func(seed int64) float64 {
+		res, err := RunSingleCell(SingleCellConfig{
+			Controller:  facs.Must(),
+			NumRequests: 60,
+			Seed:        seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Occupancy.Mean()
+	}
+	if run(1) == run(2) {
+		t.Fatal("different seeds should give different traces")
+	}
+}
+
+func TestRunSingleCellLightLoadAcceptsNearlyAll(t *testing.T) {
+	res, err := RunSingleCell(SingleCellConfig{
+		Controller:  facs.Must(),
+		NumRequests: 5,
+		SpeedKmh:    Pin(60),
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AcceptedPct() < 80 {
+		t.Fatalf("light load acceptance = %v%%, want >= 80%%", res.AcceptedPct())
+	}
+}
+
+// TestSingleCellSpeedOrdering asserts the paper's Fig. 7 headline: at high
+// load, faster users are accepted more often than walking users.
+func TestSingleCellSpeedOrdering(t *testing.T) {
+	mean := func(speed float64) float64 {
+		var acc float64
+		for seed := int64(1); seed <= 3; seed++ {
+			res, err := RunSingleCell(SingleCellConfig{
+				Controller:  facs.Must(),
+				NumRequests: 100,
+				SpeedKmh:    Pin(speed),
+				Seed:        seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc += res.AcceptedPct()
+		}
+		return acc / 3
+	}
+	slow, fast := mean(4), mean(60)
+	if fast < slow+10 {
+		t.Fatalf("Fig. 7 shape violated: 60 km/h %.1f%% vs 4 km/h %.1f%%", fast, slow)
+	}
+}
+
+// TestSingleCellAngleOrdering asserts the paper's Fig. 8 headline: users
+// heading straight at the BS are accepted more often than users heading
+// sideways.
+func TestSingleCellAngleOrdering(t *testing.T) {
+	mean := func(angle float64) float64 {
+		var acc float64
+		for seed := int64(1); seed <= 3; seed++ {
+			res, err := RunSingleCell(SingleCellConfig{
+				Controller:     facs.Must(),
+				NumRequests:    100,
+				AngleOffsetDeg: Pin(angle),
+				Seed:           seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc += res.AcceptedPct()
+		}
+		return acc / 3
+	}
+	straight, sideways := mean(0), mean(90)
+	if straight < sideways+5 {
+		t.Fatalf("Fig. 8 shape violated: angle 0 %.1f%% vs angle 90 %.1f%%", straight, sideways)
+	}
+}
+
+// TestSingleCellDistanceOrdering asserts the paper's Fig. 9 headline:
+// nearer users are accepted at least as often as distant users, with a
+// smaller gap than speed or angle produce.
+func TestSingleCellDistanceOrdering(t *testing.T) {
+	mean := func(dist float64) float64 {
+		var acc float64
+		for seed := int64(1); seed <= 3; seed++ {
+			res, err := RunSingleCell(SingleCellConfig{
+				Controller:  facs.Must(),
+				NumRequests: 100,
+				DistanceKm:  Pin(dist),
+				Seed:        seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc += res.AcceptedPct()
+		}
+		return acc / 3
+	}
+	near, far := mean(1), mean(10)
+	if near < far {
+		t.Fatalf("Fig. 9 shape violated: 1 km %.1f%% vs 10 km %.1f%%", near, far)
+	}
+}
+
+// TestSingleCellControllerComparison: complete sharing accepts at least as
+// much as FACS on the same workload (FACS trades admissions for QoS).
+func TestSingleCellControllerComparison(t *testing.T) {
+	run := func(ctrl cac.Controller) float64 {
+		res, err := RunSingleCell(SingleCellConfig{
+			Controller:  ctrl,
+			NumRequests: 100,
+			Seed:        5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AcceptedPct()
+	}
+	cs := run(cac.CompleteSharing{})
+	fa := run(facs.Must())
+	if cs < fa {
+		t.Fatalf("complete sharing (%.1f%%) should accept at least as much as FACS (%.1f%%)", cs, fa)
+	}
+}
+
+func TestQueueTextRequestsRaisesTextAcceptance(t *testing.T) {
+	base := SingleCellConfig{
+		Controller:  facs.Must(),
+		NumRequests: 100,
+		Seed:        4,
+	}
+	plain, err := RunSingleCell(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queuedCfg := base
+	queuedCfg.QueueTextRequests = true
+	queuedCfg.MaxQueueWaitSec = 60
+	queued, err := RunSingleCell(queuedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queued.Queued == 0 {
+		t.Fatal("heavy load should queue some NRNA text requests")
+	}
+	if queued.QueuedAccepted == 0 {
+		t.Fatal("some queued requests should eventually be admitted")
+	}
+	if queued.Accepted <= plain.Accepted {
+		t.Fatalf("queueing should raise acceptance: %d vs %d", queued.Accepted, plain.Accepted)
+	}
+	// Waits are bounded by the configured patience.
+	if queued.QueueWait.Max() > 60 {
+		t.Fatalf("queue wait %.1fs exceeds the 60s bound", queued.QueueWait.Max())
+	}
+	// Accounting stays consistent: every request gets exactly one
+	// per-class outcome.
+	var classTotal uint64
+	for _, r := range queued.ByClass {
+		classTotal += r.Total()
+	}
+	if classTotal != uint64(queued.Requested) {
+		t.Fatalf("per-class outcomes %d != requested %d", classTotal, queued.Requested)
+	}
+}
+
+func TestQueueTextRequestsIgnoredForGradelessControllers(t *testing.T) {
+	res, err := RunSingleCell(SingleCellConfig{
+		Controller:        cac.CompleteSharing{},
+		NumRequests:       60,
+		QueueTextRequests: true,
+		Seed:              1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queued != 0 {
+		t.Fatal("complete sharing exposes no grades; nothing should queue")
+	}
+}
+
+func TestQueueConfigValidation(t *testing.T) {
+	_, err := RunSingleCell(SingleCellConfig{
+		Controller:      facs.Must(),
+		NumRequests:     10,
+		MaxQueueWaitSec: -5,
+	})
+	if err == nil {
+		t.Fatal("negative queue wait should be rejected")
+	}
+}
+
+func TestQueueDeterminism(t *testing.T) {
+	run := func() SingleCellResult {
+		res, err := RunSingleCell(SingleCellConfig{
+			Controller:        facs.Must(),
+			NumRequests:       80,
+			QueueTextRequests: true,
+			Seed:              9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Accepted != b.Accepted || a.Queued != b.Queued || a.QueuedAccepted != b.QueuedAccepted {
+		t.Fatal("queueing runs are not deterministic")
+	}
+}

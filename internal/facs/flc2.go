@@ -1,0 +1,236 @@
+package facs
+
+import (
+	"fmt"
+
+	"facs/internal/fuzzy"
+)
+
+// FLC2 variable names (paper Section 3.2).
+const (
+	// VarCvIn is the FLC2 input carrying FLC1's output.
+	VarCvIn = "Cv"
+	// VarRequest is the requested bandwidth input (BU).
+	VarRequest = "R"
+	// VarCounter is the counter-state input (occupied BU).
+	VarCounter = "Cs"
+	// VarAR is the accept/reject output.
+	VarAR = "AR"
+)
+
+// Cv (as FLC2 input) terms T(Cv) = {Bad, Normal, Good}.
+const (
+	TermBad    = "B"
+	TermNormal = "N"
+	TermGood   = "G"
+)
+
+// Request terms T(R) = {Text, Voice, Video}.
+const (
+	TermText  = "T"
+	TermVoice = "Vo"
+	TermVideo = "Vi"
+)
+
+// Counter-state terms T(Cs) = {Small, Middle, Full}.
+const (
+	TermSmall = "S"
+	TermMid   = "M"
+	TermFull  = "F"
+)
+
+// Accept/Reject terms T(A/R) = {R, WR, NRNA, WA, A}.
+const (
+	TermReject     = "R"
+	TermWeakReject = "WR"
+	TermNRNA       = "NRNA"
+	TermWeakAccept = "WA"
+	TermAccept     = "A"
+)
+
+// frb2Row is one row of the paper's Table 2.
+type frb2Row struct {
+	Cv, R, Cs string
+	AR        string
+}
+
+// FRB2 is the paper's Table 2, all 27 rules in row order.
+var frb2 = [27]frb2Row{
+	{TermBad, TermText, TermSmall, TermAccept},
+	{TermBad, TermText, TermMid, TermNRNA},
+	{TermBad, TermText, TermFull, TermNRNA},
+	{TermBad, TermVoice, TermSmall, TermAccept},
+	{TermBad, TermVoice, TermMid, TermNRNA},
+	{TermBad, TermVoice, TermFull, TermWeakReject},
+	{TermBad, TermVideo, TermSmall, TermWeakAccept},
+	{TermBad, TermVideo, TermMid, TermNRNA},
+	{TermBad, TermVideo, TermFull, TermWeakReject},
+	{TermNormal, TermText, TermSmall, TermAccept},
+	{TermNormal, TermText, TermMid, TermNRNA},
+	{TermNormal, TermText, TermFull, TermNRNA},
+	{TermNormal, TermVoice, TermSmall, TermAccept},
+	{TermNormal, TermVoice, TermMid, TermNRNA},
+	{TermNormal, TermVoice, TermFull, TermNRNA},
+	{TermNormal, TermVideo, TermSmall, TermWeakAccept},
+	{TermNormal, TermVideo, TermMid, TermNRNA},
+	{TermNormal, TermVideo, TermFull, TermNRNA},
+	{TermGood, TermText, TermSmall, TermAccept},
+	{TermGood, TermText, TermMid, TermAccept},
+	{TermGood, TermText, TermFull, TermNRNA},
+	{TermGood, TermVoice, TermSmall, TermAccept},
+	{TermGood, TermVoice, TermMid, TermAccept},
+	{TermGood, TermVoice, TermFull, TermWeakReject},
+	{TermGood, TermVideo, TermSmall, TermAccept},
+	{TermGood, TermVideo, TermMid, TermAccept},
+	{TermGood, TermVideo, TermFull, TermReject},
+}
+
+// FRB2Rules returns the paper's Table 2 as engine rules, in row order.
+func FRB2Rules() []fuzzy.Rule {
+	rules := make([]fuzzy.Rule, 0, len(frb2))
+	for _, row := range frb2 {
+		rules = append(rules, fuzzy.Rule{
+			If: []fuzzy.Clause{
+				{Var: VarCvIn, Term: row.Cv},
+				{Var: VarRequest, Term: row.R},
+				{Var: VarCounter, Term: row.Cs},
+			},
+			Then:   fuzzy.Clause{Var: VarAR, Term: row.AR},
+			Weight: 1,
+		})
+	}
+	return rules
+}
+
+// NewCvInputVariable builds the FLC2 input Cv per paper Fig. 6(a):
+// Bad/Normal/Good triangles over [0, 1].
+func NewCvInputVariable(p Params) (*fuzzy.Variable, error) {
+	bad, err := fuzzy.NewTriangular(0, 0, p.CvNormalCenter)
+	if err != nil {
+		return nil, fmt.Errorf("facs: cv %s: %w", TermBad, err)
+	}
+	normal, err := fuzzy.NewTriangular(p.CvNormalCenter, p.CvNormalCenter, 1-p.CvNormalCenter)
+	if err != nil {
+		return nil, fmt.Errorf("facs: cv %s: %w", TermNormal, err)
+	}
+	good, err := fuzzy.NewTriangular(1, 1-p.CvNormalCenter, 0)
+	if err != nil {
+		return nil, fmt.Errorf("facs: cv %s: %w", TermGood, err)
+	}
+	return fuzzy.NewVariable(VarCvIn, 0, 1,
+		fuzzy.Term{Name: TermBad, MF: bad},
+		fuzzy.Term{Name: TermNormal, MF: normal},
+		fuzzy.Term{Name: TermGood, MF: good},
+	)
+}
+
+// NewRequestVariable builds the FLC2 input R per paper Fig. 6(b):
+// Text/Voice/Video triangles over [0, RequestMax] BU.
+func NewRequestVariable(p Params) (*fuzzy.Variable, error) {
+	text, err := fuzzy.NewTriangular(0, 0, p.VoiceCenter)
+	if err != nil {
+		return nil, fmt.Errorf("facs: request %s: %w", TermText, err)
+	}
+	voice, err := fuzzy.NewTriangular(p.VoiceCenter, p.VoiceCenter, p.RequestMax-p.VoiceCenter)
+	if err != nil {
+		return nil, fmt.Errorf("facs: request %s: %w", TermVoice, err)
+	}
+	video, err := fuzzy.NewTriangular(p.RequestMax, p.RequestMax-p.VoiceCenter, 0)
+	if err != nil {
+		return nil, fmt.Errorf("facs: request %s: %w", TermVideo, err)
+	}
+	return fuzzy.NewVariable(VarRequest, 0, p.RequestMax,
+		fuzzy.Term{Name: TermText, MF: text},
+		fuzzy.Term{Name: TermVoice, MF: voice},
+		fuzzy.Term{Name: TermVideo, MF: video},
+	)
+}
+
+// NewCounterVariable builds the FLC2 input Cs per paper Fig. 6(c):
+// Small/Middle/Full triangles over [0, CapacityBU].
+func NewCounterVariable(p Params) (*fuzzy.Variable, error) {
+	mid := p.CapacityBU / 2
+	small, err := fuzzy.NewTriangular(0, 0, mid)
+	if err != nil {
+		return nil, fmt.Errorf("facs: counter %s: %w", TermSmall, err)
+	}
+	middle, err := fuzzy.NewTriangular(mid, mid, mid)
+	if err != nil {
+		return nil, fmt.Errorf("facs: counter %s: %w", TermMid, err)
+	}
+	full, err := fuzzy.NewTriangular(p.CapacityBU, mid, 0)
+	if err != nil {
+		return nil, fmt.Errorf("facs: counter %s: %w", TermFull, err)
+	}
+	return fuzzy.NewVariable(VarCounter, 0, p.CapacityBU,
+		fuzzy.Term{Name: TermSmall, MF: small},
+		fuzzy.Term{Name: TermMid, MF: middle},
+		fuzzy.Term{Name: TermFull, MF: full},
+	)
+}
+
+// NewARVariable builds the FLC2 output per paper Fig. 6(d): five terms
+// over [-1, 1] with shoulder trapezoids for Reject and Accept.
+func NewARVariable(p Params) (*fuzzy.Variable, error) {
+	reject, err := fuzzy.NewTrapezoidal(-1, -1+p.ARShoulderPlateau, 0, p.ARSpacing)
+	if err != nil {
+		return nil, fmt.Errorf("facs: a/r %s: %w", TermReject, err)
+	}
+	accept, err := fuzzy.NewTrapezoidal(1-p.ARShoulderPlateau, 1, p.ARSpacing, 0)
+	if err != nil {
+		return nil, fmt.Errorf("facs: a/r %s: %w", TermAccept, err)
+	}
+	tri := func(name string, center float64) (fuzzy.Term, error) {
+		mf, err := fuzzy.NewTriangular(center, p.ARSpacing, p.ARSpacing)
+		if err != nil {
+			return fuzzy.Term{}, fmt.Errorf("facs: a/r %s: %w", name, err)
+		}
+		return fuzzy.Term{Name: name, MF: mf}, nil
+	}
+	wr, err := tri(TermWeakReject, -p.ARSpacing)
+	if err != nil {
+		return nil, err
+	}
+	nrna, err := tri(TermNRNA, 0)
+	if err != nil {
+		return nil, err
+	}
+	wa, err := tri(TermWeakAccept, p.ARSpacing)
+	if err != nil {
+		return nil, err
+	}
+	return fuzzy.NewVariable(VarAR, -1, 1,
+		fuzzy.Term{Name: TermReject, MF: reject},
+		wr, nrna, wa,
+		fuzzy.Term{Name: TermAccept, MF: accept},
+	)
+}
+
+// NewFLC2 compiles the admission controller with the paper's variables
+// and FRB2.
+func NewFLC2(p Params, opts ...fuzzy.Option) (*fuzzy.Engine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cv, err := NewCvInputVariable(p)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewRequestVariable(p)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := NewCounterVariable(p)
+	if err != nil {
+		return nil, err
+	}
+	ar, err := NewARVariable(p)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := fuzzy.NewEngine([]*fuzzy.Variable{cv, r, cs}, ar, FRB2Rules(), opts...)
+	if err != nil {
+		return nil, fmt.Errorf("facs: compiling FLC2: %w", err)
+	}
+	return eng, nil
+}

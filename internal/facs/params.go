@@ -1,0 +1,140 @@
+// Package facs implements the paper's contribution: the Fuzzy Admission
+// Control System. It wires two Mamdani controllers in series —
+//
+//	FLC1 (prediction): Speed, Angle, Distance      -> Correction value Cv
+//	FLC2 (admission):  Cv, Request, Counter state  -> Accept/Reject  A/R
+//
+// with the exact term sets, membership-function shapes (paper Figs. 5, 6)
+// and rule bases FRB1/FRB2 (paper Tables 1, 2).
+package facs
+
+import (
+	"fmt"
+)
+
+// Params holds every membership-function break-point of both controllers.
+// The defaults encode the layouts read off the paper's Figs. 5 and 6; the
+// paper publishes the figures rather than numeric tables, so the axis tick
+// marks pin the values (documented per field below).
+type Params struct {
+	// Speed (FLC1 input S, km/h, universe [0, SpeedMax]). Fig. 5(a) ticks
+	// at 0, 15, 30, 60, 120: Slow plateaus on [0, SlowPlateauEnd] and
+	// falls to zero at MiddleCenter; Middle is a triangle with feet at
+	// SlowPlateauEnd and FastPlateauStart; Fast rises from MiddleCenter
+	// and plateaus on [FastPlateauStart, SpeedMax].
+	SpeedMax         float64
+	SlowPlateauEnd   float64
+	MiddleCenter     float64
+	FastPlateauStart float64
+
+	// Angle (FLC1 input A, degrees, universe [-AngleMax, AngleMax]).
+	// Fig. 5(b) ticks at -180, -135, -90, -45, 0, 45, 90, 135, 180:
+	// Back1 plateaus on [-180, -BackPlateauStart] and falls to zero at
+	// -SideCenter2... the seven terms are symmetric triangles of
+	// half-width AngleHalfWidth centred every AngleHalfWidth degrees,
+	// with trapezoidal shoulders for Back1/Back2.
+	AngleMax         float64
+	BackPlateauStart float64 // |angle| at which the Back plateau begins (135)
+	AngleHalfWidth   float64 // triangle half-width and centre spacing (45)
+
+	// Distance (FLC1 input D, km, universe [0, DistanceMax]). Fig. 5(c)
+	// ticks at 0 and 10: Near falls linearly from 1 at 0 to 0 at
+	// DistanceMax; Far rises linearly from 0 at 0 to 1 at DistanceMax.
+	DistanceMax float64
+
+	// Correction value (FLC1 output / FLC2 input, universe [0, 1]).
+	// Fig. 5(d): nine terms Cv1..Cv9 spaced CvSpacing apart with
+	// trapezoidal shoulders of plateau CvShoulderPlateau at both ends.
+	CvSpacing         float64
+	CvShoulderPlateau float64
+
+	// FLC2 input Cv partition (Fig. 6(a) ticks 0, 0.5, 1): Bad/Normal/
+	// Good triangles centred at 0, CvNormalCenter and 1.
+	CvNormalCenter float64
+
+	// Request (FLC2 input R, BU, universe [0, RequestMax]). Fig. 6(b)
+	// ticks 0, 5, 10: Text/Voice/Video triangles centred at 0,
+	// VoiceCenter and RequestMax.
+	RequestMax  float64
+	VoiceCenter float64
+
+	// Counter state (FLC2 input Cs, BU, universe [0, CapacityBU]).
+	// Fig. 6(c) ticks 0, 20, 40: Small/Middle/Full triangles centred at
+	// 0, CapacityBU/2 and CapacityBU.
+	CapacityBU float64
+
+	// Accept/Reject (FLC2 output, universe [-1, 1]). Fig. 6(d): five
+	// terms Reject, WeakReject, NotRejectNotAccept, WeakAccept, Accept
+	// centred every ARSpacing with trapezoidal shoulders of plateau
+	// ARShoulderPlateau at both ends.
+	ARSpacing         float64
+	ARShoulderPlateau float64
+}
+
+// DefaultParams returns the paper's layout.
+func DefaultParams() Params {
+	return Params{
+		SpeedMax:         120,
+		SlowPlateauEnd:   15,
+		MiddleCenter:     30,
+		FastPlateauStart: 60,
+
+		AngleMax:         180,
+		BackPlateauStart: 135,
+		AngleHalfWidth:   45,
+
+		DistanceMax: 10,
+
+		CvSpacing:         0.125,
+		CvShoulderPlateau: 0.0625,
+
+		CvNormalCenter: 0.5,
+
+		RequestMax:  10,
+		VoiceCenter: 5,
+
+		CapacityBU: 40,
+
+		ARSpacing:         0.5,
+		ARShoulderPlateau: 0.25,
+	}
+}
+
+// Validate checks internal consistency of the break-points.
+func (p Params) Validate() error {
+	switch {
+	case !(p.SpeedMax > 0):
+		return fmt.Errorf("facs: SpeedMax must be > 0, got %v", p.SpeedMax)
+	case !(p.SlowPlateauEnd > 0) || p.SlowPlateauEnd >= p.MiddleCenter:
+		return fmt.Errorf("facs: need 0 < SlowPlateauEnd (%v) < MiddleCenter (%v)", p.SlowPlateauEnd, p.MiddleCenter)
+	case p.MiddleCenter >= p.FastPlateauStart:
+		return fmt.Errorf("facs: need MiddleCenter (%v) < FastPlateauStart (%v)", p.MiddleCenter, p.FastPlateauStart)
+	case p.FastPlateauStart >= p.SpeedMax:
+		return fmt.Errorf("facs: need FastPlateauStart (%v) < SpeedMax (%v)", p.FastPlateauStart, p.SpeedMax)
+	case p.AngleMax != 180:
+		return fmt.Errorf("facs: AngleMax must be 180, got %v", p.AngleMax)
+	case !(p.AngleHalfWidth > 0) || p.AngleHalfWidth > 90:
+		return fmt.Errorf("facs: AngleHalfWidth must be in (0, 90], got %v", p.AngleHalfWidth)
+	case p.BackPlateauStart <= 2*p.AngleHalfWidth || p.BackPlateauStart >= p.AngleMax:
+		return fmt.Errorf("facs: BackPlateauStart (%v) must lie between 2*AngleHalfWidth and AngleMax", p.BackPlateauStart)
+	case !(p.DistanceMax > 0):
+		return fmt.Errorf("facs: DistanceMax must be > 0, got %v", p.DistanceMax)
+	case !(p.CvSpacing > 0) || p.CvSpacing*8 > 1:
+		return fmt.Errorf("facs: CvSpacing must be in (0, 0.125], got %v", p.CvSpacing)
+	case p.CvShoulderPlateau < 0 || p.CvShoulderPlateau >= p.CvSpacing*8:
+		return fmt.Errorf("facs: CvShoulderPlateau out of range: %v", p.CvShoulderPlateau)
+	case !(p.CvNormalCenter > 0) || p.CvNormalCenter >= 1:
+		return fmt.Errorf("facs: CvNormalCenter must be in (0, 1), got %v", p.CvNormalCenter)
+	case !(p.RequestMax > 0):
+		return fmt.Errorf("facs: RequestMax must be > 0, got %v", p.RequestMax)
+	case !(p.VoiceCenter > 0) || p.VoiceCenter >= p.RequestMax:
+		return fmt.Errorf("facs: VoiceCenter must be in (0, RequestMax), got %v", p.VoiceCenter)
+	case !(p.CapacityBU > 0):
+		return fmt.Errorf("facs: CapacityBU must be > 0, got %v", p.CapacityBU)
+	case !(p.ARSpacing > 0) || p.ARSpacing*4 > 2:
+		return fmt.Errorf("facs: ARSpacing must be in (0, 0.5], got %v", p.ARSpacing)
+	case p.ARShoulderPlateau < 0 || p.ARShoulderPlateau >= 1:
+		return fmt.Errorf("facs: ARShoulderPlateau out of range: %v", p.ARShoulderPlateau)
+	}
+	return nil
+}

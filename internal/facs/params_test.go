@@ -1,0 +1,143 @@
+package facs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("defaults must validate: %v", err)
+	}
+}
+
+// TestParamsValidateEveryBranch invalidates each break-point in turn and
+// checks that Validate catches it with a field-specific message.
+func TestParamsValidateEveryBranch(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Params)
+		wantSub string
+	}{
+		{"zero speed max", func(p *Params) { p.SpeedMax = 0 }, "SpeedMax"},
+		{"slow plateau beyond middle", func(p *Params) { p.SlowPlateauEnd = 35 }, "SlowPlateauEnd"},
+		{"zero slow plateau", func(p *Params) { p.SlowPlateauEnd = 0 }, "SlowPlateauEnd"},
+		{"middle beyond fast", func(p *Params) { p.MiddleCenter = 70 }, "MiddleCenter"},
+		{"fast beyond max", func(p *Params) { p.FastPlateauStart = 130 }, "FastPlateauStart"},
+		{"angle max not 180", func(p *Params) { p.AngleMax = 90 }, "AngleMax"},
+		{"angle half width zero", func(p *Params) { p.AngleHalfWidth = 0 }, "AngleHalfWidth"},
+		{"angle half width too wide", func(p *Params) { p.AngleHalfWidth = 91 }, "AngleHalfWidth"},
+		{"back plateau too early", func(p *Params) { p.BackPlateauStart = 80 }, "BackPlateauStart"},
+		{"back plateau at max", func(p *Params) { p.BackPlateauStart = 180 }, "BackPlateauStart"},
+		{"zero distance", func(p *Params) { p.DistanceMax = 0 }, "DistanceMax"},
+		{"zero cv spacing", func(p *Params) { p.CvSpacing = 0 }, "CvSpacing"},
+		{"cv spacing too wide", func(p *Params) { p.CvSpacing = 0.2 }, "CvSpacing"},
+		{"cv shoulder negative", func(p *Params) { p.CvShoulderPlateau = -0.1 }, "CvShoulderPlateau"},
+		{"cv shoulder too wide", func(p *Params) { p.CvShoulderPlateau = 1.5 }, "CvShoulderPlateau"},
+		{"cv normal centre at 0", func(p *Params) { p.CvNormalCenter = 0 }, "CvNormalCenter"},
+		{"cv normal centre at 1", func(p *Params) { p.CvNormalCenter = 1 }, "CvNormalCenter"},
+		{"zero request max", func(p *Params) { p.RequestMax = 0 }, "RequestMax"},
+		{"voice centre at zero", func(p *Params) { p.VoiceCenter = 0 }, "VoiceCenter"},
+		{"voice centre beyond max", func(p *Params) { p.VoiceCenter = 10 }, "VoiceCenter"},
+		{"zero capacity", func(p *Params) { p.CapacityBU = 0 }, "CapacityBU"},
+		{"zero ar spacing", func(p *Params) { p.ARSpacing = 0 }, "ARSpacing"},
+		{"ar spacing too wide", func(p *Params) { p.ARSpacing = 0.6 }, "ARSpacing"},
+		{"ar shoulder negative", func(p *Params) { p.ARShoulderPlateau = -0.5 }, "ARShoulderPlateau"},
+		{"ar shoulder too wide", func(p *Params) { p.ARShoulderPlateau = 1 }, "ARShoulderPlateau"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultParams()
+			tc.mutate(&p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatal("expected a validation error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestScaledParamsStillCompile checks that a uniformly rescaled layout
+// (double capacity, compressed speed range) builds working controllers:
+// the break-points are genuinely parametric, not hard-coded.
+func TestScaledParamsStillCompile(t *testing.T) {
+	p := DefaultParams()
+	p.SpeedMax = 200
+	p.SlowPlateauEnd = 25
+	p.MiddleCenter = 50
+	p.FastPlateauStart = 100
+	p.CapacityBU = 80
+	p.RequestMax = 20
+	p.VoiceCenter = 10
+	flc1, err := NewFLC1(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flc2, err := NewFLC2(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := flc1.EvaluateVec(100, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv < 0.8 {
+		t.Fatalf("fast inbound user should predict well under scaled params, Cv=%v", cv)
+	}
+	ar, err := flc2.EvaluateVec(cv, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar < DefaultAcceptThreshold {
+		t.Fatalf("empty scaled cell should accept, AR=%v", ar)
+	}
+}
+
+// TestVariableBuildersRejectDegenerateParams drives the error branches of
+// every variable builder with params that pass Validate-independent
+// checks but produce impossible shapes.
+func TestVariableBuildersRejectDegenerateParams(t *testing.T) {
+	bad := DefaultParams()
+	bad.SlowPlateauEnd = -15 // negative plateau end: trapezoid edges invert
+	if _, err := NewSpeedVariable(bad); err == nil {
+		t.Fatal("degenerate speed params should fail")
+	}
+	badAngle := DefaultParams()
+	badAngle.BackPlateauStart = 200 // plateau beyond the universe edge
+	if _, err := NewAngleVariable(badAngle); err == nil {
+		t.Fatal("degenerate angle params should fail")
+	}
+	badDist := DefaultParams()
+	badDist.DistanceMax = -1
+	if _, err := NewDistanceVariable(badDist); err == nil {
+		t.Fatal("degenerate distance params should fail")
+	}
+	badCv := DefaultParams()
+	badCv.CvSpacing = -0.125
+	if _, err := NewCvVariable(badCv); err == nil {
+		t.Fatal("degenerate Cv params should fail")
+	}
+	badCvIn := DefaultParams()
+	badCvIn.CvNormalCenter = -0.5
+	if _, err := NewCvInputVariable(badCvIn); err == nil {
+		t.Fatal("degenerate Cv-input params should fail")
+	}
+	badReq := DefaultParams()
+	badReq.VoiceCenter = -5
+	if _, err := NewRequestVariable(badReq); err == nil {
+		t.Fatal("degenerate request params should fail")
+	}
+	badCs := DefaultParams()
+	badCs.CapacityBU = -40
+	if _, err := NewCounterVariable(badCs); err == nil {
+		t.Fatal("degenerate counter params should fail")
+	}
+	badAR := DefaultParams()
+	badAR.ARSpacing = -0.5
+	if _, err := NewARVariable(badAR); err == nil {
+		t.Fatal("degenerate A/R params should fail")
+	}
+}

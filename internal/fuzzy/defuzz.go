@@ -1,0 +1,185 @@
+package fuzzy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoRuleFired is returned when an evaluation activates no rule at all,
+// leaving the aggregated output fuzzy set empty. Controllers built on a
+// complete rule base over covering partitions never see this error.
+var ErrNoRuleFired = errors.New("fuzzy: no rule fired")
+
+// Defuzzifier converts the aggregated output fuzzy set of one evaluation
+// into a crisp value.
+type Defuzzifier interface {
+	// Defuzzify reduces agg to a crisp value within the output universe.
+	// resolution is the sample count used by integral methods (>= 2).
+	Defuzzify(agg *AggregatedOutput, resolution int) (float64, error)
+	// Name identifies the method, e.g. "centroid".
+	Name() string
+}
+
+// Centroid is the centre-of-area defuzzifier: the integral-weighted mean of
+// the aggregated output set, computed by sampling the universe. It is the
+// most common Mamdani defuzzifier and the package default.
+type Centroid struct{}
+
+var _ Defuzzifier = Centroid{}
+
+// Name implements Defuzzifier.
+func (Centroid) Name() string { return "centroid" }
+
+// Defuzzify implements Defuzzifier.
+func (Centroid) Defuzzify(agg *AggregatedOutput, resolution int) (float64, error) {
+	if agg.Empty() {
+		return 0, ErrNoRuleFired
+	}
+	if resolution < 2 {
+		resolution = 2
+	}
+	min, max := agg.Variable().Universe()
+	step := (max - min) / float64(resolution-1)
+	var num, den float64
+	for i := 0; i < resolution; i++ {
+		y := min + float64(i)*step
+		m := agg.At(y)
+		num += y * m
+		den += m
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("fuzzy: centroid is undefined: aggregated area is zero at resolution %d", resolution)
+	}
+	return num / den, nil
+}
+
+// Bisector is the bisector-of-area defuzzifier: the point that splits the
+// aggregated output area into two halves.
+type Bisector struct{}
+
+var _ Defuzzifier = Bisector{}
+
+// Name implements Defuzzifier.
+func (Bisector) Name() string { return "bisector" }
+
+// Defuzzify implements Defuzzifier.
+func (Bisector) Defuzzify(agg *AggregatedOutput, resolution int) (float64, error) {
+	if agg.Empty() {
+		return 0, ErrNoRuleFired
+	}
+	if resolution < 2 {
+		resolution = 2
+	}
+	min, max := agg.Variable().Universe()
+	step := (max - min) / float64(resolution-1)
+	samples := make([]float64, resolution)
+	var total float64
+	for i := range samples {
+		samples[i] = agg.At(min + float64(i)*step)
+		total += samples[i]
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("fuzzy: bisector is undefined: aggregated area is zero at resolution %d", resolution)
+	}
+	var acc float64
+	for i, m := range samples {
+		acc += m
+		if acc >= total/2 {
+			return min + float64(i)*step, nil
+		}
+	}
+	return max, nil
+}
+
+// MeanOfMaxima defuzzifies to the mean of the sample points at which the
+// aggregated output attains its maximum membership.
+type MeanOfMaxima struct{}
+
+var _ Defuzzifier = MeanOfMaxima{}
+
+// Name implements Defuzzifier.
+func (MeanOfMaxima) Name() string { return "mean-of-maxima" }
+
+// Defuzzify implements Defuzzifier.
+func (MeanOfMaxima) Defuzzify(agg *AggregatedOutput, resolution int) (float64, error) {
+	if agg.Empty() {
+		return 0, ErrNoRuleFired
+	}
+	if resolution < 2 {
+		resolution = 2
+	}
+	min, max := agg.Variable().Universe()
+	step := (max - min) / float64(resolution-1)
+	const eps = 1e-12
+	var best, sum float64
+	var count int
+	for i := 0; i < resolution; i++ {
+		y := min + float64(i)*step
+		m := agg.At(y)
+		switch {
+		case m > best+eps:
+			best, sum, count = m, y, 1
+		case m >= best-eps && m > 0:
+			sum += y
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("fuzzy: mean-of-maxima is undefined: aggregated set is empty at resolution %d", resolution)
+	}
+	return sum / float64(count), nil
+}
+
+// WeightedAverage is the height (weighted-average) defuzzifier: the mean of
+// the output term centroids weighted by each term's aggregated firing
+// strength. It never integrates the aggregated set, making it the cheapest
+// method; the paper motivates triangular/trapezoidal shapes with real-time
+// operation, for which this is the natural fast path.
+//
+// Term centroids are precomputed lazily on first use and cached, so a
+// WeightedAverage value must not be copied after first use. Obtain one per
+// engine via NewWeightedAverage.
+type WeightedAverage struct {
+	centroids []float64
+	forVar    *Variable
+}
+
+var _ Defuzzifier = (*WeightedAverage)(nil)
+
+// NewWeightedAverage returns a height defuzzifier. The centroid cache binds
+// to the first output variable it sees.
+func NewWeightedAverage() *WeightedAverage { return &WeightedAverage{} }
+
+// Name implements Defuzzifier.
+func (*WeightedAverage) Name() string { return "weighted-average" }
+
+// Defuzzify implements Defuzzifier.
+func (w *WeightedAverage) Defuzzify(agg *AggregatedOutput, resolution int) (float64, error) {
+	if agg.Empty() {
+		return 0, ErrNoRuleFired
+	}
+	out := agg.Variable()
+	if w.forVar != out {
+		if resolution < 2 {
+			resolution = 2
+		}
+		w.centroids = make([]float64, out.NumTerms())
+		for i := range w.centroids {
+			w.centroids[i] = out.termCentroidAt(i, resolution)
+		}
+		w.forVar = out
+	}
+	var num, den float64
+	for i := 0; i < agg.NumTerms(); i++ {
+		s := agg.Strength(i)
+		if s == 0 {
+			continue
+		}
+		num += s * w.centroids[i]
+		den += s
+	}
+	if den == 0 {
+		return 0, ErrNoRuleFired
+	}
+	return num / den, nil
+}

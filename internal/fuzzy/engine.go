@@ -1,0 +1,312 @@
+package fuzzy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Engine is a compiled Mamdani fuzzy-logic controller: the fuzzifier,
+// inference engine, rule base and defuzzifier of the paper's Fig. 2, bound
+// to concrete linguistic variables.
+//
+// An Engine is immutable after construction and safe for concurrent use.
+type Engine struct {
+	inputs      []*Variable
+	inputIdx    map[string]int
+	output      *Variable
+	rules       []compiledRule
+	srcRules    []Rule
+	tnorm       TNorm
+	implication Implication
+	defuzz      Defuzzifier
+	resolution  int
+	totalTerms  int
+}
+
+type clauseRef struct {
+	varIdx  int
+	termIdx int
+}
+
+type compiledRule struct {
+	clauses []clauseRef
+	outTerm int
+	weight  float64
+}
+
+// Option configures an Engine at construction time.
+type Option func(*Engine)
+
+// WithTNorm selects the antecedent combination operator (default min).
+func WithTNorm(t TNorm) Option { return func(e *Engine) { e.tnorm = t } }
+
+// WithImplication selects the rule implication operator (default clip).
+func WithImplication(im Implication) Option { return func(e *Engine) { e.implication = im } }
+
+// WithDefuzzifier selects the defuzzification method (default Centroid).
+func WithDefuzzifier(d Defuzzifier) Option { return func(e *Engine) { e.defuzz = d } }
+
+// WithResolution sets the sample count used by integral defuzzifiers and
+// coverage checks (default 201, minimum 2).
+func WithResolution(n int) Option { return func(e *Engine) { e.resolution = n } }
+
+// NewEngine compiles a controller from its input variables, output variable
+// and rule base. Every rule clause must reference a declared variable and
+// term; a rule may omit input variables (it then fires regardless of them)
+// but must not reference the same variable twice. All variables must cover
+// their universes without holes.
+func NewEngine(inputs []*Variable, output *Variable, rules []Rule, opts ...Option) (*Engine, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("fuzzy: engine needs at least one input variable")
+	}
+	if output == nil {
+		return nil, fmt.Errorf("fuzzy: engine needs an output variable")
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("fuzzy: engine needs at least one rule")
+	}
+	e := &Engine{
+		inputs:      append([]*Variable(nil), inputs...),
+		inputIdx:    make(map[string]int, len(inputs)),
+		output:      output,
+		srcRules:    append([]Rule(nil), rules...),
+		tnorm:       TNormMin,
+		implication: ImplicationClip,
+		defuzz:      Centroid{},
+		resolution:  201,
+	}
+	for i, v := range e.inputs {
+		if v == nil {
+			return nil, fmt.Errorf("fuzzy: input variable %d is nil", i)
+		}
+		if _, dup := e.inputIdx[v.Name()]; dup {
+			return nil, fmt.Errorf("fuzzy: duplicate input variable %q", v.Name())
+		}
+		if v.Name() == output.Name() {
+			return nil, fmt.Errorf("fuzzy: output variable %q also appears as an input", v.Name())
+		}
+		e.inputIdx[v.Name()] = i
+		e.totalTerms += v.NumTerms()
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.resolution < 2 {
+		e.resolution = 2
+	}
+	for _, v := range e.inputs {
+		if err := v.CheckCoverage(e.resolution); err != nil {
+			return nil, err
+		}
+	}
+	if err := output.CheckCoverage(e.resolution); err != nil {
+		return nil, err
+	}
+	e.rules = make([]compiledRule, 0, len(rules))
+	for i, r := range rules {
+		cr, err := e.compileRule(r)
+		if err != nil {
+			return nil, fmt.Errorf("fuzzy: rule %d: %w", i, err)
+		}
+		e.rules = append(e.rules, cr)
+	}
+	// Prime cache-bearing defuzzifiers so that Evaluate stays read-only
+	// and therefore safe for concurrent use.
+	if wa, ok := e.defuzz.(*WeightedAverage); ok {
+		agg := &AggregatedOutput{out: e.output, strengths: make([]float64, e.output.NumTerms()), implication: e.implication}
+		agg.strengths[0] = 1
+		if _, err := wa.Defuzzify(agg, e.resolution); err != nil {
+			return nil, fmt.Errorf("fuzzy: priming weighted-average defuzzifier: %w", err)
+		}
+	}
+	return e, nil
+}
+
+// MustEngine is like NewEngine but panics on error. It is intended for
+// statically known controllers such as the paper's FLC1 and FLC2.
+func MustEngine(inputs []*Variable, output *Variable, rules []Rule, opts ...Option) *Engine {
+	e, err := NewEngine(inputs, output, rules, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (e *Engine) compileRule(r Rule) (compiledRule, error) {
+	if err := r.Validate(); err != nil {
+		return compiledRule{}, err
+	}
+	cr := compiledRule{clauses: make([]clauseRef, 0, len(r.If)), weight: r.Weight}
+	if cr.weight == 0 {
+		cr.weight = 1
+	}
+	seen := make(map[int]bool, len(r.If))
+	for _, c := range r.If {
+		vi, ok := e.inputIdx[c.Var]
+		if !ok {
+			return compiledRule{}, fmt.Errorf("unknown input variable %q", c.Var)
+		}
+		if seen[vi] {
+			return compiledRule{}, fmt.Errorf("variable %q referenced twice in one rule", c.Var)
+		}
+		seen[vi] = true
+		ti, ok := e.inputs[vi].TermIndex(c.Term)
+		if !ok {
+			return compiledRule{}, fmt.Errorf("variable %q has no term %q", c.Var, c.Term)
+		}
+		cr.clauses = append(cr.clauses, clauseRef{varIdx: vi, termIdx: ti})
+	}
+	if r.Then.Var != e.output.Name() {
+		return compiledRule{}, fmt.Errorf("consequent references %q, want output variable %q", r.Then.Var, e.output.Name())
+	}
+	ti, ok := e.output.TermIndex(r.Then.Term)
+	if !ok {
+		return compiledRule{}, fmt.Errorf("output variable %q has no term %q", e.output.Name(), r.Then.Term)
+	}
+	cr.outTerm = ti
+	return cr, nil
+}
+
+// Inputs returns the input variables in declaration order.
+func (e *Engine) Inputs() []*Variable { return append([]*Variable(nil), e.inputs...) }
+
+// Output returns the output variable.
+func (e *Engine) Output() *Variable { return e.output }
+
+// Rules returns a copy of the source rule base.
+func (e *Engine) Rules() []Rule { return append([]Rule(nil), e.srcRules...) }
+
+// NumRules returns the size of the rule base.
+func (e *Engine) NumRules() int { return len(e.rules) }
+
+// Evaluate runs one inference for the named crisp inputs. Every input
+// variable must be present in the map.
+func (e *Engine) Evaluate(inputs map[string]float64) (float64, error) {
+	vals := make([]float64, len(e.inputs))
+	for name, x := range inputs {
+		i, ok := e.inputIdx[name]
+		if !ok {
+			return 0, fmt.Errorf("fuzzy: engine has no input variable %q", name)
+		}
+		vals[i] = x
+	}
+	if len(inputs) != len(e.inputs) {
+		for _, v := range e.inputs {
+			if _, ok := inputs[v.Name()]; !ok {
+				return 0, fmt.Errorf("fuzzy: missing value for input variable %q", v.Name())
+			}
+		}
+	}
+	return e.EvaluateVec(vals...)
+}
+
+// EvaluateVec runs one inference with crisp inputs given in input
+// declaration order. It is the allocation-light fast path.
+func (e *Engine) EvaluateVec(vals ...float64) (float64, error) {
+	agg, err := e.Infer(vals)
+	if err != nil {
+		return 0, err
+	}
+	return e.defuzz.Defuzzify(agg, e.resolution)
+}
+
+// Infer runs fuzzification and rule aggregation, returning the aggregated
+// output fuzzy set without defuzzifying it.
+func (e *Engine) Infer(vals []float64) (*AggregatedOutput, error) {
+	if len(vals) != len(e.inputs) {
+		return nil, fmt.Errorf("fuzzy: got %d input values, want %d", len(vals), len(e.inputs))
+	}
+	degrees := make([]float64, e.totalTerms)
+	offsets := make([]int, len(e.inputs))
+	off := 0
+	for i, v := range e.inputs {
+		offsets[i] = off
+		v.FuzzifyInto(vals[i], degrees[off:off+v.NumTerms()])
+		off += v.NumTerms()
+	}
+	agg := &AggregatedOutput{
+		out:         e.output,
+		strengths:   make([]float64, e.output.NumTerms()),
+		implication: e.implication,
+	}
+	for _, r := range e.rules {
+		w := r.weight
+		for _, c := range r.clauses {
+			w = e.tnorm.Apply(w, degrees[offsets[c.varIdx]+c.termIdx])
+			if w == 0 {
+				break
+			}
+		}
+		if w > agg.strengths[r.outTerm] {
+			agg.strengths[r.outTerm] = w
+		}
+	}
+	return agg, nil
+}
+
+// RuleActivation reports the firing strength of one rule for one inference.
+type RuleActivation struct {
+	Index    int
+	Rule     Rule
+	Strength float64
+}
+
+// Explanation is a human-readable trace of one inference.
+type Explanation struct {
+	// Inputs holds the clamped crisp input values in declaration order.
+	Inputs []float64
+	// Fired lists rules with non-zero strength, strongest first.
+	Fired []RuleActivation
+	// Output is the defuzzified crisp result.
+	Output float64
+	// OutputTerm is the output term with the highest membership at Output.
+	OutputTerm string
+}
+
+// Explain runs one inference and reports which rules fired and how strongly.
+// It is intended for debugging, testing and interactive exploration rather
+// than hot paths.
+func (e *Engine) Explain(vals []float64) (*Explanation, error) {
+	if len(vals) != len(e.inputs) {
+		return nil, fmt.Errorf("fuzzy: got %d input values, want %d", len(vals), len(e.inputs))
+	}
+	clamped := make([]float64, len(vals))
+	for i, v := range e.inputs {
+		clamped[i] = v.Clamp(vals[i])
+	}
+	agg, err := e.Infer(vals)
+	if err != nil {
+		return nil, err
+	}
+	out, err := e.defuzz.Defuzzify(agg, e.resolution)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Explanation{
+		Inputs:     clamped,
+		Output:     out,
+		OutputTerm: e.output.HighestTerm(out),
+	}
+	degrees := make([]float64, e.totalTerms)
+	offsets := make([]int, len(e.inputs))
+	off := 0
+	for i, v := range e.inputs {
+		offsets[i] = off
+		v.FuzzifyInto(vals[i], degrees[off:off+v.NumTerms()])
+		off += v.NumTerms()
+	}
+	for i, r := range e.rules {
+		w := r.weight
+		for _, c := range r.clauses {
+			w = e.tnorm.Apply(w, degrees[offsets[c.varIdx]+c.termIdx])
+			if w == 0 {
+				break
+			}
+		}
+		if w > 0 {
+			ex.Fired = append(ex.Fired, RuleActivation{Index: i, Rule: e.srcRules[i], Strength: w})
+		}
+	}
+	sort.SliceStable(ex.Fired, func(a, b int) bool { return ex.Fired[a].Strength > ex.Fired[b].Strength })
+	return ex, nil
+}

@@ -1,0 +1,120 @@
+package fuzzy
+
+import "fmt"
+
+// TNorm selects how antecedent clause memberships are combined (fuzzy AND).
+type TNorm int
+
+// Supported t-norms.
+const (
+	// TNormMin is the Mamdani minimum t-norm (the paper's choice).
+	TNormMin TNorm = iota + 1
+	// TNormProduct is the algebraic product t-norm.
+	TNormProduct
+)
+
+// String implements fmt.Stringer.
+func (t TNorm) String() string {
+	switch t {
+	case TNormMin:
+		return "min"
+	case TNormProduct:
+		return "product"
+	default:
+		return fmt.Sprintf("TNorm(%d)", int(t))
+	}
+}
+
+// Apply combines two membership degrees.
+func (t TNorm) Apply(a, b float64) float64 {
+	switch t {
+	case TNormProduct:
+		return a * b
+	default: // TNormMin
+		if a < b {
+			return a
+		}
+		return b
+	}
+}
+
+// Implication selects how a rule's firing strength shapes its consequent
+// fuzzy set during Mamdani inference.
+type Implication int
+
+// Supported implication operators.
+const (
+	// ImplicationClip truncates the consequent at the firing strength
+	// (Mamdani min implication, the classical choice).
+	ImplicationClip Implication = iota + 1
+	// ImplicationScale multiplies the consequent by the firing strength
+	// (Larsen product implication).
+	ImplicationScale
+)
+
+// String implements fmt.Stringer.
+func (im Implication) String() string {
+	switch im {
+	case ImplicationClip:
+		return "clip"
+	case ImplicationScale:
+		return "scale"
+	default:
+		return fmt.Sprintf("Implication(%d)", int(im))
+	}
+}
+
+// Apply shapes membership degree m by firing strength w.
+func (im Implication) Apply(w, m float64) float64 {
+	switch im {
+	case ImplicationScale:
+		return w * m
+	default: // ImplicationClip
+		if m < w {
+			return m
+		}
+		return w
+	}
+}
+
+// AggregatedOutput is the union (max-aggregation) of all shaped consequent
+// sets for one evaluation. It is the function that the area-based
+// defuzzifiers integrate.
+type AggregatedOutput struct {
+	out         *Variable
+	strengths   []float64 // per output term, max across fired rules
+	implication Implication
+}
+
+// Variable returns the output linguistic variable.
+func (a *AggregatedOutput) Variable() *Variable { return a.out }
+
+// Strength returns the aggregated firing strength of the i-th output term.
+func (a *AggregatedOutput) Strength(i int) float64 { return a.strengths[i] }
+
+// NumTerms returns the number of output terms.
+func (a *AggregatedOutput) NumTerms() int { return len(a.strengths) }
+
+// At evaluates the aggregated output membership at crisp point y.
+func (a *AggregatedOutput) At(y float64) float64 {
+	var best float64
+	for i, w := range a.strengths {
+		if w == 0 {
+			continue
+		}
+		if m := a.implication.Apply(w, a.out.terms[i].MF.Membership(y)); m > best {
+			best = m
+		}
+	}
+	return best
+}
+
+// Empty reports whether no rule fired (all strengths are zero).
+func (a *AggregatedOutput) Empty() bool {
+	for _, w := range a.strengths {
+		if w > 0 {
+			return false
+		}
+	}
+	return true
+}

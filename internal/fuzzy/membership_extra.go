@@ -1,0 +1,137 @@
+package fuzzy
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper restricts itself to triangular and trapezoidal shapes for
+// real-time operation; Gaussian and generalized-bell functions are
+// provided as library extensions for smoother controllers and for the
+// defuzzifier/inference machinery to be exercised against non-piecewise
+// shapes. Their support is unbounded, so variables using them rely on
+// universe clamping.
+
+// Gaussian is exp(-(x-Center)^2 / (2 Sigma^2)).
+type Gaussian struct {
+	Center float64
+	Sigma  float64
+}
+
+var _ MembershipFunc = Gaussian{}
+
+// NewGaussian validates and constructs a Gaussian membership function.
+func NewGaussian(center, sigma float64) (Gaussian, error) {
+	g := Gaussian{Center: center, Sigma: sigma}
+	if err := g.validate(); err != nil {
+		return Gaussian{}, err
+	}
+	return g, nil
+}
+
+// MustGaussian is like NewGaussian but panics on invalid parameters.
+func MustGaussian(center, sigma float64) Gaussian {
+	g, err := NewGaussian(center, sigma)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g Gaussian) validate() error {
+	if math.IsNaN(g.Center) || math.IsInf(g.Center, 0) {
+		return fmt.Errorf("fuzzy: gaussian center must be finite, got %v", g.Center)
+	}
+	if math.IsNaN(g.Sigma) || g.Sigma <= 0 || math.IsInf(g.Sigma, 0) {
+		return fmt.Errorf("fuzzy: gaussian sigma must be finite and > 0, got %v", g.Sigma)
+	}
+	return nil
+}
+
+// Membership implements MembershipFunc.
+func (g Gaussian) Membership(x float64) float64 {
+	if math.IsNaN(x) {
+		return 0
+	}
+	d := (x - g.Center) / g.Sigma
+	return math.Exp(-d * d / 2)
+}
+
+// Support implements MembershipFunc. A Gaussian never reaches zero; the
+// reported support is the ±5 sigma interval outside of which membership
+// is below 4e-6 and negligible for inference purposes.
+func (g Gaussian) Support() (lo, hi float64) {
+	return g.Center - 5*g.Sigma, g.Center + 5*g.Sigma
+}
+
+// Kernel implements MembershipFunc.
+func (g Gaussian) Kernel() (lo, hi float64) { return g.Center, g.Center }
+
+// String returns a compact description, e.g. "gauss(0.5; 0.1)".
+func (g Gaussian) String() string { return fmt.Sprintf("gauss(%g; %g)", g.Center, g.Sigma) }
+
+// Bell is the generalized bell function 1 / (1 + |(x-Center)/Width|^(2 Slope)).
+type Bell struct {
+	Center float64
+	Width  float64
+	Slope  float64
+}
+
+var _ MembershipFunc = Bell{}
+
+// NewBell validates and constructs a generalized-bell membership function.
+func NewBell(center, width, slope float64) (Bell, error) {
+	b := Bell{Center: center, Width: width, Slope: slope}
+	if err := b.validate(); err != nil {
+		return Bell{}, err
+	}
+	return b, nil
+}
+
+// MustBell is like NewBell but panics on invalid parameters.
+func MustBell(center, width, slope float64) Bell {
+	b, err := NewBell(center, width, slope)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func (b Bell) validate() error {
+	if math.IsNaN(b.Center) || math.IsInf(b.Center, 0) {
+		return fmt.Errorf("fuzzy: bell center must be finite, got %v", b.Center)
+	}
+	if math.IsNaN(b.Width) || b.Width <= 0 || math.IsInf(b.Width, 0) {
+		return fmt.Errorf("fuzzy: bell width must be finite and > 0, got %v", b.Width)
+	}
+	if math.IsNaN(b.Slope) || b.Slope <= 0 || math.IsInf(b.Slope, 0) {
+		return fmt.Errorf("fuzzy: bell slope must be finite and > 0, got %v", b.Slope)
+	}
+	return nil
+}
+
+// Membership implements MembershipFunc.
+func (b Bell) Membership(x float64) float64 {
+	if math.IsNaN(x) {
+		return 0
+	}
+	d := math.Abs((x - b.Center) / b.Width)
+	return 1 / (1 + math.Pow(d, 2*b.Slope))
+}
+
+// Support implements MembershipFunc. Like the Gaussian, the bell never
+// reaches zero; the reported support is where membership falls below
+// ~1e-4 for slope 1, scaled by the slope.
+func (b Bell) Support() (lo, hi float64) {
+	// |d|^(2 slope) = 1e4  =>  d = 1e4^(1/(2 slope))
+	d := math.Pow(1e4, 1/(2*b.Slope)) * b.Width
+	return b.Center - d, b.Center + d
+}
+
+// Kernel implements MembershipFunc.
+func (b Bell) Kernel() (lo, hi float64) { return b.Center, b.Center }
+
+// String returns a compact description, e.g. "bell(0.5; 0.2, 2)".
+func (b Bell) String() string {
+	return fmt.Sprintf("bell(%g; %g, %g)", b.Center, b.Width, b.Slope)
+}

@@ -1,0 +1,158 @@
+package fuzzy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGaussianShape(t *testing.T) {
+	g := MustGaussian(10, 2)
+	if got := g.Membership(10); got != 1 {
+		t.Fatalf("peak = %v, want 1", got)
+	}
+	// At one sigma: exp(-1/2).
+	want := math.Exp(-0.5)
+	if got := g.Membership(12); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("mu(center+sigma) = %v, want %v", got, want)
+	}
+	if got := g.Membership(8); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("gaussian not symmetric: %v", got)
+	}
+	if got := g.Membership(math.NaN()); got != 0 {
+		t.Fatalf("NaN input = %v, want 0", got)
+	}
+	lo, hi := g.Support()
+	if g.Membership(lo) > 1e-5 || g.Membership(hi) > 1e-5 {
+		t.Fatal("membership at support edges should be negligible")
+	}
+	if kLo, kHi := g.Kernel(); kLo != 10 || kHi != 10 {
+		t.Fatal("kernel should be the centre")
+	}
+	if g.String() != "gauss(10; 2)" {
+		t.Fatalf("String = %q", g.String())
+	}
+}
+
+func TestGaussianValidation(t *testing.T) {
+	cases := [][2]float64{{math.NaN(), 1}, {math.Inf(1), 1}, {0, 0}, {0, -1}, {0, math.NaN()}, {0, math.Inf(1)}}
+	for _, c := range cases {
+		if _, err := NewGaussian(c[0], c[1]); err == nil {
+			t.Fatalf("NewGaussian(%v, %v) should fail", c[0], c[1])
+		}
+	}
+	if _, err := NewGaussian(0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBellShape(t *testing.T) {
+	b := MustBell(5, 2, 3)
+	if got := b.Membership(5); got != 1 {
+		t.Fatalf("peak = %v, want 1", got)
+	}
+	// At center ± width the bell is exactly 0.5 for any slope.
+	if got := b.Membership(7); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("mu(center+width) = %v, want 0.5", got)
+	}
+	if got := b.Membership(3); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("bell not symmetric: %v", got)
+	}
+	if got := b.Membership(math.NaN()); got != 0 {
+		t.Fatalf("NaN input = %v, want 0", got)
+	}
+	lo, hi := b.Support()
+	if b.Membership(lo) > 2e-4 || b.Membership(hi) > 2e-4 {
+		t.Fatalf("membership at support edges should be negligible: %v / %v",
+			b.Membership(lo), b.Membership(hi))
+	}
+	if b.String() != "bell(5; 2, 3)" {
+		t.Fatalf("String = %q", b.String())
+	}
+}
+
+func TestBellValidation(t *testing.T) {
+	cases := [][3]float64{
+		{math.NaN(), 1, 1}, {0, 0, 1}, {0, -1, 1}, {0, 1, 0}, {0, 1, -2},
+		{0, math.Inf(1), 1}, {0, 1, math.NaN()},
+	}
+	for _, c := range cases {
+		if _, err := NewBell(c[0], c[1], c[2]); err == nil {
+			t.Fatalf("NewBell(%v) should fail", c)
+		}
+	}
+	if _, err := NewBell(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: smooth shapes stay within [0, 1] and are unimodal around
+// their centre.
+func TestSmoothShapesBoundsProperty(t *testing.T) {
+	prop := func(cRaw, wRaw, x1, x2 float64) bool {
+		c := clampFinite(cRaw, -1e6, 1e6)
+		w := clampFinite(math.Abs(wRaw), 1e-3, 1e6)
+		g := MustGaussian(c, w)
+		b := MustBell(c, w, 2)
+		for _, x := range []float64{x1, x2} {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			for _, mf := range []MembershipFunc{g, b} {
+				m := mf.Membership(x)
+				if m < 0 || m > 1 {
+					return false
+				}
+			}
+		}
+		// Unimodal: closer to the centre means at least as much membership.
+		a := clampFinite(math.Abs(x1), 0, 1e6)
+		bb := clampFinite(math.Abs(x2), 0, 1e6)
+		if a > bb {
+			a, bb = bb, a
+		}
+		return g.Membership(c+a) >= g.Membership(c+bb)-1e-12 &&
+			b.Membership(c+a) >= b.Membership(c+bb)-1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSmoothEngineEndToEnd runs a complete controller built from smooth
+// membership functions through the standard inference path.
+func TestSmoothEngineEndToEnd(t *testing.T) {
+	in := MustVariable("x", 0, 10,
+		Term{Name: "low", MF: MustGaussian(0, 2.5)},
+		Term{Name: "high", MF: MustGaussian(10, 2.5)},
+	)
+	out := MustVariable("y", 0, 1,
+		Term{Name: "small", MF: MustBell(0, 0.3, 2)},
+		Term{Name: "large", MF: MustBell(1, 0.3, 2)},
+	)
+	eng, err := NewEngine([]*Variable{in}, out, []Rule{
+		MustParseRule("IF x is low THEN y is small"),
+		MustParseRule("IF x is high THEN y is large"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := eng.EvaluateVec(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := eng.EvaluateVec(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("smooth controller endpoints: lo=%v hi=%v", lo, hi)
+	}
+	mid, err := eng.EvaluateVec(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(mid, 0.5, 0.05) {
+		t.Fatalf("midpoint = %v, want ~0.5 by symmetry", mid)
+	}
+}

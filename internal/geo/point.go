@@ -1,0 +1,74 @@
+// Package geo provides the planar geometry substrate for the cellular
+// simulation: points and vectors in metres, heading/bearing arithmetic in
+// degrees, and an axial-coordinate hexagonal grid used for cell layout.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in the plane, in metres.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Add returns p translated by v.
+func (p Point) Add(v Vector) Point { return Point{p.X + v.DX, p.Y + v.DY} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Vector { return Vector{p.X - q.X, p.Y - q.Y} }
+
+// DistanceTo returns the Euclidean distance from p to q in metres.
+func (p Point) DistanceTo(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.1f, %.1f)", p.X, p.Y) }
+
+// Vector is a displacement in the plane, in metres.
+type Vector struct {
+	DX float64
+	DY float64
+}
+
+// Add returns the component-wise sum of v and w.
+func (v Vector) Add(w Vector) Vector { return Vector{v.DX + w.DX, v.DY + w.DY} }
+
+// Scale returns v scaled by k.
+func (v Vector) Scale(k float64) Vector { return Vector{v.DX * k, v.DY * k} }
+
+// Length returns the Euclidean norm of v in metres.
+func (v Vector) Length() float64 { return math.Hypot(v.DX, v.DY) }
+
+// Dot returns the dot product of v and w.
+func (v Vector) Dot(w Vector) float64 { return v.DX*w.DX + v.DY*w.DY }
+
+// HeadingDeg returns the direction of v in degrees, measured
+// counter-clockwise from the +X axis and normalised to (-180, 180].
+// The zero vector has heading 0.
+func (v Vector) HeadingDeg() float64 {
+	if v.DX == 0 && v.DY == 0 {
+		return 0
+	}
+	return NormalizeDeg(math.Atan2(v.DY, v.DX) * 180 / math.Pi)
+}
+
+// UnitFromHeading returns the unit vector pointing along headingDeg.
+func UnitFromHeading(headingDeg float64) Vector {
+	rad := headingDeg * math.Pi / 180
+	return Vector{math.Cos(rad), math.Sin(rad)}
+}
+
+// Move returns p displaced by dist metres along headingDeg.
+func Move(p Point, headingDeg, dist float64) Point {
+	return p.Add(UnitFromHeading(headingDeg).Scale(dist))
+}
+
+// BearingDeg returns the heading of the straight line from "from" to "to"
+// in degrees on (-180, 180]. Coincident points yield 0.
+func BearingDeg(from, to Point) float64 {
+	return to.Sub(from).HeadingDeg()
+}

@@ -1,0 +1,133 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{3, 4}
+	q := Point{0, 0}
+	if got := p.DistanceTo(q); got != 5 {
+		t.Fatalf("DistanceTo = %v, want 5", got)
+	}
+	if got := q.DistanceTo(p); got != 5 {
+		t.Fatalf("distance not symmetric: %v", got)
+	}
+	v := p.Sub(q)
+	if v != (Vector{3, 4}) {
+		t.Fatalf("Sub = %v", v)
+	}
+	if got := q.Add(v); got != p {
+		t.Fatalf("Add(Sub) = %v, want %v", got, p)
+	}
+	if got := v.Length(); got != 5 {
+		t.Fatalf("Length = %v, want 5", got)
+	}
+	if got := v.Scale(2); got != (Vector{6, 8}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := v.Add(Vector{-3, -4}); got != (Vector{0, 0}) {
+		t.Fatalf("Vector.Add = %v", got)
+	}
+	if got := v.Dot(Vector{1, 0}); got != 3 {
+		t.Fatalf("Dot = %v, want 3", got)
+	}
+}
+
+func TestHeadingDeg(t *testing.T) {
+	tests := []struct {
+		v    Vector
+		want float64
+	}{
+		{Vector{1, 0}, 0},
+		{Vector{0, 1}, 90},
+		{Vector{-1, 0}, 180},
+		{Vector{0, -1}, -90},
+		{Vector{1, 1}, 45},
+		{Vector{-1, -1}, -135},
+		{Vector{0, 0}, 0},
+	}
+	for _, tc := range tests {
+		if got := tc.v.HeadingDeg(); !approx(got, tc.want, 1e-9) {
+			t.Errorf("HeadingDeg(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestMoveAndBearing(t *testing.T) {
+	origin := Point{10, 20}
+	tests := []struct {
+		heading float64
+		dist    float64
+		want    Point
+	}{
+		{0, 5, Point{15, 20}},
+		{90, 5, Point{10, 25}},
+		{180, 5, Point{5, 20}},
+		{-90, 5, Point{10, 15}},
+	}
+	for _, tc := range tests {
+		got := Move(origin, tc.heading, tc.dist)
+		if !approx(got.X, tc.want.X, 1e-9) || !approx(got.Y, tc.want.Y, 1e-9) {
+			t.Errorf("Move(%v, %v) = %v, want %v", tc.heading, tc.dist, got, tc.want)
+		}
+		if b := BearingDeg(origin, got); !approx(NormalizeDeg(b-tc.heading), 0, 1e-9) {
+			t.Errorf("BearingDeg back = %v, want %v", b, tc.heading)
+		}
+	}
+}
+
+// Property: moving d along h then d along h+180 returns to the start.
+func TestMoveRoundTripProperty(t *testing.T) {
+	prop := func(x, y, hRaw, dRaw float64) bool {
+		if anyNaNInf(x, y, hRaw, dRaw) {
+			return true
+		}
+		h := NormalizeDeg(hRaw)
+		d := math.Mod(math.Abs(dRaw), 1e6)
+		p := Point{math.Mod(x, 1e6), math.Mod(y, 1e6)}
+		q := Move(Move(p, h, d), h+180, d)
+		return p.DistanceTo(q) < 1e-6*(1+d)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distance satisfies the triangle inequality and symmetry.
+func TestDistanceMetricProperty(t *testing.T) {
+	prop := func(ax, ay, bx, by, cx, cy float64) bool {
+		if anyNaNInf(ax, ay, bx, by, cx, cy) {
+			return true
+		}
+		a := Point{math.Mod(ax, 1e6), math.Mod(ay, 1e6)}
+		b := Point{math.Mod(bx, 1e6), math.Mod(by, 1e6)}
+		c := Point{math.Mod(cx, 1e6), math.Mod(cy, 1e6)}
+		if !approx(a.DistanceTo(b), b.DistanceTo(a), 1e-9) {
+			return false
+		}
+		return a.DistanceTo(c) <= a.DistanceTo(b)+b.DistanceTo(c)+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := (Point{1.25, -3}).String(); got != "(1.2, -3.0)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func anyNaNInf(vals ...float64) bool {
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,273 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"facs/internal/geo"
+	"facs/internal/sim"
+)
+
+func TestNewRect(t *testing.T) {
+	if _, err := NewRect(0, 0, 10, 10); err != nil {
+		t.Fatalf("valid rect: %v", err)
+	}
+	for _, tc := range [][4]float64{
+		{10, 0, 0, 10},
+		{0, 10, 10, 0},
+		{0, 0, 0, 10},
+		{math.NaN(), 0, 10, 10},
+	} {
+		if _, err := NewRect(tc[0], tc[1], tc[2], tc[3]); err == nil {
+			t.Fatalf("rect %v should be invalid", tc)
+		}
+	}
+}
+
+func TestRectContainsClampRandom(t *testing.T) {
+	r, err := NewRect(-10, -20, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains(geo.Point{X: 0, Y: 0}) || !r.Contains(geo.Point{X: 10, Y: 20}) {
+		t.Fatal("Contains failed for interior/border points")
+	}
+	if r.Contains(geo.Point{X: 11, Y: 0}) || r.Contains(geo.Point{X: 0, Y: -21}) {
+		t.Fatal("Contains accepted exterior points")
+	}
+	if got := r.Clamp(geo.Point{X: 100, Y: -100}); got != (geo.Point{X: 10, Y: -20}) {
+		t.Fatalf("Clamp = %v", got)
+	}
+	rng := sim.NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if p := r.RandomPoint(rng); !r.Contains(p) {
+			t.Fatalf("RandomPoint outside region: %v", p)
+		}
+	}
+}
+
+func TestConstantVelocity(t *testing.T) {
+	m, err := NewConstantVelocity(geo.Point{X: 0, Y: 0}, 36, 90) // 36 km/h = 10 m/s heading north
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Step(10)
+	if !approx(st.Pos.X, 0, 1e-9) || !approx(st.Pos.Y, 100, 1e-9) {
+		t.Fatalf("after 10s at 10 m/s north: %v", st.Pos)
+	}
+	if st.SpeedKmh != 36 || st.HeadingDeg != 90 {
+		t.Fatalf("state changed: %+v", st)
+	}
+	// Zero and negative dt are no-ops.
+	if got := m.Step(0); got.Pos != st.Pos {
+		t.Fatal("Step(0) moved")
+	}
+	if got := m.Step(-5); got.Pos != st.Pos {
+		t.Fatal("Step(-5) moved")
+	}
+	if _, err := NewConstantVelocity(geo.Point{}, -1, 0); err == nil {
+		t.Fatal("negative speed should error")
+	}
+}
+
+func TestConstantVelocityNormalizesHeading(t *testing.T) {
+	m, err := NewConstantVelocity(geo.Point{}, 10, 540)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.State().HeadingDeg != 180 {
+		t.Fatalf("heading = %v, want 180", m.State().HeadingDeg)
+	}
+}
+
+func TestTurningWalkValidation(t *testing.T) {
+	rng := sim.NewRNG(1)
+	ok := State{Pos: geo.Point{X: 0, Y: 0}, SpeedKmh: 4, HeadingDeg: 0}
+	if _, err := NewTurningWalk(ok, TurningConfig{}, rng); err != nil {
+		t.Fatalf("defaults should be valid: %v", err)
+	}
+	if _, err := NewTurningWalk(ok, TurningConfig{}, nil); err == nil {
+		t.Fatal("nil rng should error")
+	}
+	if _, err := NewTurningWalk(State{SpeedKmh: -1}, TurningConfig{}, rng); err == nil {
+		t.Fatal("negative speed should error")
+	}
+	if _, err := NewTurningWalk(ok, TurningConfig{TurnSigmaDeg: -1}, rng); err == nil {
+		t.Fatal("negative sigma should error")
+	}
+	if _, err := NewTurningWalk(ok, TurningConfig{RefSpeedKmh: -5}, rng); err == nil {
+		t.Fatal("negative ref speed should error")
+	}
+	region, _ := NewRect(100, 100, 200, 200)
+	if _, err := NewTurningWalk(ok, TurningConfig{Region: region}, rng); err == nil {
+		t.Fatal("start outside region should error")
+	}
+}
+
+func TestTurningWalkSpeedDependence(t *testing.T) {
+	rng := sim.NewRNG(2)
+	slow, err := NewTurningWalk(State{SpeedKmh: 4}, TurningConfig{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := NewTurningWalk(State{SpeedKmh: 60}, TurningConfig{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.EffectiveTurnSigma() <= fast.EffectiveTurnSigma() {
+		t.Fatalf("walking users must turn more: slow=%v fast=%v",
+			slow.EffectiveTurnSigma(), fast.EffectiveTurnSigma())
+	}
+	// Empirically: the mean per-step heading change is larger for walkers.
+	meanAbsTurn := func(speed float64, seed int64) float64 {
+		m, err := NewTurningWalk(State{SpeedKmh: speed}, TurningConfig{}, sim.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		const n = 2000
+		prev := m.State().HeadingDeg
+		for i := 0; i < n; i++ {
+			h := m.Step(1).HeadingDeg
+			sum += geo.AbsAngleDiffDeg(h, prev)
+			prev = h
+		}
+		return sum / n
+	}
+	if meanAbsTurn(4, 3) <= 2*meanAbsTurn(60, 3) {
+		t.Fatal("walkers should turn much more per step than vehicles")
+	}
+}
+
+func TestTurningWalkStaysInRegion(t *testing.T) {
+	region, _ := NewRect(-500, -500, 500, 500)
+	m, err := NewTurningWalk(
+		State{Pos: geo.Point{X: 0, Y: 0}, SpeedKmh: 120, HeadingDeg: 0},
+		TurningConfig{Region: region},
+		sim.NewRNG(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if st := m.Step(1); !region.Contains(st.Pos) {
+			t.Fatalf("escaped region at step %d: %v", i, st.Pos)
+		}
+	}
+}
+
+func TestTurningWalkZeroDt(t *testing.T) {
+	m, err := NewTurningWalk(State{SpeedKmh: 10}, TurningConfig{}, sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.State()
+	if got := m.Step(0); got != before {
+		t.Fatal("Step(0) should not change state")
+	}
+}
+
+func TestWaypointConfigValidate(t *testing.T) {
+	region, _ := NewRect(0, 0, 1000, 1000)
+	ok := WaypointConfig{Region: region, SpeedMinKmh: 4, SpeedMaxKmh: 60}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid config: %v", err)
+	}
+	bad := []WaypointConfig{
+		{SpeedMinKmh: 4, SpeedMaxKmh: 60},                                   // no region
+		{Region: region, SpeedMinKmh: 0, SpeedMaxKmh: 60},                   // zero min speed
+		{Region: region, SpeedMinKmh: 60, SpeedMaxKmh: 4},                   // inverted speeds
+		{Region: region, SpeedMinKmh: 4, SpeedMaxKmh: 60, PauseMeanSec: -1}, // negative pause
+		{Region: region, SpeedMinKmh: math.NaN(), SpeedMaxKmh: 60},          // NaN speed
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestRandomWaypointReachesTargets(t *testing.T) {
+	region, _ := NewRect(0, 0, 1000, 1000)
+	m, err := NewRandomWaypoint(geo.Point{X: 500, Y: 500},
+		WaypointConfig{Region: region, SpeedMinKmh: 10, SpeedMaxKmh: 30}, sim.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := m.Target()
+	changed := false
+	for i := 0; i < 10000; i++ {
+		st := m.Step(5)
+		if !region.Contains(st.Pos) {
+			t.Fatalf("left region: %v", st.Pos)
+		}
+		if m.Target() != first {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("never reached the first waypoint")
+	}
+}
+
+func TestRandomWaypointHeadingTracksTarget(t *testing.T) {
+	region, _ := NewRect(0, 0, 1000, 1000)
+	m, err := NewRandomWaypoint(geo.Point{X: 0, Y: 0},
+		WaypointConfig{Region: region, SpeedMinKmh: 5, SpeedMaxKmh: 5}, sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.State()
+	want := geo.BearingDeg(st.Pos, m.Target())
+	if !approx(st.HeadingDeg, want, 1e-9) {
+		t.Fatalf("heading = %v, want bearing to target %v", st.HeadingDeg, want)
+	}
+}
+
+func TestRandomWaypointErrors(t *testing.T) {
+	region, _ := NewRect(0, 0, 10, 10)
+	cfg := WaypointConfig{Region: region, SpeedMinKmh: 1, SpeedMaxKmh: 2}
+	if _, err := NewRandomWaypoint(geo.Point{}, cfg, nil); err == nil {
+		t.Fatal("nil rng should error")
+	}
+	if _, err := NewRandomWaypoint(geo.Point{}, WaypointConfig{}, sim.NewRNG(1)); err == nil {
+		t.Fatal("invalid config should error")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	m, err := NewConstantVelocity(geo.Point{X: 0, Y: 0}, 36, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Trace(m, 1, 10)
+	if len(tr) != 11 {
+		t.Fatalf("Trace len = %d, want 11", len(tr))
+	}
+	if tr[0].Pos != (geo.Point{X: 0, Y: 0}) {
+		t.Fatal("trace must start at the initial state")
+	}
+	for i := 1; i < len(tr); i++ {
+		want := float64(i) * 10 // 10 m/s
+		if !approx(tr[i].Pos.X, want, 1e-9) {
+			t.Fatalf("trace[%d].X = %v, want %v", i, tr[i].Pos.X, want)
+		}
+	}
+	if got := Trace(m, 0, 5); len(got) != 1 {
+		t.Fatal("non-positive dt should return only the current state")
+	}
+	if got := Trace(m, 1, -1); len(got) != 1 {
+		t.Fatal("negative n should return only the current state")
+	}
+}
+
+func TestStateVelocity(t *testing.T) {
+	st := State{SpeedKmh: 36, HeadingDeg: 90}
+	v := st.Velocity()
+	if !approx(v.DX, 0, 1e-9) || !approx(v.DY, 10, 1e-9) {
+		t.Fatalf("Velocity = %v, want (0, 10)", v)
+	}
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

@@ -1,0 +1,195 @@
+// Package plot renders experiment series as ASCII line charts, aligned
+// tables and CSV, so that every figure of the paper can be regenerated on
+// a terminal without external tooling.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"facs/internal/metrics"
+)
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Options controls chart rendering.
+type Options struct {
+	// Width and Height are the plot area size in characters.
+	// Defaults 72 and 20.
+	Width  int
+	Height int
+	// YMin/YMax fix the y range; both zero auto-scales.
+	YMin float64
+	YMax float64
+	// Title is printed above the chart.
+	Title string
+	// XLabel / YLabel annotate the axes.
+	XLabel string
+	YLabel string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 72
+	}
+	if o.Height <= 0 {
+		o.Height = 20
+	}
+	return o
+}
+
+// Chart renders the series as an ASCII chart with a legend.
+func Chart(series []metrics.Series, opts Options) string {
+	opts = opts.withDefaults()
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	if len(series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if math.IsInf(xMin, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if opts.YMin != 0 || opts.YMax != 0 {
+		yMin, yMax = opts.YMin, opts.YMax
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	grid := make([][]byte, opts.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for si, s := range series {
+		marker := markers[si%len(markers)]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - xMin) / (xMax - xMin) * float64(opts.Width-1)))
+			row := int(math.Round((s.Y[i] - yMin) / (yMax - yMin) * float64(opts.Height-1)))
+			if col < 0 || col >= opts.Width || row < 0 || row >= opts.Height {
+				continue
+			}
+			grid[opts.Height-1-row][col] = marker
+		}
+	}
+	for i, line := range grid {
+		yVal := yMax - (yMax-yMin)*float64(i)/float64(opts.Height-1)
+		fmt.Fprintf(&b, "%8.1f |%s|\n", yVal, string(line))
+	}
+	fmt.Fprintf(&b, "%8s  %s\n", "", strings.Repeat("-", opts.Width))
+	fmt.Fprintf(&b, "%8s  %-12.4g%s%12.4g\n", "", xMin,
+		strings.Repeat(" ", max(0, opts.Width-24)), xMax)
+	if opts.XLabel != "" || opts.YLabel != "" {
+		fmt.Fprintf(&b, "%10sx: %s   y: %s\n", "", opts.XLabel, opts.YLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "%10s%c %s\n", "", markers[si%len(markers)], s.Label)
+	}
+	return b.String()
+}
+
+// Table renders the series as an aligned text table, one row per distinct
+// x value, one column per series.
+func Table(series []metrics.Series) string {
+	if len(series) == 0 {
+		return "(no data)\n"
+	}
+	xsSet := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s", "x")
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %14s", s.Label)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%10.4g", x)
+		for _, s := range series {
+			if y, ok := s.YAt(x); ok {
+				fmt.Fprintf(&b, "  %14.2f", y)
+			} else {
+				fmt.Fprintf(&b, "  %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the series as comma-separated values with a header row.
+// Missing points render as empty cells.
+func CSV(series []metrics.Series) string {
+	if len(series) == 0 {
+		return ""
+	}
+	xsSet := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Label))
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range series {
+			b.WriteByte(',')
+			if y, ok := s.YAt(x); ok {
+				fmt.Fprintf(&b, "%g", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,126 @@
+package plot
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"facs/internal/metrics"
+)
+
+func sampleSeries() []metrics.Series {
+	a := metrics.Series{Label: "FACS"}
+	a.Append(10, 100)
+	a.Append(50, 88)
+	a.Append(100, 64)
+	b := metrics.Series{Label: "SCC"}
+	b.Append(10, 85)
+	b.Append(50, 82)
+	b.Append(100, 79)
+	return []metrics.Series{a, b}
+}
+
+func TestChartRendersMarkersAndLegend(t *testing.T) {
+	out := Chart(sampleSeries(), Options{Title: "Fig. 10", XLabel: "N", YLabel: "%"})
+	if !strings.Contains(out, "Fig. 10") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("missing series markers")
+	}
+	if !strings.Contains(out, "FACS") || !strings.Contains(out, "SCC") {
+		t.Fatal("missing legend entries")
+	}
+	if !strings.Contains(out, "x: N") || !strings.Contains(out, "y: %") {
+		t.Fatal("missing axis labels")
+	}
+	// Axis bounds appear.
+	if !strings.Contains(out, "100") || !strings.Contains(out, "10") {
+		t.Fatal("missing x bounds")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	if out := Chart(nil, Options{}); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart = %q", out)
+	}
+	if out := Chart([]metrics.Series{{Label: "empty"}}, Options{}); !strings.Contains(out, "no data") {
+		t.Fatalf("chart of empty series = %q", out)
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	s := metrics.Series{Label: "flat"}
+	s.Append(5, 42)
+	out := Chart([]metrics.Series{s}, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Fatal("single point should still render")
+	}
+}
+
+func TestChartFixedYRange(t *testing.T) {
+	out := Chart(sampleSeries(), Options{YMin: 0, YMax: 200, Height: 10})
+	if !strings.Contains(out, "200.0") {
+		t.Fatal("fixed y max not used")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table(sampleSeries())
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want header + 3 rows", len(lines))
+	}
+	if !strings.Contains(lines[0], "FACS") || !strings.Contains(lines[0], "SCC") {
+		t.Fatal("missing header labels")
+	}
+	if !strings.Contains(lines[1], "100.00") || !strings.Contains(lines[1], "85.00") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if Table(nil) != "(no data)\n" {
+		t.Fatal("empty table sentinel")
+	}
+}
+
+func TestTableMissingPoints(t *testing.T) {
+	a := metrics.Series{Label: "a"}
+	a.Append(1, 10)
+	b := metrics.Series{Label: "b"}
+	b.Append(2, 20)
+	out := Table([]metrics.Series{a, b})
+	if !strings.Contains(out, "-") {
+		t.Fatal("missing points should render as '-'")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV(sampleSeries())
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "x,FACS,SCC" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("csv has %d lines", len(lines))
+	}
+	fields := strings.Split(lines[1], ",")
+	if len(fields) != 3 {
+		t.Fatalf("row = %q", lines[1])
+	}
+	for _, f := range fields {
+		if _, err := strconv.ParseFloat(f, 64); err != nil {
+			t.Fatalf("field %q is not numeric", f)
+		}
+	}
+	if CSV(nil) != "" {
+		t.Fatal("empty CSV should be empty string")
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	s := metrics.Series{Label: `tau=0.85, "full"`}
+	s.Append(1, 2)
+	out := CSV([]metrics.Series{s})
+	if !strings.Contains(out, `"tau=0.85, ""full"""`) {
+		t.Fatalf("label not escaped: %q", out)
+	}
+}

@@ -1,0 +1,128 @@
+package scc
+
+import (
+	"strings"
+	"testing"
+
+	"facs/internal/cac"
+	"facs/internal/geo"
+	"facs/internal/gps"
+	"facs/internal/traffic"
+)
+
+func TestReservationModeStringer(t *testing.T) {
+	if ReservationWeighted.String() != "weighted" || ReservationFull.String() != "full" {
+		t.Fatal("stringer mismatch")
+	}
+	if !strings.Contains(ReservationMode(9).String(), "9") {
+		t.Fatal("unknown mode should include its value")
+	}
+}
+
+func TestReservationModeValidation(t *testing.T) {
+	net := newNet(t, 0)
+	if _, err := New(Config{Network: net, Reservation: ReservationMode(42)}); err == nil {
+		t.Fatal("unknown reservation mode should error")
+	}
+	if _, err := New(Config{Network: net, InclusionProb: 1.5}); err == nil {
+		t.Fatal("inclusion probability above 1 should error")
+	}
+	c, err := New(Config{Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Config().Reservation != ReservationWeighted || c.Config().InclusionProb != 0.15 {
+		t.Fatalf("defaults not applied: %+v", c.Config())
+	}
+}
+
+func TestFullReservationDemandExceedsWeighted(t *testing.T) {
+	net := newNet(t, 1)
+	weighted := newSCC(t, net)
+	full := newSCC(t, net, func(cfg *Config) { cfg.Reservation = ReservationFull })
+	// A fast mobile whose shadow spreads across several cells.
+	req := sccRequest(t, net, 1, traffic.Video, geo.Point{}, 0, 120)
+	weighted.OnAdmit(req)
+	full.OnAdmit(req)
+	home := geo.Hex{Q: 0, R: 0}
+	var weightedTotal, fullTotal float64
+	for _, bs := range net.Stations() {
+		for k := 0; k <= 6; k++ {
+			weightedTotal += weighted.ExpectedDemand(bs.Hex(), k)
+			fullTotal += full.ExpectedDemand(bs.Hex(), k)
+		}
+	}
+	if fullTotal <= weightedTotal {
+		t.Fatalf("full reservation (%v) should exceed weighted (%v)", fullTotal, weightedTotal)
+	}
+	// Weighted demand at k=0 is ~10 (one video call); full is exactly 10
+	// in the home cell (prob ~1 >= inclusion).
+	if got := full.ExpectedDemand(home, 0); got != 10 {
+		t.Fatalf("full home demand = %v, want exactly 10", got)
+	}
+}
+
+func TestFullReservationIgnoresLowProbabilityCells(t *testing.T) {
+	net := newNet(t, 1)
+	full := newSCC(t, net, func(cfg *Config) {
+		cfg.Reservation = ReservationFull
+		cfg.InclusionProb = 0.45
+	})
+	req := sccRequest(t, net, 1, traffic.Video, geo.Point{}, 0, 0)
+	full.OnAdmit(req)
+	// A stationary call's mass sits ~entirely at home: every neighbour
+	// is below the inclusion threshold and reserves nothing.
+	for _, bs := range net.Neighbors(geo.Hex{Q: 0, R: 0}) {
+		if got := full.ExpectedDemand(bs.Hex(), 0); got != 0 {
+			t.Fatalf("neighbour %v reserved %v, want 0", bs.Hex(), got)
+		}
+	}
+}
+
+func TestRequireClusterCoverageRejectsExitingUsers(t *testing.T) {
+	net := newNet(t, 0) // a single cell: it is easy to dead-reckon out
+	strict := newSCC(t, net, func(cfg *Config) { cfg.RequireClusterCoverage = true })
+	lax := newSCC(t, net)
+	// A fast user heading east exits the 2 km cell well within the
+	// 60 s projection horizon.
+	exiting := sccRequest(t, net, 1, traffic.Voice, geo.Point{}, 0, 120)
+	d, err := strict.Decide(exiting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != cac.Reject {
+		t.Fatal("coverage requirement should reject a user that dead-reckons out")
+	}
+	d, err = lax.Decide(exiting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != cac.Accept {
+		t.Fatal("without the requirement the same user is accepted")
+	}
+	// A stationary user never leaves and is accepted by both.
+	staying := sccRequest(t, net, 2, traffic.Voice, geo.Point{}, 0, 0)
+	d, err = strict.Decide(staying)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != cac.Accept {
+		t.Fatal("stationary user should pass the coverage requirement")
+	}
+}
+
+func TestOnStateUpdateAdapter(t *testing.T) {
+	net := newNet(t, 1)
+	c := newSCC(t, net)
+	req := sccRequest(t, net, 1, traffic.Video, geo.Point{}, 0, 0)
+	c.OnAdmit(req)
+	east := geo.Hex{Q: 1, R: 0}
+	bs, ok := net.At(east)
+	if !ok {
+		t.Fatal("east cell missing")
+	}
+	c.OnStateUpdate(1, gps.Estimate{Pos: net.Layout().Center(east)}, bs)
+	if got := c.ExpectedDemand(east, 0); got < 9 {
+		t.Fatalf("east demand after OnStateUpdate = %v, want ~10", got)
+	}
+}

@@ -1,0 +1,365 @@
+// Package scc implements the Shadow Cluster Concept baseline (Levine,
+// Akyildiz, Naghshineh, IEEE/ACM ToN 1997) as summarised in the paper's
+// Section 2: every active mobile projects a probabilistic "shadow" of
+// future bandwidth demand over the cells along its trajectory; base
+// stations aggregate these shadows into per-interval expected demand and
+// admit a new call only if, over the whole projection horizon, demand
+// stays below a survivability threshold of capacity in every cell the new
+// call's own tentative shadow cluster touches.
+//
+// Differences from the original paper are deliberate simplifications and
+// are documented in DESIGN.md: probabilities come from a closed-form
+// Gaussian cone around the dead-reckoned trajectory instead of
+// per-operator measured histories, and a mobile's kinematic state is the
+// one observed at admission (refreshable via UpdateState on handoff).
+package scc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"facs/internal/cac"
+	"facs/internal/cell"
+	"facs/internal/geo"
+	"facs/internal/gps"
+)
+
+// Config parameterises the shadow-cluster controller.
+type Config struct {
+	// Network is the cellular deployment the controller projects over.
+	Network *cell.Network
+	// DeltaT is the projection time quantum in seconds. Default 10.
+	DeltaT float64
+	// Horizon is the number of future intervals projected. Default 6.
+	Horizon int
+	// Threshold is the survivability fraction tau of cell capacity that
+	// projected demand must not exceed. Default 0.85.
+	Threshold float64
+	// SigmaPosM is the base position uncertainty in metres. Default 100.
+	SigmaPosM float64
+	// SpreadAlpha grows the position uncertainty per metre of projected
+	// travel, widening the shadow for fast or distant projections.
+	// Default 0.3.
+	SpreadAlpha float64
+	// MeanHoldingSec is the expected call holding time used for the
+	// survival probability of projected demand. Default 120.
+	MeanHoldingSec float64
+	// MinProb is the probability mass below which a cell is excluded
+	// from a shadow cluster. Default 0.02.
+	MinProb float64
+	// Reservation selects the demand-accumulation semantics. Default
+	// ReservationWeighted.
+	Reservation ReservationMode
+	// InclusionProb is the probability mass above which ReservationFull
+	// reserves a call's full bandwidth in a cell. Default 0.15.
+	InclusionProb float64
+	// RequireClusterCoverage, when set, denies calls whose dead-reckoned
+	// trajectory leaves network coverage within the projection horizon:
+	// the shadow cluster cannot be established because no base station
+	// outside the operator's network can commit resources (Levine et
+	// al.'s survivability-over-the-predicted-path requirement). Off by
+	// default; the Fig. 10 comparison enables it.
+	RequireClusterCoverage bool
+}
+
+// ReservationMode selects how a tracked call's shadow turns into
+// projected demand.
+type ReservationMode int
+
+// Reservation modes.
+const (
+	// ReservationWeighted accumulates bandwidth x presence probability x
+	// survival probability: the expectation of the demand (our default
+	// reading of the shadow-cluster papers).
+	ReservationWeighted ReservationMode = iota + 1
+	// ReservationFull reserves the full bandwidth, undecayed, in every
+	// cell where the presence probability exceeds InclusionProb. This is
+	// the conservative "deny network access to protect active mobiles"
+	// behaviour the paper ascribes to SCC, and is what the Fig. 10
+	// comparison uses.
+	ReservationFull
+)
+
+// String implements fmt.Stringer.
+func (m ReservationMode) String() string {
+	switch m {
+	case ReservationWeighted:
+		return "weighted"
+	case ReservationFull:
+		return "full"
+	default:
+		return fmt.Sprintf("ReservationMode(%d)", int(m))
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.DeltaT == 0 {
+		c.DeltaT = 10
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 6
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.85
+	}
+	if c.SigmaPosM == 0 {
+		c.SigmaPosM = 100
+	}
+	if c.SpreadAlpha == 0 {
+		c.SpreadAlpha = 0.3
+	}
+	if c.MeanHoldingSec == 0 {
+		c.MeanHoldingSec = 120
+	}
+	if c.MinProb == 0 {
+		c.MinProb = 0.02
+	}
+	if c.Reservation == 0 {
+		c.Reservation = ReservationWeighted
+	}
+	if c.InclusionProb == 0 {
+		c.InclusionProb = 0.15
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Network == nil:
+		return fmt.Errorf("scc: network must not be nil")
+	case math.IsNaN(c.DeltaT) || c.DeltaT <= 0:
+		return fmt.Errorf("scc: delta-t must be > 0, got %v", c.DeltaT)
+	case c.Horizon < 1:
+		return fmt.Errorf("scc: horizon must be >= 1, got %d", c.Horizon)
+	case math.IsNaN(c.Threshold) || c.Threshold <= 0 || c.Threshold > 1:
+		return fmt.Errorf("scc: threshold must be in (0, 1], got %v", c.Threshold)
+	case math.IsNaN(c.SigmaPosM) || c.SigmaPosM <= 0:
+		return fmt.Errorf("scc: sigma must be > 0, got %v", c.SigmaPosM)
+	case math.IsNaN(c.SpreadAlpha) || c.SpreadAlpha < 0:
+		return fmt.Errorf("scc: spread alpha must be >= 0, got %v", c.SpreadAlpha)
+	case math.IsNaN(c.MeanHoldingSec) || c.MeanHoldingSec <= 0:
+		return fmt.Errorf("scc: mean holding must be > 0, got %v", c.MeanHoldingSec)
+	case math.IsNaN(c.MinProb) || c.MinProb <= 0 || c.MinProb >= 1:
+		return fmt.Errorf("scc: min probability must be in (0, 1), got %v", c.MinProb)
+	case c.Reservation != ReservationWeighted && c.Reservation != ReservationFull:
+		return fmt.Errorf("scc: unknown reservation mode %v", c.Reservation)
+	case math.IsNaN(c.InclusionProb) || c.InclusionProb <= 0 || c.InclusionProb >= 1:
+		return fmt.Errorf("scc: inclusion probability must be in (0, 1), got %v", c.InclusionProb)
+	}
+	return nil
+}
+
+// track is the projection source for one active call.
+type track struct {
+	bu         int
+	pos        geo.Point
+	headingDeg float64
+	speedMps   float64
+	home       geo.Hex
+}
+
+// Controller is the shadow-cluster admission controller. It implements
+// cac.Controller and cac.Observer. It is not safe for concurrent use; the
+// simulation kernel is single-threaded.
+type Controller struct {
+	cfg    Config
+	active map[int]track
+}
+
+var (
+	_ cac.Controller   = (*Controller)(nil)
+	_ cac.Observer     = (*Controller)(nil)
+	_ cac.StateUpdater = (*Controller)(nil)
+)
+
+// New constructs a shadow-cluster controller.
+func New(cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg, active: make(map[int]track)}, nil
+}
+
+// Name implements cac.Controller.
+func (c *Controller) Name() string { return "scc" }
+
+// Config returns the effective configuration (defaults applied).
+func (c *Controller) Config() Config { return c.cfg }
+
+// ActiveCalls returns the number of calls currently projecting shadows.
+func (c *Controller) ActiveCalls() int { return len(c.active) }
+
+// CellProb is one entry of a shadow: the probability that a mobile is in
+// the given cell at a given projection interval.
+type CellProb struct {
+	Hex  geo.Hex
+	Prob float64
+}
+
+// Shadow returns the probability distribution over network cells for a
+// mobile with the given kinematics at projection interval k (k=0 is now).
+// Entries below MinProb are dropped; the result is sorted by descending
+// probability, ties broken by (Q, R) for determinism.
+func (c *Controller) Shadow(pos geo.Point, headingDeg, speedMps float64, k int) []CellProb {
+	if k < 0 {
+		k = 0
+	}
+	travel := speedMps * float64(k) * c.cfg.DeltaT
+	q := geo.Move(pos, headingDeg, travel)
+	sigma := c.cfg.SigmaPosM + c.cfg.SpreadAlpha*travel
+	inv := 1 / (2 * sigma * sigma)
+	stations := c.cfg.Network.Stations()
+	weights := make([]float64, len(stations))
+	var total float64
+	for i, bs := range stations {
+		d := q.DistanceTo(bs.Pos())
+		w := math.Exp(-d * d * inv)
+		weights[i] = w
+		total += w
+	}
+	if total == 0 {
+		// Projection far outside coverage: all mass collapses onto the
+		// nearest cell so that demand is still accounted somewhere.
+		best, bestD := 0, math.Inf(1)
+		for i, bs := range stations {
+			if d := q.DistanceTo(bs.Pos()); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		weights[best], total = 1, 1
+	}
+	out := make([]CellProb, 0, 4)
+	for i, bs := range stations {
+		p := weights[i] / total
+		if p >= c.cfg.MinProb {
+			out = append(out, CellProb{Hex: bs.Hex(), Prob: p})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		if out[i].Hex.Q != out[j].Hex.Q {
+			return out[i].Hex.Q < out[j].Hex.Q
+		}
+		return out[i].Hex.R < out[j].Hex.R
+	})
+	return out
+}
+
+// survival returns the probability that a call admitted with the
+// configured mean holding time is still active after k intervals.
+func (c *Controller) survival(k int) float64 {
+	return math.Exp(-float64(k) * c.cfg.DeltaT / c.cfg.MeanHoldingSec)
+}
+
+// ExpectedDemand returns the aggregated projected demand E[j, k] in BU for
+// cell j at interval k over all tracked calls, under the configured
+// reservation mode.
+func (c *Controller) ExpectedDemand(j geo.Hex, k int) float64 {
+	surv := c.survival(k)
+	var sum float64
+	// Iterate in key order for floating-point determinism.
+	ids := make([]int, 0, len(c.active))
+	for id := range c.active {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		tr := c.active[id]
+		for _, cp := range c.Shadow(tr.pos, tr.headingDeg, tr.speedMps, k) {
+			if cp.Hex == j {
+				sum += c.reserve(float64(tr.bu), cp.Prob, surv)
+				break
+			}
+		}
+	}
+	return sum
+}
+
+// reserve converts one shadow entry into reserved bandwidth.
+func (c *Controller) reserve(bu, prob, surv float64) float64 {
+	if c.cfg.Reservation == ReservationFull {
+		if prob >= c.cfg.InclusionProb {
+			return bu
+		}
+		return 0
+	}
+	return bu * prob * surv
+}
+
+// Decide implements cac.Controller: the request is admitted when, for
+// every projection interval and every cell its tentative shadow cluster
+// touches, existing projected demand plus the request's own projected
+// demand stays within Threshold of the cell capacity.
+func (c *Controller) Decide(req cac.Request) (cac.Decision, error) {
+	if err := req.Validate(); err != nil {
+		return cac.Reject, err
+	}
+	if !req.Station.Fits(req.Call.BU) {
+		return cac.Reject, nil
+	}
+	pos := req.Est.Pos
+	speedMps := geo.KmhToMps(req.Est.SpeedKmh)
+	if c.cfg.RequireClusterCoverage {
+		for k := 1; k <= c.cfg.Horizon; k++ {
+			q := geo.Move(pos, req.Est.HeadingDeg, speedMps*float64(k)*c.cfg.DeltaT)
+			if _, err := c.cfg.Network.StationAt(q); err != nil {
+				return cac.Reject, nil
+			}
+		}
+	}
+	for k := 0; k <= c.cfg.Horizon; k++ {
+		surv := c.survival(k)
+		for _, cp := range c.Shadow(pos, req.Est.HeadingDeg, speedMps, k) {
+			bs, ok := c.cfg.Network.At(cp.Hex)
+			if !ok {
+				continue
+			}
+			projected := c.ExpectedDemand(cp.Hex, k) + c.reserve(float64(req.Call.BU), cp.Prob, surv)
+			if projected > c.cfg.Threshold*float64(bs.Capacity()) {
+				return cac.Reject, nil
+			}
+		}
+	}
+	return cac.Accept, nil
+}
+
+// OnAdmit implements cac.Observer: start projecting the call's shadow.
+func (c *Controller) OnAdmit(req cac.Request) {
+	c.active[req.Call.ID] = track{
+		bu:         req.Call.BU,
+		pos:        req.Est.Pos,
+		headingDeg: req.Est.HeadingDeg,
+		speedMps:   geo.KmhToMps(req.Est.SpeedKmh),
+		home:       req.Station.Hex(),
+	}
+}
+
+// OnRelease implements cac.Observer: stop projecting the call's shadow.
+func (c *Controller) OnRelease(callID int, _ *cell.BaseStation, _ float64) {
+	delete(c.active, callID)
+}
+
+// OnStateUpdate implements cac.StateUpdater.
+func (c *Controller) OnStateUpdate(callID int, est gps.Estimate, station *cell.BaseStation) {
+	c.UpdateState(callID, est.Pos, est.HeadingDeg, est.SpeedKmh, station.Hex())
+}
+
+// UpdateState refreshes the projection source of a tracked call, e.g.
+// after a handoff delivered a new position estimate. Unknown calls are
+// ignored.
+func (c *Controller) UpdateState(callID int, pos geo.Point, headingDeg, speedKmh float64, home geo.Hex) {
+	tr, ok := c.active[callID]
+	if !ok {
+		return
+	}
+	tr.pos = pos
+	tr.headingDeg = headingDeg
+	tr.speedMps = geo.KmhToMps(speedKmh)
+	tr.home = home
+	c.active[callID] = tr
+}

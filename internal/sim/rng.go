@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// NewRNG returns a deterministic pseudo-random generator for the given
+// seed. Each subsystem of a simulation should own its own stream (see
+// NewStream) so that adding draws in one subsystem does not perturb the
+// others.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// StreamSeed derives a per-stream seed from a master seed and a stream
+// name, using an FNV-1a hash so that streams are decorrelated but fully
+// reproducible.
+func StreamSeed(master int64, name string) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(master) >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte(name))
+	return int64(h.Sum64())
+}
+
+// NewStream returns a generator seeded by StreamSeed(master, name).
+func NewStream(master int64, name string) *rand.Rand {
+	return NewRNG(StreamSeed(master, name))
+}
+
+// Exponential draws from an exponential distribution with the given mean.
+// A non-positive or non-finite mean yields 0.
+func Exponential(rng *rand.Rand, mean float64) float64 {
+	if !(mean > 0) || math.IsInf(mean, 0) {
+		return 0
+	}
+	return rng.ExpFloat64() * mean
+}
+
+// Uniform draws uniformly from [lo, hi). Inverted bounds are swapped.
+func Uniform(rng *rand.Rand, lo, hi float64) float64 {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// Normal draws from a normal distribution with the given mean and standard
+// deviation (sigma < 0 is treated as its absolute value).
+func Normal(rng *rand.Rand, mean, sigma float64) float64 {
+	return mean + rng.NormFloat64()*math.Abs(sigma)
+}
+
+// WeightedChoice returns an index in [0, len(weights)) drawn with
+// probability proportional to the weights. Non-positive weights get zero
+// probability. If no weight is positive, it returns 0.
+func WeightedChoice(rng *rand.Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}

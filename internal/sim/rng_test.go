@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamSeedStability(t *testing.T) {
+	a := StreamSeed(42, "arrivals")
+	b := StreamSeed(42, "arrivals")
+	if a != b {
+		t.Fatal("StreamSeed is not deterministic")
+	}
+	if StreamSeed(42, "arrivals") == StreamSeed(42, "holding") {
+		t.Fatal("distinct stream names should yield distinct seeds")
+	}
+	if StreamSeed(42, "arrivals") == StreamSeed(43, "arrivals") {
+		t.Fatal("distinct master seeds should yield distinct seeds")
+	}
+}
+
+func TestNewStreamReproducible(t *testing.T) {
+	r1 := NewStream(7, "x")
+	r2 := NewStream(7, "x")
+	for i := 0; i < 100; i++ {
+		if r1.Float64() != r2.Float64() {
+			t.Fatal("same-stream draws diverged")
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := NewRNG(1)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += Exponential(rng, 5)
+	}
+	mean := sum / n
+	if mean < 4.9 || mean > 5.1 {
+		t.Fatalf("empirical mean = %v, want ~5", mean)
+	}
+}
+
+func TestExponentialDegenerate(t *testing.T) {
+	rng := NewRNG(1)
+	for _, mean := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if got := Exponential(rng, mean); got != 0 {
+			t.Fatalf("Exponential(mean=%v) = %v, want 0", mean, got)
+		}
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	rng := NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		x := Uniform(rng, -3, 7)
+		if x < -3 || x >= 7 {
+			t.Fatalf("Uniform out of range: %v", x)
+		}
+	}
+	// Inverted bounds are swapped rather than erroring.
+	for i := 0; i < 1000; i++ {
+		x := Uniform(rng, 7, -3)
+		if x < -3 || x >= 7 {
+			t.Fatalf("Uniform(inverted) out of range: %v", x)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	rng := NewRNG(3)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		x := Normal(rng, 10, 2)
+		sum += x
+		sq += x * x
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if mean < 9.95 || mean > 10.05 {
+		t.Fatalf("empirical mean = %v, want ~10", mean)
+	}
+	if sd := math.Sqrt(variance); sd < 1.95 || sd > 2.05 {
+		t.Fatalf("empirical sd = %v, want ~2", sd)
+	}
+}
+
+func TestWeightedChoiceDistribution(t *testing.T) {
+	rng := NewRNG(4)
+	weights := []float64{6, 3, 1} // the paper's 60/30/10 traffic mix
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[WeightedChoice(rng, weights)]++
+	}
+	fractions := []float64{0.6, 0.3, 0.1}
+	for i, want := range fractions {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("class %d frequency = %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestWeightedChoiceEdgeCases(t *testing.T) {
+	rng := NewRNG(5)
+	if got := WeightedChoice(rng, []float64{0, 0, 0}); got != 0 {
+		t.Fatalf("all-zero weights should yield 0, got %d", got)
+	}
+	if got := WeightedChoice(rng, []float64{-1, 0, 5}); got != 2 {
+		t.Fatalf("only positive weight should win, got %d", got)
+	}
+	for i := 0; i < 100; i++ {
+		if got := WeightedChoice(rng, []float64{0, 1, 0}); got != 1 {
+			t.Fatalf("deterministic choice = %d, want 1", got)
+		}
+	}
+}
+
+// Property: WeightedChoice never selects a non-positive-weight index when a
+// positive weight exists.
+func TestWeightedChoiceValidityProperty(t *testing.T) {
+	rng := NewRNG(6)
+	prop := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		anyPositive := false
+		for i, r := range raw {
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				r = 0
+			}
+			weights[i] = math.Mod(r, 100)
+			if weights[i] > 0 {
+				anyPositive = true
+			}
+		}
+		idx := WeightedChoice(rng, weights)
+		if idx < 0 || idx >= len(weights) {
+			return false
+		}
+		if anyPositive && weights[idx] <= 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package sim provides a minimal deterministic discrete-event simulation
+// kernel: an event scheduler with cancellable events, and seeded random
+// number streams with the standard distributions used by the workload
+// generators.
+//
+// Simulation time is a float64 number of seconds from the start of the run.
+// Determinism: with the same seed and the same sequence of schedule calls,
+// a run always executes events in the same order (ties on time break by
+// schedule order).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Handler is the callback attached to one event. It receives the scheduler
+// so it can schedule follow-up events.
+type Handler func(s *Scheduler)
+
+// Event is a pending scheduled callback. Obtain events from Scheduler.At or
+// Scheduler.After; Cancel prevents a pending event from firing.
+type Event struct {
+	at       float64
+	seq      uint64
+	fn       Handler
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Time returns the simulation time at which the event fires.
+func (e *Event) Time() float64 { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether the event was cancelled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Scheduler is a discrete-event executor. The zero value is not usable;
+// construct with NewScheduler.
+//
+// A Scheduler is single-threaded by design: all events run on the goroutine
+// that calls Step, Run or RunUntil.
+type Scheduler struct {
+	now      float64
+	seq      uint64
+	pq       eventHeap
+	executed uint64
+}
+
+// NewScheduler returns an empty scheduler at time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current simulation time in seconds.
+func (s *Scheduler) Now() float64 { return s.now }
+
+// Len returns the number of pending events, including cancelled events
+// that have not yet been discarded.
+func (s *Scheduler) Len() int { return len(s.pq) }
+
+// Executed returns the number of events fired so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// At schedules fn at absolute simulation time t. Scheduling in the past or
+// with a non-finite time is an error.
+func (s *Scheduler) At(t float64, fn Handler) (*Event, error) {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("sim: event time must be finite, got %v", t)
+	}
+	if t < s.now {
+		return nil, fmt.Errorf("sim: cannot schedule at %v before now %v", t, s.now)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("sim: event handler must not be nil")
+	}
+	ev := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.pq, ev)
+	return ev, nil
+}
+
+// After schedules fn d seconds from now. Negative delays are errors.
+func (s *Scheduler) After(d float64, fn Handler) (*Event, error) {
+	if math.IsNaN(d) || d < 0 {
+		return nil, fmt.Errorf("sim: delay must be >= 0, got %v", d)
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step fires the next pending event, if any, and reports whether one fired.
+// Cancelled events are discarded silently without counting as a step.
+func (s *Scheduler) Step() bool {
+	for len(s.pq) > 0 {
+		ev := heap.Pop(&s.pq).(*Event)
+		if ev.canceled {
+			continue
+		}
+		s.now = ev.at
+		s.executed++
+		ev.fn(s)
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain. maxEvents bounds the run as a
+// safeguard against runaway self-scheduling; zero means no bound. It
+// returns the number of events fired.
+func (s *Scheduler) Run(maxEvents uint64) uint64 {
+	var n uint64
+	for {
+		if maxEvents > 0 && n >= maxEvents {
+			return n
+		}
+		if !s.Step() {
+			return n
+		}
+		n++
+	}
+}
+
+// RunUntil fires all events up to and including time t, then advances the
+// clock to t. It returns the number of events fired.
+func (s *Scheduler) RunUntil(t float64) uint64 {
+	var n uint64
+	for {
+		ev := s.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		s.Step()
+		n++
+	}
+	if t > s.now {
+		s.now = t
+	}
+	return n
+}
+
+// peek returns the next non-cancelled event without firing it.
+func (s *Scheduler) peek() *Event {
+	for len(s.pq) > 0 {
+		if s.pq[0].canceled {
+			heap.Pop(&s.pq)
+			continue
+		}
+		return s.pq[0]
+	}
+	return nil
+}
+
+// eventHeap orders events by time, breaking ties by schedule sequence so
+// that runs are deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerFiresInTimeOrder(t *testing.T) {
+	s := NewScheduler()
+	var fired []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		if _, err := s.At(at, func(*Scheduler) { fired = append(fired, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.Run(0); n != 5 {
+		t.Fatalf("Run fired %d events, want 5", n)
+	}
+	want := []float64{1, 2, 3, 4, 5}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+	if s.Now() != 5 {
+		t.Fatalf("Now = %v, want 5", s.Now())
+	}
+	if s.Executed() != 5 {
+		t.Fatalf("Executed = %d, want 5", s.Executed())
+	}
+}
+
+func TestSchedulerTieBreaksBySequence(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := s.At(7, func(*Scheduler) { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(0)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("ties fired out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestSchedulerAfterAndNesting(t *testing.T) {
+	s := NewScheduler()
+	var times []float64
+	if _, err := s.After(1, func(s *Scheduler) {
+		times = append(times, s.Now())
+		if _, err := s.After(2, func(s *Scheduler) {
+			times = append(times, s.Now())
+		}); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(0)
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v, want [1 3]", times)
+	}
+}
+
+func TestSchedulerErrors(t *testing.T) {
+	s := NewScheduler()
+	if _, err := s.At(math.NaN(), func(*Scheduler) {}); err == nil {
+		t.Fatal("NaN time should error")
+	}
+	if _, err := s.At(math.Inf(1), func(*Scheduler) {}); err == nil {
+		t.Fatal("Inf time should error")
+	}
+	if _, err := s.At(1, nil); err == nil {
+		t.Fatal("nil handler should error")
+	}
+	if _, err := s.After(-1, func(*Scheduler) {}); err == nil {
+		t.Fatal("negative delay should error")
+	}
+	if _, err := s.At(5, func(*Scheduler) {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(0)
+	if _, err := s.At(4, func(*Scheduler) {}); err == nil {
+		t.Fatal("scheduling in the past should error")
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	s := NewScheduler()
+	var fired int
+	ev, err := s.At(1, func(*Scheduler) { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.At(2, func(*Scheduler) { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	ev.Cancel()
+	if !ev.Canceled() {
+		t.Fatal("Canceled() should be true")
+	}
+	if n := s.Run(0); n != 1 {
+		t.Fatalf("Run fired %d, want 1", n)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	ev.Cancel() // cancelling again is a no-op
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 10} {
+		at := at
+		if _, err := s.At(at, func(*Scheduler) { fired = append(fired, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.RunUntil(3); n != 3 {
+		t.Fatalf("RunUntil fired %d, want 3", n)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", s.Now())
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	// Advancing past the horizon with no events still moves the clock.
+	if n := s.RunUntil(5); n != 0 {
+		t.Fatalf("RunUntil(5) fired %d, want 0", n)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("Now = %v, want 5", s.Now())
+	}
+}
+
+func TestRunMaxEventsBound(t *testing.T) {
+	s := NewScheduler()
+	var spawn func(*Scheduler)
+	spawn = func(s *Scheduler) {
+		if _, err := s.After(1, spawn); err != nil {
+			t.Error(err)
+		}
+	}
+	if _, err := s.After(1, spawn); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Run(100); n != 100 {
+		t.Fatalf("bounded Run fired %d, want 100", n)
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	s := NewScheduler()
+	if s.Step() {
+		t.Fatal("Step on empty scheduler should report false")
+	}
+}
+
+func TestEventTimeAccessor(t *testing.T) {
+	s := NewScheduler()
+	ev, err := s.At(42, func(*Scheduler) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Time() != 42 {
+		t.Fatalf("Time = %v, want 42", ev.Time())
+	}
+}
+
+// Property: for any multiset of schedule times, events fire in
+// non-decreasing time order.
+func TestSchedulerOrderingProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		s := NewScheduler()
+		var fired []float64
+		for _, r := range raw {
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				continue
+			}
+			at := math.Abs(math.Mod(r, 1e6))
+			if _, err := s.At(at, func(*Scheduler) { fired = append(fired, s.Now()) }); err != nil {
+				return false
+			}
+		}
+		s.Run(0)
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

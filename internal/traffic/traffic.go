@@ -1,0 +1,185 @@
+// Package traffic models the paper's workload: three service classes
+// (text, voice, video) with fixed bandwidth demands of 1, 5 and 10
+// bandwidth units, a 60/30/10 arrival mix, Poisson call arrivals and
+// exponentially distributed call holding times.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"facs/internal/sim"
+)
+
+// Class identifies a service class.
+type Class int
+
+// The paper's three service classes.
+const (
+	// Text is non-real-time data traffic (1 BU).
+	Text Class = iota + 1
+	// Voice is real-time audio traffic (5 BU).
+	Voice
+	// Video is real-time video traffic (10 BU).
+	Video
+)
+
+// Classes lists all service classes in declaration order.
+func Classes() []Class { return []Class{Text, Voice, Video} }
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Text:
+		return "text"
+	case Voice:
+		return "voice"
+	case Video:
+		return "video"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Valid reports whether c is a known class.
+func (c Class) Valid() bool { return c == Text || c == Voice || c == Video }
+
+// BandwidthUnits returns the paper's requested size for the class:
+// 1 BU for text, 5 for voice and 10 for video. Unknown classes return 0.
+func (c Class) BandwidthUnits() int {
+	switch c {
+	case Text:
+		return 1
+	case Voice:
+		return 5
+	case Video:
+		return 10
+	default:
+		return 0
+	}
+}
+
+// RealTime reports whether the class has real-time QoS requirements
+// (voice and video). Real-time calls feed the paper's RTC counter, text
+// feeds NRTC.
+func (c Class) RealTime() bool { return c == Voice || c == Video }
+
+// Mix is a probability mix over the three classes. Fractions need not sum
+// to one; they are normalised when sampling.
+type Mix struct {
+	Text  float64
+	Voice float64
+	Video float64
+}
+
+// DefaultMix is the paper's composition: 60% text, 30% voice, 10% video.
+func DefaultMix() Mix { return Mix{Text: 0.6, Voice: 0.3, Video: 0.1} }
+
+// Validate checks that the mix has at least one positive fraction and no
+// negative ones.
+func (m Mix) Validate() error {
+	if m.Text < 0 || m.Voice < 0 || m.Video < 0 {
+		return fmt.Errorf("traffic: mix fractions must be >= 0, got %+v", m)
+	}
+	if m.Text+m.Voice+m.Video <= 0 {
+		return fmt.Errorf("traffic: mix must have a positive total, got %+v", m)
+	}
+	return nil
+}
+
+// Sample draws a class from the mix.
+func (m Mix) Sample(rng *rand.Rand) Class {
+	idx := sim.WeightedChoice(rng, []float64{m.Text, m.Voice, m.Video})
+	return Classes()[idx]
+}
+
+// Request is one connection request arriving at a base station.
+type Request struct {
+	// ID is unique within one generator run.
+	ID int
+	// Class is the service class.
+	Class Class
+	// BU is the requested bandwidth (Class.BandwidthUnits()).
+	BU int
+	// ArrivalTime is the simulation time of the request in seconds.
+	ArrivalTime float64
+	// HoldingTime is the requested call duration in seconds.
+	HoldingTime float64
+}
+
+// GeneratorConfig parameterises a workload generator.
+type GeneratorConfig struct {
+	// Mix is the class composition (DefaultMix if zero).
+	Mix Mix
+	// MeanInterarrival is the mean gap between call arrivals in seconds
+	// (Poisson process). Must be > 0.
+	MeanInterarrival float64
+	// MeanHolding is the mean call holding time in seconds (exponential).
+	// Must be > 0.
+	MeanHolding float64
+}
+
+// Validate checks the configuration.
+func (c GeneratorConfig) Validate() error {
+	if err := c.Mix.Validate(); err != nil {
+		return err
+	}
+	if !(c.MeanInterarrival > 0) {
+		return fmt.Errorf("traffic: mean interarrival must be > 0, got %v", c.MeanInterarrival)
+	}
+	if !(c.MeanHolding > 0) {
+		return fmt.Errorf("traffic: mean holding must be > 0, got %v", c.MeanHolding)
+	}
+	return nil
+}
+
+// Generator produces a Poisson stream of connection requests.
+type Generator struct {
+	cfg    GeneratorConfig
+	rng    *rand.Rand
+	nextID int
+	now    float64
+}
+
+// NewGenerator constructs a generator. The generator owns the provided rng
+// stream; callers must not share it with other consumers if reproducibility
+// matters.
+func NewGenerator(cfg GeneratorConfig, rng *rand.Rand) (*Generator, error) {
+	if (cfg.Mix == Mix{}) {
+		cfg.Mix = DefaultMix()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("traffic: rng must not be nil")
+	}
+	return &Generator{cfg: cfg, rng: rng}, nil
+}
+
+// Next produces the next request in arrival-time order.
+func (g *Generator) Next() Request {
+	g.now += sim.Exponential(g.rng, g.cfg.MeanInterarrival)
+	class := g.cfg.Mix.Sample(g.rng)
+	req := Request{
+		ID:          g.nextID,
+		Class:       class,
+		BU:          class.BandwidthUnits(),
+		ArrivalTime: g.now,
+		HoldingTime: sim.Exponential(g.rng, g.cfg.MeanHolding),
+	}
+	g.nextID++
+	return req
+}
+
+// Take produces the next n requests.
+func (g *Generator) Take(n int) []Request {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Request, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.Next())
+	}
+	return out
+}

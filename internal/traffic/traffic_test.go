@@ -1,0 +1,203 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"facs/internal/sim"
+)
+
+func TestClassProperties(t *testing.T) {
+	tests := []struct {
+		class    Class
+		name     string
+		bu       int
+		realTime bool
+	}{
+		{Text, "text", 1, false},
+		{Voice, "voice", 5, true},
+		{Video, "video", 10, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.class.String(); got != tc.name {
+				t.Errorf("String = %q, want %q", got, tc.name)
+			}
+			if got := tc.class.BandwidthUnits(); got != tc.bu {
+				t.Errorf("BandwidthUnits = %d, want %d", got, tc.bu)
+			}
+			if got := tc.class.RealTime(); got != tc.realTime {
+				t.Errorf("RealTime = %v, want %v", got, tc.realTime)
+			}
+			if !tc.class.Valid() {
+				t.Error("Valid = false")
+			}
+		})
+	}
+	unknown := Class(99)
+	if unknown.Valid() || unknown.BandwidthUnits() != 0 {
+		t.Error("unknown class should be invalid with 0 BU")
+	}
+	if unknown.String() != "Class(99)" {
+		t.Errorf("unknown String = %q", unknown.String())
+	}
+	if len(Classes()) != 3 {
+		t.Error("Classes should list 3 classes")
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mix     Mix
+		wantErr bool
+	}{
+		{"default", DefaultMix(), false},
+		{"single class", Mix{Text: 1}, false},
+		{"negative", Mix{Text: -0.1, Voice: 1}, true},
+		{"all zero", Mix{}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.mix.Validate()
+			if gotErr := err != nil; gotErr != tc.wantErr {
+				t.Fatalf("Validate = %v, want error %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestMixSampleFrequencies(t *testing.T) {
+	rng := sim.NewRNG(11)
+	mix := DefaultMix()
+	counts := map[Class]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[mix.Sample(rng)]++
+	}
+	wants := map[Class]float64{Text: 0.6, Voice: 0.3, Video: 0.1}
+	for class, want := range wants {
+		got := float64(counts[class]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%v frequency = %v, want ~%v", class, got, want)
+		}
+	}
+}
+
+func TestGeneratorConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     GeneratorConfig
+		wantErr bool
+	}{
+		{"ok", GeneratorConfig{Mix: DefaultMix(), MeanInterarrival: 10, MeanHolding: 120}, false},
+		{"zero interarrival", GeneratorConfig{Mix: DefaultMix(), MeanHolding: 120}, true},
+		{"zero holding", GeneratorConfig{Mix: DefaultMix(), MeanInterarrival: 10}, true},
+		{"bad mix", GeneratorConfig{Mix: Mix{Text: -1}, MeanInterarrival: 10, MeanHolding: 120}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if gotErr := err != nil; gotErr != tc.wantErr {
+				t.Fatalf("Validate = %v, want error %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewGeneratorDefaultsMix(t *testing.T) {
+	g, err := NewGenerator(GeneratorConfig{MeanInterarrival: 1, MeanHolding: 1}, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.cfg.Mix != DefaultMix() {
+		t.Fatalf("zero mix should default to the paper mix, got %+v", g.cfg.Mix)
+	}
+	if _, err := NewGenerator(GeneratorConfig{MeanInterarrival: 1, MeanHolding: 1}, nil); err == nil {
+		t.Fatal("nil rng should error")
+	}
+	if _, err := NewGenerator(GeneratorConfig{MeanHolding: 1}, sim.NewRNG(1)); err == nil {
+		t.Fatal("invalid config should error")
+	}
+}
+
+func TestGeneratorProducesOrderedUniqueRequests(t *testing.T) {
+	g, err := NewGenerator(GeneratorConfig{MeanInterarrival: 5, MeanHolding: 100}, sim.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := g.Take(500)
+	if len(reqs) != 500 {
+		t.Fatalf("Take(500) returned %d", len(reqs))
+	}
+	seen := map[int]bool{}
+	prev := -1.0
+	for _, r := range reqs {
+		if seen[r.ID] {
+			t.Fatalf("duplicate ID %d", r.ID)
+		}
+		seen[r.ID] = true
+		if r.ArrivalTime < prev {
+			t.Fatalf("arrivals out of order at ID %d", r.ID)
+		}
+		prev = r.ArrivalTime
+		if !r.Class.Valid() {
+			t.Fatalf("invalid class %v", r.Class)
+		}
+		if r.BU != r.Class.BandwidthUnits() {
+			t.Fatalf("BU mismatch for %v: %d", r.Class, r.BU)
+		}
+		if r.HoldingTime < 0 {
+			t.Fatalf("negative holding time %v", r.HoldingTime)
+		}
+	}
+}
+
+func TestGeneratorStatistics(t *testing.T) {
+	g, err := NewGenerator(GeneratorConfig{MeanInterarrival: 2, MeanHolding: 50}, sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	reqs := g.Take(n)
+	var holdSum float64
+	for _, r := range reqs {
+		holdSum += r.HoldingTime
+	}
+	meanGap := reqs[n-1].ArrivalTime / float64(n)
+	if math.Abs(meanGap-2) > 0.05 {
+		t.Fatalf("mean interarrival = %v, want ~2", meanGap)
+	}
+	if meanHold := holdSum / n; math.Abs(meanHold-50) > 1 {
+		t.Fatalf("mean holding = %v, want ~50", meanHold)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	mk := func() []Request {
+		g, err := NewGenerator(GeneratorConfig{MeanInterarrival: 3, MeanHolding: 60}, sim.NewRNG(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.Take(100)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestGeneratorTakeNonPositive(t *testing.T) {
+	g, err := NewGenerator(GeneratorConfig{MeanInterarrival: 1, MeanHolding: 1}, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Take(0); got != nil {
+		t.Fatalf("Take(0) = %v, want nil", got)
+	}
+	if got := g.Take(-3); got != nil {
+		t.Fatalf("Take(-3) = %v, want nil", got)
+	}
+}
