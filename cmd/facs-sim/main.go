@@ -8,6 +8,8 @@
 //	facs-sim -n 100 -angle 90                # sideways users
 //	facs-sim -n 100 -multicell -controller scc
 //	facs-sim -n 100 -controller guard -guard 8
+//	facs-sim -n 100 -compiled                # lookup-table FACS fast path
+//	facs-sim -n 100 -reps 8 -workers 4       # 8 replications on 4 workers
 package main
 
 import (
@@ -28,80 +30,128 @@ func main() {
 	}
 }
 
+// simOptions collects the parsed command line.
+type simOptions struct {
+	controller string
+	n          int
+	window     float64
+	holding    float64
+	speed      float64
+	angle      float64
+	dist       float64
+	seed       int64
+	multicell  bool
+	compiled   bool
+	guard      int
+	threshold  float64
+	reps       int
+	workers    int
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("facs-sim", flag.ContinueOnError)
-	controller := fs.String("controller", "facs", "admission controller: facs, scc, cs, guard, threshold")
-	n := fs.Int("n", 100, "number of requesting connections")
-	window := fs.Float64("window", 0, "arrival window in seconds (0 = scenario default)")
-	holding := fs.Float64("holding", 120, "mean call holding time in seconds")
-	speed := fs.Float64("speed", -1, "pin user speed in km/h (-1 = scenario default)")
-	angle := fs.Float64("angle", 0, "pin user angle offset in degrees (single cell)")
-	dist := fs.Float64("dist", -1, "pin user-BS distance in km (-1 = sample 0.5..9.5)")
-	seed := fs.Int64("seed", 1, "random seed")
-	multicell := fs.Bool("multicell", false, "run the multi-cell handoff scenario")
-	guard := fs.Int("guard", 8, "guard bandwidth for -controller guard")
-	threshold := fs.Float64("accept-threshold", facs.DefaultAcceptThreshold, "FACS accept threshold")
+	var o simOptions
+	fs.StringVar(&o.controller, "controller", "facs", "admission controller: facs, scc, cs, guard, threshold")
+	fs.IntVar(&o.n, "n", 100, "number of requesting connections")
+	fs.Float64Var(&o.window, "window", 0, "arrival window in seconds (0 = scenario default)")
+	fs.Float64Var(&o.holding, "holding", 120, "mean call holding time in seconds")
+	fs.Float64Var(&o.speed, "speed", -1, "pin user speed in km/h (-1 = scenario default)")
+	fs.Float64Var(&o.angle, "angle", 0, "pin user angle offset in degrees (single cell)")
+	fs.Float64Var(&o.dist, "dist", -1, "pin user-BS distance in km (-1 = sample 0.5..9.5)")
+	fs.Int64Var(&o.seed, "seed", 1, "random seed (first seed when -reps > 1)")
+	fs.BoolVar(&o.multicell, "multicell", false, "run the multi-cell handoff scenario")
+	fs.BoolVar(&o.compiled, "compiled", false, "use the lookup-table FACS fast path (controller facs only)")
+	fs.IntVar(&o.guard, "guard", 8, "guard bandwidth for -controller guard")
+	fs.Float64Var(&o.threshold, "accept-threshold", facs.DefaultAcceptThreshold, "FACS accept threshold")
+	fs.IntVar(&o.reps, "reps", 1, "independent replications with seeds seed..seed+reps-1")
+	fs.IntVar(&o.workers, "workers", 0, "worker pool size for replications (0 = one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	if *multicell {
-		return runMulti(*controller, *n, *window, *holding, *speed, *seed, *guard, *threshold)
+	if o.reps < 1 {
+		return fmt.Errorf("-reps must be >= 1, got %d", o.reps)
 	}
-	return runSingle(*controller, *n, *window, *holding, *speed, *angle, *dist, *seed, *guard, *threshold)
+	if o.compiled && o.controller != "facs" {
+		return fmt.Errorf("-compiled applies to -controller facs, got %q", o.controller)
+	}
+	if o.multicell {
+		return runMulti(o)
+	}
+	return runSingle(o)
+}
+
+// seeds lists the replication seeds seed..seed+reps-1.
+func (o simOptions) seeds() []int64 {
+	out := make([]int64, o.reps)
+	for i := range out {
+		out[i] = o.seed + int64(i)
+	}
+	return out
+}
+
+// buildFACS constructs the FACS under test: exact by default, the
+// shared compiled fast path with -compiled (a custom accept threshold
+// compiles a dedicated instance).
+func buildFACS(o simOptions) (facs.Controller, error) {
+	if !o.compiled {
+		return facs.NewSystem(facs.WithAcceptThreshold(o.threshold))
+	}
+	if o.threshold == facs.DefaultAcceptThreshold {
+		return facs.DefaultCompiledSystem()
+	}
+	return facs.NewCompiledSystem(0, facs.WithAcceptThreshold(o.threshold))
 }
 
 // buildController constructs a standalone controller (single-cell
 // scenarios; SCC needs a network and is built separately).
-func buildController(name string, guard int, threshold float64) (facs.Controller, error) {
-	switch name {
+func buildController(o simOptions) (facs.Controller, error) {
+	switch o.controller {
 	case "facs":
-		return facs.NewSystem(facs.WithAcceptThreshold(threshold))
+		return buildFACS(o)
 	case "cs":
 		return facs.CompleteSharing{}, nil
 	case "guard":
-		return facs.NewGuardChannel(guard)
+		return facs.NewGuardChannel(o.guard)
 	case "threshold":
 		return facs.NewThresholdPolicy(map[facs.Class]int{facs.Video: 10})
 	default:
-		return nil, fmt.Errorf("unknown controller %q (single cell supports facs, cs, guard, threshold)", name)
+		return nil, fmt.Errorf("unknown controller %q (single cell supports facs, cs, guard, threshold)", o.controller)
 	}
 }
 
-func runSingle(name string, n int, window, holding, speed, angle, dist float64, seed int64, guard int, threshold float64) error {
-	if name == "scc" {
-		// SCC over a single isolated cell: build a 1-cell network.
-		net, err := facs.NewNetwork(facs.NetworkConfig{Rings: 0})
-		if err != nil {
-			return err
-		}
-		_ = net
+func runSingle(o simOptions) error {
+	if o.controller == "scc" {
 		return fmt.Errorf("scc requires -multicell (its projections need a neighbourhood)")
 	}
-	ctrl, err := buildController(name, guard, threshold)
+	ctrl, err := buildController(o)
 	if err != nil {
 		return err
 	}
 	cfg := facs.SingleCellConfig{
 		Controller:     ctrl,
-		NumRequests:    n,
-		WindowSec:      window,
-		MeanHoldingSec: holding,
-		AngleOffsetDeg: facs.Pin(angle),
-		Seed:           seed,
+		NumRequests:    o.n,
+		WindowSec:      o.window,
+		MeanHoldingSec: o.holding,
+		AngleOffsetDeg: facs.Pin(o.angle),
+		Seed:           o.seed,
 	}
-	if speed >= 0 {
-		cfg.SpeedKmh = facs.Pin(speed)
+	if o.speed >= 0 {
+		cfg.SpeedKmh = facs.Pin(o.speed)
 	}
-	if dist >= 0 {
-		cfg.DistanceKm = facs.Pin(dist)
+	if o.dist >= 0 {
+		cfg.DistanceKm = facs.Pin(o.dist)
 	}
-	res, err := facs.RunSingleCell(cfg)
+	results, err := facs.RunSingleCellSeeds(cfg, o.seeds(), o.workers)
 	if err != nil {
 		return err
 	}
+	res := results[0]
 	fmt.Printf("scenario      single cell (40 BU)\n")
 	fmt.Printf("controller    %s\n", ctrl.Name())
+	if o.reps > 1 {
+		printSingleReplications(o, results)
+		return nil
+	}
 	fmt.Printf("requested     %d\n", res.Requested)
 	fmt.Printf("accepted      %d (%.1f%%)\n", res.Accepted, res.AcceptedPct())
 	for _, class := range []facs.Class{facs.Text, facs.Voice, facs.Video} {
@@ -114,13 +164,27 @@ func runSingle(name string, n int, window, holding, speed, angle, dist float64, 
 	return nil
 }
 
-func runMulti(name string, n int, window, holding, speed float64, seed int64, guard int, threshold float64) error {
+func printSingleReplications(o simOptions, results []facs.SingleCellResult) {
+	var sum float64
+	for i, r := range results {
+		fmt.Printf("rep %-3d seed=%-4d accepted %d/%d (%.1f%%)\n",
+			i+1, o.seed+int64(i), r.Accepted, r.Requested, r.AcceptedPct())
+		sum += r.AcceptedPct()
+	}
+	fmt.Printf("mean accepted %.1f%% over %d replications\n", sum/float64(len(results)), len(results))
+}
+
+func runMulti(o simOptions) error {
 	var factory func(*facs.Network) (facs.Controller, error)
-	switch name {
+	switch o.controller {
 	case "facs":
-		factory = func(*facs.Network) (facs.Controller, error) {
-			return facs.NewSystem(facs.WithAcceptThreshold(threshold))
+		// Build once and share across replications: the FACS is
+		// stateless, and the compiled variant costs seconds to build.
+		ctrl, err := buildFACS(o)
+		if err != nil {
+			return err
 		}
+		factory = func(*facs.Network) (facs.Controller, error) { return ctrl, nil }
 	case "scc":
 		factory = func(net *facs.Network) (facs.Controller, error) {
 			return iscc.New(iscc.Config{
@@ -132,30 +196,43 @@ func runMulti(name string, n int, window, holding, speed float64, seed int64, gu
 	case "cs":
 		factory = func(*facs.Network) (facs.Controller, error) { return facs.CompleteSharing{}, nil }
 	case "guard":
-		factory = func(*facs.Network) (facs.Controller, error) { return facs.NewGuardChannel(guard) }
+		factory = func(*facs.Network) (facs.Controller, error) { return facs.NewGuardChannel(o.guard) }
 	case "threshold":
 		factory = func(*facs.Network) (facs.Controller, error) {
 			return facs.NewThresholdPolicy(map[itraffic.Class]int{itraffic.Video: 10})
 		}
 	default:
-		return fmt.Errorf("unknown controller %q", name)
+		return fmt.Errorf("unknown controller %q", o.controller)
 	}
 	cfg := facs.MultiCellConfig{
 		NewController:  factory,
-		NumRequests:    n,
-		WindowSec:      window,
-		MeanHoldingSec: holding,
-		Seed:           seed,
+		NumRequests:    o.n,
+		WindowSec:      o.window,
+		MeanHoldingSec: o.holding,
+		Seed:           o.seed,
 	}
-	if speed >= 0 {
-		cfg.SpeedKmh = facs.Pin(speed)
+	if o.speed >= 0 {
+		cfg.SpeedKmh = facs.Pin(o.speed)
 	}
-	res, err := facs.RunMultiCell(cfg)
+	results, err := facs.RunMultiCellSeeds(cfg, o.seeds(), o.workers)
 	if err != nil {
 		return err
 	}
+	res := results[0]
 	fmt.Printf("scenario      multi cell (7 x %d BU, handoffs)\n", icell.DefaultCapacityBU)
 	fmt.Printf("controller    %s\n", res.ControllerName)
+	if o.reps > 1 {
+		var accSum, dropSum float64
+		for i, r := range results {
+			fmt.Printf("rep %-3d seed=%-4d accepted %d/%d (%.1f%%), %d handoff drops (%.2f%%)\n",
+				i+1, o.seed+int64(i), r.Accepted, r.Requested, r.AcceptedPct(), r.HandoffDrops, r.DropPct())
+			accSum += r.AcceptedPct()
+			dropSum += r.DropPct()
+		}
+		fmt.Printf("mean accepted %.1f%%, mean drop %.2f%% over %d replications\n",
+			accSum/float64(len(results)), dropSum/float64(len(results)), len(results))
+		return nil
+	}
 	fmt.Printf("requested     %d\n", res.Requested)
 	fmt.Printf("accepted      %d (%.1f%%)\n", res.Accepted, res.AcceptedPct())
 	fmt.Printf("handoffs      %d attempts, %d drops (%.2f%%)\n",

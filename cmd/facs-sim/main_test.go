@@ -19,7 +19,7 @@ func TestBuildController(t *testing.T) {
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
-			ctrl, err := buildController(tc.name, 8, 0.25)
+			ctrl, err := buildController(simOptions{controller: tc.name, guard: 8, threshold: 0.25})
 			if tc.wantErr {
 				if err == nil {
 					t.Fatal("expected an error")
@@ -71,5 +71,23 @@ func TestRunMultiCellCLI(t *testing.T) {
 func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-no-such-flag"}); err == nil {
 		t.Fatal("bad flag should fail")
+	}
+	if err := run([]string{"-reps", "0"}); err == nil {
+		t.Fatal("-reps 0 should fail")
+	}
+	if err := run([]string{"-compiled", "-controller", "cs"}); err == nil {
+		t.Fatal("-compiled with a non-facs controller should fail")
+	}
+}
+
+func TestRunCompiledAndReplications(t *testing.T) {
+	if err := run([]string{"-n", "20", "-compiled", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "15", "-reps", "3", "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-multicell", "-n", "15", "-compiled", "-reps", "2"}); err != nil {
+		t.Fatal(err)
 	}
 }

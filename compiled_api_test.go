@@ -1,0 +1,67 @@
+package facs_test
+
+import (
+	"testing"
+
+	"facs"
+)
+
+// Public-API smoke tests for the compiled fast path; the exhaustive
+// golden-equivalence suite lives in internal/facs.
+
+func TestPublicCompiledSystem(t *testing.T) {
+	exact := facs.MustSystem()
+	cc, err := facs.DefaultCompiledSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obs := range []facs.Observation{
+		{SpeedKmh: 60, AngleDeg: 0, DistanceKm: 2},
+		{SpeedKmh: 4, AngleDeg: 90, DistanceKm: 9},
+		{SpeedKmh: 30, AngleDeg: -50, DistanceKm: 5.5},
+	} {
+		want, err := exact.Evaluate(obs, 5, 12, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cc.Evaluate(obs, 5, 12, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Accepted != want.Accepted || got.Grade != want.Grade {
+			t.Fatalf("decision mismatch at %+v: exact (%v, %v), compiled (%v, %v)",
+				obs, want.Grade, want.Accepted, got.Grade, got.Accepted)
+		}
+	}
+	if cc.Name() != "facs-compiled" {
+		t.Fatalf("Name = %q", cc.Name())
+	}
+}
+
+func TestPublicCompiledSystemErrors(t *testing.T) {
+	if _, err := facs.NewCompiledSystem(0, facs.WithAcceptThreshold(7)); err == nil {
+		t.Fatal("invalid option should propagate")
+	}
+}
+
+func TestPublicRunSeeds(t *testing.T) {
+	cc, err := facs.DefaultCompiledSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := facs.RunSingleCellSeeds(facs.SingleCellConfig{
+		Controller:  cc,
+		NumRequests: 15,
+	}, []int64{1, 2, 3}, facs.DefaultWorkers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for _, r := range results {
+		if r.Requested == 0 {
+			t.Fatal("empty replication result")
+		}
+	}
+}

@@ -23,6 +23,29 @@
 //	if err != nil { ... }
 //	if ev.Accepted { ... }
 //
+// # Compiled fast path
+//
+// For hot admission loops the two Mamdani inferences can be replaced by
+// a compiled lookup table:
+//
+//	cc, err := facs.DefaultCompiledSystem() // compiled once, shared
+//	ev, err := cc.Evaluate(obs, 5, 12, false)
+//
+// NewCompiledSystem samples both controllers over dense grids at
+// construction time (seconds of one-off cost) and answers queries by
+// trilinear interpolation, roughly 40-50x faster than the exact
+// engines at the paper's operating points. The trade-off is explicit
+// and guarded: the crisp Cv and A/R values carry a small interpolation
+// tolerance (documented and enforced by the golden-equivalence test
+// suite in internal/facs), while accept/reject outcomes and decision
+// grades are always identical to the exact System — each surface
+// carries per-cell error bounds, and any query whose interpolated A/R
+// value lands within its bound of a decision boundary is re-run on the
+// exact engines (a few percent of a uniformly random workload, less on
+// realistic traffic). Use the exact System when the crisp values
+// themselves must be reference-grade; use the compiled path when
+// decision throughput matters.
+//
 // # Reproduction
 //
 //	fig, err := facs.Figure10(facs.FigureConfig{})
@@ -30,5 +53,10 @@
 //
 // The cmd/facs-repro binary regenerates every table and figure; DESIGN.md
 // maps each paper artifact to the module that rebuilds it and
-// EXPERIMENTS.md records paper-vs-measured results.
+// EXPERIMENTS.md records paper-vs-measured results. Figure
+// replications are independent simulations and run on a worker pool
+// (FigureConfig.Workers, default one per CPU); results are identical
+// for every worker count because each replication derives all of its
+// randomness from its own seed. FigureConfig.Compiled switches the
+// FACS curves to the compiled fast path without changing any curve.
 package facs

@@ -23,6 +23,12 @@ type (
 // RunSingleCell executes the single-cell scenario.
 var RunSingleCell = iexp.RunSingleCell
 
+// RunSingleCellSeeds runs the single-cell scenario once per seed on a
+// worker pool (workers <= 0 selects DefaultWorkers), returning
+// per-seed results in seed order; the output is identical for every
+// worker count.
+var RunSingleCellSeeds = iexp.RunSingleCellSeeds
+
 // MultiCellConfig parameterises the Fig. 10 multi-cell handoff scenario;
 // MultiCellResult aggregates one run.
 type (
@@ -32,6 +38,15 @@ type (
 
 // RunMultiCell executes the multi-cell scenario.
 var RunMultiCell = iexp.RunMultiCell
+
+// RunMultiCellSeeds runs the multi-cell scenario once per seed on a
+// worker pool, returning per-seed results in seed order; the output is
+// identical for every worker count.
+var RunMultiCellSeeds = iexp.RunMultiCellSeeds
+
+// DefaultWorkers is the worker-pool size used when a configuration
+// leaves Workers at zero: one per CPU.
+var DefaultWorkers = iexp.DefaultWorkers
 
 // HandoffPolicy selects how handoffs are admitted in the multi-cell
 // scenario: HandoffPhysical admits whenever the target cell has room
@@ -74,8 +89,9 @@ var (
 // FACSFactory and SCCFactory build the Fig. 10 contestants for multi-cell
 // runs.
 var (
-	FACSFactory = iexp.FACSFactory
-	SCCFactory  = iexp.SCCFactory
+	FACSFactory         = iexp.FACSFactory
+	CompiledFACSFactory = iexp.CompiledFACSFactory
+	SCCFactory          = iexp.SCCFactory
 )
 
 // Series is a labelled (x, y) curve, the unit of figure regeneration.

@@ -68,6 +68,38 @@ var (
 	WithHandoffBias = ifacs.WithHandoffBias
 )
 
+// CompiledSystem is the lookup-table fast path of the FACS: both fuzzy
+// controllers sampled into dense interpolation surfaces at construction
+// time, so a full decision costs two trilinear interpolations instead
+// of two Mamdani inferences. Accept/reject outcomes and grades are
+// guaranteed to match the exact System via a guard band that re-runs
+// the exact engines for the rare request whose interpolated A/R value
+// lands within the local error bound of a decision boundary. It
+// implements Controller and is safe for concurrent use.
+type CompiledSystem = ifacs.CompiledController
+
+// DefaultSurfaceGridSize is the default per-axis lookup-table
+// resolution of NewCompiledSystem.
+const DefaultSurfaceGridSize = ifacs.DefaultSurfaceGridSize
+
+// NewCompiledSystem builds the exact System for the options and
+// compiles it into the lookup-table fast path (gridSize <= 0 selects
+// DefaultSurfaceGridSize). Compilation costs seconds; amortise it over
+// many decisions, or use DefaultCompiledSystem for the shared default
+// instance.
+func NewCompiledSystem(gridSize int, opts ...SystemOption) (*CompiledSystem, error) {
+	return ifacs.NewCompiled(gridSize, opts...)
+}
+
+// MustCompiledSystem is like NewCompiledSystem but panics on error.
+func MustCompiledSystem(gridSize int, opts ...SystemOption) *CompiledSystem {
+	return ifacs.MustCompiled(gridSize, opts...)
+}
+
+// DefaultCompiledSystem returns the process-wide shared compiled FACS
+// for the default configuration, compiling it on first use.
+func DefaultCompiledSystem() (*CompiledSystem, error) { return ifacs.DefaultCompiled() }
+
 // Observation is the FLC1 input triple for one user relative to one base
 // station: speed (km/h), angle between the user's heading and the bearing
 // towards the station (degrees; 0 = straight at it), and distance (km).

@@ -116,18 +116,14 @@ func AblationSCC(fc FigureConfig) (Figure, error) {
 				RequireClusterCoverage: true,
 			})
 		}
+		grid, err := multiCellCurve(fc, MultiCellConfig{NewController: factory})
+		if err != nil {
+			return Figure{}, err
+		}
 		series := metrics.Series{Label: v.label}
-		for _, n := range fc.LoadPoints {
+		for pi, n := range fc.LoadPoints {
 			var acc float64
-			for _, seed := range fc.Seeds {
-				res, err := RunMultiCell(MultiCellConfig{
-					NewController: factory,
-					NumRequests:   n,
-					Seed:          seed,
-				})
-				if err != nil {
-					return Figure{}, err
-				}
+			for _, res := range grid[pi] {
 				acc += res.AcceptedPct()
 			}
 			series.Append(float64(n), acc/float64(len(fc.Seeds)))
@@ -168,20 +164,16 @@ func AblationBaselines(fc FigureConfig) (Figure, error) {
 	}
 	for _, sc := range schemes {
 		sc := sc
+		grid, err := multiCellCurve(fc, MultiCellConfig{NewController: sc.factory})
+		if err != nil {
+			return Figure{}, err
+		}
 		series := metrics.Series{Label: sc.label}
 		var dropSum float64
 		var runs int
-		for _, n := range fc.LoadPoints {
+		for pi, n := range fc.LoadPoints {
 			var acc float64
-			for _, seed := range fc.Seeds {
-				res, err := RunMultiCell(MultiCellConfig{
-					NewController: sc.factory,
-					NumRequests:   n,
-					Seed:          seed,
-				})
-				if err != nil {
-					return Figure{}, err
-				}
+			for _, res := range grid[pi] {
 				acc += res.AcceptedPct()
 				dropSum += res.DropPct()
 				runs++
@@ -286,22 +278,20 @@ func AblationHandoffPriority(fc FigureConfig) (Figure, error) {
 	}
 	for _, sc := range schemes {
 		sc := sc
+		grid, err := multiCellCurve(fc, MultiCellConfig{
+			NewController: sc.factory,
+			WindowSec:     80, // heavier than Fig. 10 so drops occur
+			HandoffPolicy: HandoffControlled,
+		})
+		if err != nil {
+			return Figure{}, err
+		}
 		series := metrics.Series{Label: sc.label}
 		var dropSum float64
 		var runs int
-		for _, n := range fc.LoadPoints {
+		for pi, n := range fc.LoadPoints {
 			var acc float64
-			for _, seed := range fc.Seeds {
-				res, err := RunMultiCell(MultiCellConfig{
-					NewController: sc.factory,
-					NumRequests:   n,
-					WindowSec:     80, // heavier than Fig. 10 so drops occur
-					HandoffPolicy: HandoffControlled,
-					Seed:          seed,
-				})
-				if err != nil {
-					return Figure{}, err
-				}
+			for _, res := range grid[pi] {
 				acc += res.AcceptedPct()
 				dropSum += res.DropPct()
 				runs++
@@ -339,29 +329,35 @@ func AblationQueueing(fc FigureConfig) (Figure, error) {
 		{"queue 15s", true, 15},
 		{"queue 60s", true, 60},
 	}
+	ctrl, err := fc.facsController()
+	if err != nil {
+		return Figure{}, err
+	}
 	for _, v := range variants {
 		v := v
+		grid, err := replicate(fc, func(n int, seed int64) (SingleCellResult, error) {
+			cfg := SingleCellConfig{
+				Controller:        ctrl,
+				NumRequests:       n,
+				QueueTextRequests: v.queue,
+				MaxQueueWaitSec:   v.waitSec,
+				Seed:              seed,
+			}
+			if !v.queue {
+				cfg.MaxQueueWaitSec = 0 // use the default; ignored
+			}
+			return RunSingleCell(cfg)
+		})
+		if err != nil {
+			return Figure{}, err
+		}
 		series := metrics.Series{Label: v.label}
 		var queued, queuedAccepted int
 		var waitSum float64
 		var waitRuns int
-		for _, n := range fc.LoadPoints {
+		for pi, n := range fc.LoadPoints {
 			var acc float64
-			for _, seed := range fc.Seeds {
-				cfg := SingleCellConfig{
-					Controller:        facs.Must(),
-					NumRequests:       n,
-					QueueTextRequests: v.queue,
-					MaxQueueWaitSec:   v.waitSec,
-					Seed:              seed,
-				}
-				if !v.queue {
-					cfg.MaxQueueWaitSec = 0 // use the default; ignored
-				}
-				res, err := RunSingleCell(cfg)
-				if err != nil {
-					return Figure{}, err
-				}
+			for _, res := range grid[pi] {
 				acc += res.AcceptedPct()
 				queued += res.Queued
 				queuedAccepted += res.QueuedAccepted

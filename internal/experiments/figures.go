@@ -34,6 +34,17 @@ type FigureConfig struct {
 	// Seeds lists the replication seeds; reported curves are the means
 	// across seeds. Default {1, 2, 3, 4, 5}.
 	Seeds []int64
+	// Workers is the size of the worker pool the independent
+	// (load point, seed) replications are sharded across. Zero selects
+	// DefaultWorkers (one per CPU); results are identical for every
+	// worker count.
+	Workers int
+	// Compiled switches the FACS controller under test to the
+	// lookup-table fast path (facs.CompiledController). Admission
+	// decisions and grades are guaranteed to match the exact engine,
+	// so curves are unchanged; only the runtime drops. Ablations that
+	// probe non-default engine configurations ignore the flag.
+	Compiled bool
 }
 
 func (c FigureConfig) withDefaults() FigureConfig {
@@ -43,7 +54,21 @@ func (c FigureConfig) withDefaults() FigureConfig {
 	if len(c.Seeds) == 0 {
 		c.Seeds = []int64{1, 2, 3, 4, 5}
 	}
+	if c.Workers <= 0 {
+		c.Workers = DefaultWorkers()
+	}
 	return c
+}
+
+// facsController returns the FACS instance the figure curves run:
+// the shared compiled fast path when fc.Compiled is set, otherwise a
+// fresh exact System. Both are safe for concurrent use across
+// replications.
+func (c FigureConfig) facsController() (cac.Controller, error) {
+	if c.Compiled {
+		return facs.DefaultCompiled()
+	}
+	return facs.New()
 }
 
 // Validate checks the configuration.
@@ -56,28 +81,48 @@ func (c FigureConfig) Validate() error {
 	return nil
 }
 
-// singleCellCurve runs the single-cell scenario across the load points,
-// averaging acceptance over the seeds.
+// singleCellCurve runs the single-cell scenario across the load points
+// on the worker pool, averaging acceptance over the seeds. The base
+// controller is built once and shared by every replication; mutate may
+// override it per configuration.
 func singleCellCurve(fc FigureConfig, label string, mutate func(*SingleCellConfig)) (metrics.Series, error) {
+	ctrl, err := fc.facsController()
+	if err != nil {
+		return metrics.Series{}, err
+	}
+	grid, err := replicate(fc, func(n int, seed int64) (SingleCellResult, error) {
+		cfg := SingleCellConfig{
+			Controller:  ctrl,
+			NumRequests: n,
+			Seed:        seed,
+		}
+		mutate(&cfg)
+		return RunSingleCell(cfg)
+	})
+	if err != nil {
+		return metrics.Series{}, fmt.Errorf("experiments: %s: %w", label, err)
+	}
 	series := metrics.Series{Label: label}
-	for _, n := range fc.LoadPoints {
+	for pi, n := range fc.LoadPoints {
 		var acc float64
-		for _, seed := range fc.Seeds {
-			cfg := SingleCellConfig{
-				Controller:  facs.Must(),
-				NumRequests: n,
-				Seed:        seed,
-			}
-			mutate(&cfg)
-			res, err := RunSingleCell(cfg)
-			if err != nil {
-				return metrics.Series{}, fmt.Errorf("experiments: %s at N=%d: %w", label, n, err)
-			}
+		for _, res := range grid[pi] {
 			acc += res.AcceptedPct()
 		}
 		series.Append(float64(n), acc/float64(len(fc.Seeds)))
 	}
 	return series, nil
+}
+
+// multiCellCurve runs the multi-cell scenario for every (load point,
+// seed) pair on the worker pool, returning the full result grid in
+// deterministic order for the caller to aggregate.
+func multiCellCurve(fc FigureConfig, base MultiCellConfig) ([][]MultiCellResult, error) {
+	return replicate(fc, func(n int, seed int64) (MultiCellResult, error) {
+		cfg := base
+		cfg.NumRequests = n
+		cfg.Seed = seed
+		return RunMultiCell(cfg)
+	})
 }
 
 // Figure7 regenerates paper Fig. 7: percentage of accepted calls versus
@@ -165,6 +210,13 @@ func FACSFactory() func(*cell.Network) (cac.Controller, error) {
 	return func(*cell.Network) (cac.Controller, error) { return facs.New() }
 }
 
+// CompiledFACSFactory supplies the shared lookup-table FACS fast path
+// for multi-cell runs. The controller is stateless and concurrency
+// safe, so one compiled instance serves every cell and replication.
+func CompiledFACSFactory() func(*cell.Network) (cac.Controller, error) {
+	return func(*cell.Network) (cac.Controller, error) { return facs.DefaultCompiled() }
+}
+
 // SCCFactory builds the Fig. 10 SCC baseline: full-bandwidth reservation
 // over the shadow cluster plus the cluster-coverage (path survivability)
 // requirement, per DESIGN.md.
@@ -196,25 +248,25 @@ func Figure10(fc FigureConfig) (Figure, error) {
 		label   string
 		factory func(*cell.Network) (cac.Controller, error)
 	}
+	facsFactory := FACSFactory()
+	if fc.Compiled {
+		facsFactory = CompiledFACSFactory()
+	}
 	schemes := []scheme{
-		{"FACS", FACSFactory()},
+		{"FACS", facsFactory},
 		{"SCC", SCCFactory()},
 	}
 	for _, sc := range schemes {
+		grid, err := multiCellCurve(fc, MultiCellConfig{NewController: sc.factory})
+		if err != nil {
+			return Figure{}, fmt.Errorf("experiments: %s: %w", sc.label, err)
+		}
 		series := metrics.Series{Label: sc.label}
 		var dropSum, utilSum float64
 		var runs int
-		for _, n := range fc.LoadPoints {
+		for pi, n := range fc.LoadPoints {
 			var acc float64
-			for _, seed := range fc.Seeds {
-				res, err := RunMultiCell(MultiCellConfig{
-					NewController: sc.factory,
-					NumRequests:   n,
-					Seed:          seed,
-				})
-				if err != nil {
-					return Figure{}, fmt.Errorf("experiments: %s at N=%d: %w", sc.label, n, err)
-				}
+			for _, res := range grid[pi] {
 				acc += res.AcceptedPct()
 				dropSum += res.DropPct()
 				utilSum += res.Utilization.Mean()

@@ -1,0 +1,162 @@
+package fuzzy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property/invariant suite for the four defuzzifiers: outputs stay
+// inside the support hull of the fired terms, symmetric aggregates
+// defuzzify to the centre of symmetry, and refining the sampling
+// resolution converges monotonically (within one grid step of slack)
+// to a limit.
+
+// defuzzifierFactories builds a fresh instance per call because
+// WeightedAverage caches per-variable centroids at the resolution it
+// first sees; sharing one across resolutions would mask convergence.
+var defuzzifierFactories = []struct {
+	name string
+	mk   func() Defuzzifier
+}{
+	{"centroid", func() Defuzzifier { return Centroid{} }},
+	{"bisector", func() Defuzzifier { return Bisector{} }},
+	{"mean-of-maxima", func() Defuzzifier { return MeanOfMaxima{} }},
+	{"weighted-average", func() Defuzzifier { return NewWeightedAverage() }},
+}
+
+// supportHull returns the smallest interval containing the support of
+// every fired term, intersected with the universe.
+func supportHull(agg *AggregatedOutput) (float64, float64) {
+	umin, umax := agg.Variable().Universe()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < agg.NumTerms(); i++ {
+		if agg.Strength(i) == 0 {
+			continue
+		}
+		sLo, sHi := agg.Variable().TermAt(i).MF.Support()
+		lo = math.Min(lo, math.Max(sLo, umin))
+		hi = math.Max(hi, math.Min(sHi, umax))
+	}
+	return lo, hi
+}
+
+// TestDefuzzifiersWithinSupportProperty: the crisp answer never leaves
+// the support hull of the terms that fired — a stricter bound than the
+// universe, since unfired regions must not attract the output.
+func TestDefuzzifiersWithinSupportProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		strengths := []float64{0, 0, 0}
+		// Fire a random non-empty subset at random strengths.
+		for i := range strengths {
+			if rng.Intn(2) == 1 {
+				strengths[i] = 0.05 + 0.95*rng.Float64()
+			}
+		}
+		agg := symmetricAggQuick(strengths[0], strengths[1], strengths[2])
+		if agg.Empty() {
+			continue
+		}
+		lo, hi := supportHull(agg)
+		const resolution = 1001
+		step := 1.0 / (resolution - 1) // universe [0,1]
+		for _, d := range defuzzifierFactories {
+			got, err := d.mk().Defuzzify(agg, resolution)
+			if err != nil {
+				t.Fatalf("%s(%v): %v", d.name, strengths, err)
+			}
+			if got < lo-step || got > hi+step {
+				t.Fatalf("%s(%v) = %v outside fired support hull [%v, %v]",
+					d.name, strengths, got, lo, hi)
+			}
+		}
+	}
+}
+
+// TestDefuzzifierSymmetryProperty: a symmetric aggregate over a
+// symmetric partition defuzzifies to the centre of symmetry for every
+// method (up to one sampling step for the grid-quantised bisector and
+// mean-of-maxima).
+func TestDefuzzifierSymmetryProperty(t *testing.T) {
+	prop := func(outerRaw, midRaw float64) bool {
+		outer := clampFinite(math.Abs(outerRaw), 0, 1)
+		mid := clampFinite(math.Abs(midRaw), 0, 1)
+		if outer == 0 && mid == 0 {
+			return true
+		}
+		const resolution = 4001
+		const tol = 2.0 / (resolution - 1)
+		agg := symmetricAggQuick(outer, mid, outer)
+		for _, d := range defuzzifierFactories {
+			got, err := d.mk().Defuzzify(agg, resolution)
+			if err != nil {
+				return false
+			}
+			if math.Abs(got-0.5) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDefuzzifierResolutionConvergence: doubling the sample resolution
+// moves every method towards a limit, monotonically up to one grid
+// step of slack, and the finest answer sits within one coarse step of
+// a 65537-sample reference.
+func TestDefuzzifierResolutionConvergence(t *testing.T) {
+	aggs := map[string]*AggregatedOutput{
+		"asymmetric":  symmetricAggQuick(0.8, 0.4, 0.1),
+		"two-plateau": symmetricAggQuick(0.6, 0, 0.9),
+		"single-term": symmetricAggQuick(0, 0.7, 0),
+	}
+	const refRes = 65537
+	resolutions := []int{129, 257, 513, 1025, 2049, 4097}
+	for aggName, agg := range aggs {
+		for _, d := range defuzzifierFactories {
+			ref, err := d.mk().Defuzzify(agg, refRes)
+			if err != nil {
+				t.Fatalf("%s/%s reference: %v", aggName, d.name, err)
+			}
+			prevErr := math.Inf(1)
+			for _, res := range resolutions {
+				got, err := d.mk().Defuzzify(agg, res)
+				if err != nil {
+					t.Fatalf("%s/%s at %d: %v", aggName, d.name, res, err)
+				}
+				e := math.Abs(got - ref)
+				step := 1.0 / float64(res-1)
+				if e > prevErr+step {
+					t.Fatalf("%s/%s: error grew from %v to %v at resolution %d",
+						aggName, d.name, prevErr, e, res)
+				}
+				prevErr = e
+			}
+			finalStep := 1.0 / float64(resolutions[0]-1)
+			if prevErr > finalStep {
+				t.Fatalf("%s/%s: finest error %v exceeds one coarse step %v",
+					aggName, d.name, prevErr, finalStep)
+			}
+		}
+	}
+}
+
+// TestDefuzzifierResolutionFloor: resolutions below 2 are clamped, not
+// rejected, for every method.
+func TestDefuzzifierResolutionFloor(t *testing.T) {
+	agg := symmetricAggQuick(0.3, 0.6, 0.2)
+	for _, d := range defuzzifierFactories {
+		got, err := d.mk().Defuzzify(agg, 0)
+		if err != nil {
+			t.Fatalf("%s at resolution 0: %v", d.name, err)
+		}
+		if got < 0 || got > 1 {
+			t.Fatalf("%s at resolution 0 = %v outside universe", d.name, got)
+		}
+	}
+}

@@ -1,0 +1,696 @@
+package fuzzy
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// maxSurfaceDims bounds the input dimensionality of a compiled surface.
+// The corner loop of the multilinear interpolator enumerates 2^d grid
+// points, so the bound keeps both the table size and the per-call cost
+// honest; the paper's controllers have three inputs each.
+const maxSurfaceDims = 8
+
+// DefaultSurfaceGridSize is the per-axis uniform sample count used when
+// a grid size is not specified. The uniform nodes are augmented with
+// every membership-function corner of the axis variable (see
+// NewSurface), which restores quadratic interpolation convergence
+// across the kinks of piecewise-linear controllers; at 65 uniform nodes
+// per axis the paper's surfaces stay within ~1e-3 of the exact engines
+// (the golden-equivalence tests in internal/facs pin the realised
+// bounds) while a three-input table stays under 3 MB.
+const DefaultSurfaceGridSize = 65
+
+// SurfaceAxis is one input dimension of a compiled surface: the
+// variable name plus the sorted, strictly increasing grid nodes along
+// its universe.
+type SurfaceAxis struct {
+	Name  string
+	nodes []float64
+}
+
+// Min returns the first grid node (the universe lower bound).
+func (a SurfaceAxis) Min() float64 { return a.nodes[0] }
+
+// Max returns the last grid node (the universe upper bound).
+func (a SurfaceAxis) Max() float64 { return a.nodes[len(a.nodes)-1] }
+
+// N returns the node count.
+func (a SurfaceAxis) N() int { return len(a.nodes) }
+
+// Nodes returns a copy of the grid nodes.
+func (a SurfaceAxis) Nodes() []float64 { return append([]float64(nil), a.nodes...) }
+
+// locate maps x to its lower grid node index and the fractional
+// position inside the cell, clamping to the universe exactly like
+// Variable.Clamp (NaN clamps low).
+func (a SurfaceAxis) locate(x float64) (int, float64) {
+	if !(x > a.nodes[0]) { // also catches NaN
+		return 0, 0
+	}
+	last := len(a.nodes) - 1
+	if x >= a.nodes[last] {
+		return last - 1, 1
+	}
+	// Binary search for the cell: nodes[j] <= x < nodes[j+1].
+	lo, hi := 0, last
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if a.nodes[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	f := (x - a.nodes[lo]) / (a.nodes[lo+1] - a.nodes[lo])
+	if f < 0 {
+		f = 0
+	} else if f > 1 {
+		f = 1
+	}
+	return lo, f
+}
+
+// Surface is a compiled lookup-table approximation of an Engine: the
+// engine's defuzzified output sampled over a dense grid of its input
+// universes at construction time, answered at query time by
+// multilinear (for three inputs, trilinear) interpolation.
+//
+// Grid nodes along each axis are the union of a uniform subdivision and
+// the corner points (support and kernel endpoints) of every membership
+// function on that axis, so the kinks of piecewise-linear controllers
+// fall on cell boundaries instead of inside cells. At the grid nodes a
+// Surface reproduces the engine exactly; between nodes it interpolates,
+// and the golden-equivalence test suite in internal/facs pins the
+// realised error bounds for the paper's controllers.
+//
+// A Surface is immutable after construction and safe for concurrent
+// use. Unlike Engine.Evaluate, Surface evaluation never fails for
+// finite inputs (out-of-universe inputs are clamped exactly as the
+// engine clamps them).
+type Surface struct {
+	axes        []SurfaceAxis
+	strides     []int
+	values      []float64
+	cellStrides []int
+	errs        []float64 // per-cell local error bound; nil without error map
+	name        string
+}
+
+// surfaceCompiler configures NewSurface.
+type surfaceCompiler struct {
+	grid    []int
+	extra   map[string][]float64
+	workers int
+	errMap  bool
+	safety  float64
+}
+
+// SurfaceOption configures surface compilation.
+type SurfaceOption func(*surfaceCompiler)
+
+// WithSurfaceGrid sets the per-axis uniform node counts that seed the
+// grid before membership corners are merged in. Provide either one
+// count per engine input or a single count applied to every axis; each
+// count must be at least 2. The default is DefaultSurfaceGridSize on
+// every axis.
+func WithSurfaceGrid(sizes ...int) SurfaceOption {
+	return func(c *surfaceCompiler) { c.grid = append([]int(nil), sizes...) }
+}
+
+// WithSurfaceNodes merges explicit grid nodes into the named axis, on
+// top of the uniform subdivision and the membership corners. Queries
+// that hit a grid node exactly reproduce the engine with zero error,
+// so callers whose inputs are known to be discrete (e.g. integral
+// bandwidth units) can pin those values and confine interpolation to
+// the genuinely continuous axes. Nodes outside the axis universe are
+// ignored.
+func WithSurfaceNodes(axis string, nodes ...float64) SurfaceOption {
+	return func(c *surfaceCompiler) {
+		if c.extra == nil {
+			c.extra = make(map[string][]float64)
+		}
+		c.extra[axis] = append(c.extra[axis], nodes...)
+	}
+}
+
+// WithSurfaceWorkers sets the number of goroutines used to sample the
+// engine during compilation (default runtime.NumCPU()). The compiled
+// table is identical for every worker count: workers fill disjoint
+// slabs of the grid.
+func WithSurfaceWorkers(n int) SurfaceOption {
+	return func(c *surfaceCompiler) { c.workers = n }
+}
+
+// WithSurfaceErrorMap additionally samples the engine at the centre of
+// every grid cell and stores |interpolated - exact| * safety as a local
+// interpolation error bound, retrievable through EvaluateVecWithBound.
+// The cell centre is where multilinear interpolation error peaks for
+// smooth integrands and for the diagonal creases the min t-norm
+// introduces; safety (values below 1 are raised to 1) covers
+// asymmetric creases the single sample can under-read, and the map is
+// then dilated so every cell also carries the worst bound of its
+// neighbours — a query near a cell boundary (or an upstream error that
+// pushes the true input into the next cell) stays covered. The error
+// map roughly doubles compilation cost and adds one float per cell.
+func WithSurfaceErrorMap(safety float64) SurfaceOption {
+	return func(c *surfaceCompiler) {
+		c.errMap = true
+		if safety < 1 {
+			safety = 1
+		}
+		c.safety = safety
+	}
+}
+
+// axisNodes builds the grid nodes for one input variable: a uniform
+// n-point subdivision of the universe merged with every term's support
+// and kernel endpoints plus any caller-pinned nodes, deduplicated.
+func axisNodes(v *Variable, n int, extra []float64) []float64 {
+	min, max := v.Universe()
+	nodes := make([]float64, 0, n+4*v.NumTerms()+len(extra))
+	step := (max - min) / float64(n-1)
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, min+float64(i)*step)
+	}
+	nodes[n-1] = max // guard against accumulated rounding
+	for _, t := range v.Terms() {
+		sLo, sHi := t.MF.Support()
+		kLo, kHi := t.MF.Kernel()
+		for _, x := range [4]float64{sLo, sHi, kLo, kHi} {
+			if x > min && x < max {
+				nodes = append(nodes, x)
+			}
+		}
+	}
+	for _, x := range extra {
+		if x > min && x < max {
+			nodes = append(nodes, x)
+		}
+	}
+	sort.Float64s(nodes)
+	// Deduplicate nodes closer than a universe-relative epsilon; keep
+	// the earlier node so universe endpoints always survive.
+	eps := (max - min) * 1e-9
+	out := nodes[:1]
+	for _, x := range nodes[1:] {
+		if x-out[len(out)-1] > eps {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// NewSurface compiles a lookup-table surface from an engine by
+// evaluating it at every node of a dense input grid. Compilation cost
+// is the product of the per-axis node counts times one exact
+// inference; it is sharded across workers. The engine is only read,
+// never retained.
+func NewSurface(e *Engine, opts ...SurfaceOption) (*Surface, error) {
+	if e == nil {
+		return nil, fmt.Errorf("fuzzy: surface needs an engine")
+	}
+	inputs := e.Inputs()
+	if len(inputs) > maxSurfaceDims {
+		return nil, fmt.Errorf("fuzzy: surface supports at most %d inputs, engine has %d", maxSurfaceDims, len(inputs))
+	}
+	c := surfaceCompiler{workers: runtime.NumCPU()}
+	for _, opt := range opts {
+		opt(&c)
+	}
+	switch len(c.grid) {
+	case 0:
+		c.grid = make([]int, len(inputs))
+		for i := range c.grid {
+			c.grid[i] = DefaultSurfaceGridSize
+		}
+	case 1:
+		n := c.grid[0]
+		c.grid = make([]int, len(inputs))
+		for i := range c.grid {
+			c.grid[i] = n
+		}
+	case len(inputs):
+		// one count per axis
+	default:
+		return nil, fmt.Errorf("fuzzy: got %d grid sizes for %d inputs", len(c.grid), len(inputs))
+	}
+	if c.workers < 1 {
+		c.workers = 1
+	}
+	for name := range c.extra {
+		known := false
+		for _, v := range inputs {
+			if v.Name() == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("fuzzy: surface nodes pinned for unknown axis %q", name)
+		}
+	}
+	s := &Surface{
+		axes:    make([]SurfaceAxis, len(inputs)),
+		strides: make([]int, len(inputs)),
+		name:    e.Output().Name(),
+	}
+	total := 1
+	for i, v := range inputs {
+		if c.grid[i] < 2 {
+			return nil, fmt.Errorf("fuzzy: grid size for axis %q must be >= 2, got %d", v.Name(), c.grid[i])
+		}
+		s.axes[i] = SurfaceAxis{Name: v.Name(), nodes: axisNodes(v, c.grid[i], c.extra[v.Name()])}
+		total *= s.axes[i].N()
+	}
+	// Row-major layout: the last axis varies fastest.
+	stride := 1
+	for i := len(s.axes) - 1; i >= 0; i-- {
+		s.strides[i] = stride
+		stride *= s.axes[i].N()
+	}
+	s.values = make([]float64, total)
+	if err := s.compile(e, c.workers); err != nil {
+		return nil, err
+	}
+	if c.errMap {
+		if err := s.compileErrorMap(e, c.workers, c.safety); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MustSurface is like NewSurface but panics on error. It is intended
+// for statically known controllers such as the paper's FLC1 and FLC2.
+func MustSurface(e *Engine, opts ...SurfaceOption) *Surface {
+	s, err := NewSurface(e, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// compile fills the value table by sampling the engine, sharding
+// complete slabs of the first axis across workers. Every worker writes
+// disjoint regions, so the result is independent of scheduling.
+func (s *Surface) compile(e *Engine, workers int) error {
+	outer := s.axes[0].N()
+	if workers > outer {
+		workers = outer
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		errSlab  = -1
+		failed   atomic.Bool
+	)
+	slab := s.strides[0]
+	next := make(chan int)
+	go func() {
+		for i := 0; i < outer; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vals := make([]float64, len(s.axes))
+			idx := make([]int, len(s.axes))
+			for i := range next {
+				if failed.Load() {
+					continue // drain the channel so the feeder can finish
+				}
+				vals[0] = s.axes[0].nodes[i]
+				for k := 1; k < len(idx); k++ {
+					idx[k] = 0
+					vals[k] = s.axes[k].nodes[0]
+				}
+				base := i * slab
+				for off := 0; off < slab; off++ {
+					y, err := e.EvaluateVec(vals...)
+					if err != nil {
+						mu.Lock()
+						// Prefer the error from the lowest slab so
+						// concurrent failures report stably.
+						if firstErr == nil || i < errSlab {
+							firstErr = fmt.Errorf("fuzzy: compiling surface at %v: %w", append([]float64(nil), vals...), err)
+							errSlab = i
+						}
+						mu.Unlock()
+						failed.Store(true)
+						break
+					}
+					s.values[base+off] = y
+					// Advance the odometer over axes 1..d-1.
+					for k := len(idx) - 1; k >= 1; k-- {
+						idx[k]++
+						if idx[k] < s.axes[k].N() {
+							vals[k] = s.axes[k].nodes[idx[k]]
+							break
+						}
+						idx[k] = 0
+						vals[k] = s.axes[k].nodes[0]
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// compileErrorMap fills the per-cell error table by probing the engine
+// at every cell centre. Workers shard slabs of the first axis exactly
+// like compile, so the map is scheduling-independent too.
+func (s *Surface) compileErrorMap(e *Engine, workers int, safety float64) error {
+	d := len(s.axes)
+	s.cellStrides = make([]int, d)
+	stride := 1
+	for i := d - 1; i >= 0; i-- {
+		s.cellStrides[i] = stride
+		stride *= s.axes[i].N() - 1
+	}
+	s.errs = make([]float64, stride)
+	outerCells := s.axes[0].N() - 1
+	if workers > outerCells {
+		workers = outerCells
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		errSlab  = -1
+		failed   atomic.Bool
+	)
+	slab := s.cellStrides[0]
+	next := make(chan int)
+	go func() {
+		for i := 0; i < outerCells; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			idx := make([]int, d)
+			center := make([]float64, d)
+			for i := range next {
+				if failed.Load() {
+					continue // drain the channel so the feeder can finish
+				}
+				idx[0] = i
+				for k := 1; k < d; k++ {
+					idx[k] = 0
+				}
+				for off := 0; off < slab; off++ {
+					for k := 0; k < d; k++ {
+						nodes := s.axes[k].nodes
+						center[k] = (nodes[idx[k]] + nodes[idx[k]+1]) / 2
+					}
+					exact, err := e.EvaluateVec(center...)
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil || i < errSlab {
+							firstErr = fmt.Errorf("fuzzy: probing surface error at %v: %w", append([]float64(nil), center...), err)
+							errSlab = i
+						}
+						mu.Unlock()
+						failed.Store(true)
+						break
+					}
+					approx, _ := s.EvaluateVec(center...)
+					diff := exact - approx
+					if diff < 0 {
+						diff = -diff
+					}
+					s.errs[i*slab+off] = diff * safety
+					for k := d - 1; k >= 1; k-- {
+						idx[k]++
+						if idx[k] < s.axes[k].N()-1 {
+							break
+						}
+						idx[k] = 0
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	s.dilateErrorMap()
+	return nil
+}
+
+// dilateErrorMap replaces every cell's bound with the maximum over its
+// 3^d cell neighbourhood, via d separable one-dimensional max passes.
+// Probing only cell centres can under-read a crease that clips a cell
+// corner; the crease then necessarily crosses a neighbouring cell
+// whose centre probe reads it, so widening each bound to the
+// neighbourhood maximum restores coverage near cell boundaries.
+func (s *Surface) dilateErrorMap() {
+	d := len(s.axes)
+	tmp := make([]float64, len(s.errs))
+	for axis := 0; axis < d; axis++ {
+		stride := s.cellStrides[axis]
+		n := s.axes[axis].N() - 1
+		copy(tmp, s.errs)
+		for i := range s.errs {
+			j := (i / stride) % n
+			best := tmp[i]
+			if j > 0 && tmp[i-stride] > best {
+				best = tmp[i-stride]
+			}
+			if j+1 < n && tmp[i+stride] > best {
+				best = tmp[i+stride]
+			}
+			s.errs[i] = best
+		}
+	}
+}
+
+// HasErrorMap reports whether the surface carries per-cell error
+// bounds.
+func (s *Surface) HasErrorMap() bool { return s.errs != nil }
+
+// Axes returns the grid axes in input declaration order.
+func (s *Surface) Axes() []SurfaceAxis {
+	out := make([]SurfaceAxis, len(s.axes))
+	for i, ax := range s.axes {
+		out[i] = SurfaceAxis{Name: ax.Name, nodes: ax.Nodes()}
+	}
+	return out
+}
+
+// NumNodes returns the total number of grid nodes in the table.
+func (s *Surface) NumNodes() int { return len(s.values) }
+
+// OutputName returns the name of the engine output the surface encodes.
+func (s *Surface) OutputName() string { return s.name }
+
+// EvaluateVec answers one query by multilinear interpolation, with
+// crisp inputs given in input declaration order. It is the hot path:
+// no allocation, no failure for finite inputs, cost O(d log n + 2^d).
+func (s *Surface) EvaluateVec(vals ...float64) (float64, error) {
+	if len(vals) != len(s.axes) {
+		return 0, fmt.Errorf("fuzzy: got %d input values, want %d", len(vals), len(s.axes))
+	}
+	var frac [maxSurfaceDims]float64
+	base := 0
+	for i := range s.axes {
+		j, f := s.axes[i].locate(vals[i])
+		frac[i] = f
+		base += j * s.strides[i]
+	}
+	d := len(s.axes)
+	var out float64
+	for corner := 0; corner < 1<<d; corner++ {
+		w := 1.0
+		off := 0
+		for i := 0; i < d; i++ {
+			if corner&(1<<i) != 0 {
+				w *= frac[i]
+				off += s.strides[i]
+			} else {
+				w *= 1 - frac[i]
+			}
+		}
+		if w != 0 {
+			out += w * s.values[base+off]
+		}
+	}
+	return out, nil
+}
+
+// EvaluateVecWithBound is EvaluateVec plus the local interpolation
+// error bound of the grid cell the query falls in. Without an error
+// map (WithSurfaceErrorMap) the bound is reported as 0. Callers that
+// must never act on an uncertain value — e.g. an admission decision
+// near its accept threshold — compare the bound against their decision
+// margin and fall back to the exact engine when it does not clear.
+func (s *Surface) EvaluateVecWithBound(vals ...float64) (value, bound float64, err error) {
+	if len(vals) != len(s.axes) {
+		return 0, 0, fmt.Errorf("fuzzy: got %d input values, want %d", len(vals), len(s.axes))
+	}
+	var frac [maxSurfaceDims]float64
+	base, cell := 0, 0
+	for i := range s.axes {
+		j, f := s.axes[i].locate(vals[i])
+		frac[i] = f
+		base += j * s.strides[i]
+		if s.errs != nil {
+			cell += j * s.cellStrides[i]
+		}
+	}
+	d := len(s.axes)
+	var out float64
+	for corner := 0; corner < 1<<d; corner++ {
+		w := 1.0
+		off := 0
+		for i := 0; i < d; i++ {
+			if corner&(1<<i) != 0 {
+				w *= frac[i]
+				off += s.strides[i]
+			} else {
+				w *= 1 - frac[i]
+			}
+		}
+		if w != 0 {
+			out += w * s.values[base+off]
+		}
+	}
+	if s.errs != nil {
+		bound = s.errs[cell]
+	}
+	return out, bound, nil
+}
+
+// AxisSlopeBound returns the largest absolute slope of the surface
+// along the given axis across the edges of the grid cell the query
+// falls in. It bounds how strongly a perturbation of that input can
+// move the interpolated output inside the cell, which lets callers
+// propagate an upstream error bound through a surface composition.
+func (s *Surface) AxisSlopeBound(axis int, vals ...float64) (float64, error) {
+	slope, _, err := s.AxisRangeBounds(axis, nil, vals...)
+	return slope, err
+}
+
+// AxisRangeBounds bounds the surface over every grid cell that the
+// interval spanned by the axis coordinate of vals and the points in
+// extra intersects, holding the other coordinates fixed: it returns
+// the largest absolute slope along the axis across those cells' edges
+// and the largest per-cell interpolation error bound among them (zero
+// without an error map).
+//
+// Callers composing surfaces use it to propagate an upstream error
+// bound soundly: when the true input may lie anywhere in
+// [x-bound, x+bound], the slope and error of every cell that interval
+// touches matter, not just the cell the interpolated value fell in.
+func (s *Surface) AxisRangeBounds(axis int, extra []float64, vals ...float64) (slope, errBound float64, err error) {
+	if len(vals) != len(s.axes) {
+		return 0, 0, fmt.Errorf("fuzzy: got %d input values, want %d", len(vals), len(s.axes))
+	}
+	if axis < 0 || axis >= len(s.axes) {
+		return 0, 0, fmt.Errorf("fuzzy: axis %d out of range (surface has %d)", axis, len(s.axes))
+	}
+	base := 0
+	cell := 0
+	var lo [maxSurfaceDims]int
+	for i := range s.axes {
+		j, _ := s.axes[i].locate(vals[i])
+		lo[i] = j
+		base += j * s.strides[i]
+		if s.errs != nil {
+			cell += j * s.cellStrides[i]
+		}
+	}
+	jLo, jHi := lo[axis], lo[axis]
+	for _, x := range extra {
+		j, _ := s.axes[axis].locate(x)
+		if j < jLo {
+			jLo = j
+		}
+		if j > jHi {
+			jHi = j
+		}
+	}
+	d := len(s.axes)
+	ax := s.axes[axis]
+	for j := jLo; j <= jHi; j++ {
+		shift := (j - lo[axis]) * s.strides[axis]
+		width := ax.nodes[j+1] - ax.nodes[j]
+		// Enumerate the 2^(d-1) cell edges parallel to the axis.
+		for corner := 0; corner < 1<<d; corner++ {
+			if corner&(1<<axis) != 0 {
+				continue
+			}
+			off := shift
+			for i := 0; i < d; i++ {
+				if corner&(1<<i) != 0 {
+					off += s.strides[i]
+				}
+			}
+			delta := s.values[base+off+s.strides[axis]] - s.values[base+off]
+			if delta < 0 {
+				delta = -delta
+			}
+			if sl := delta / width; sl > slope {
+				slope = sl
+			}
+		}
+		if s.errs != nil {
+			if e := s.errs[cell+(j-lo[axis])*s.cellStrides[axis]]; e > errBound {
+				errBound = e
+			}
+		}
+	}
+	return slope, errBound, nil
+}
+
+// Evaluate answers one query for named crisp inputs, mirroring
+// Engine.Evaluate. Every axis must be present in the map.
+func (s *Surface) Evaluate(inputs map[string]float64) (float64, error) {
+	vals := make([]float64, len(s.axes))
+	for i, ax := range s.axes {
+		x, ok := inputs[ax.Name]
+		if !ok {
+			return 0, fmt.Errorf("fuzzy: missing value for input variable %q", ax.Name)
+		}
+		vals[i] = x
+	}
+	if len(inputs) != len(s.axes) {
+		for name := range inputs {
+			found := false
+			for _, ax := range s.axes {
+				if ax.Name == name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return 0, fmt.Errorf("fuzzy: surface has no input variable %q", name)
+			}
+		}
+	}
+	return s.EvaluateVec(vals...)
+}
+
+// String returns a compact description such as "Cv[67x71x67]".
+func (s *Surface) String() string {
+	dims := make([]string, len(s.axes))
+	for i, ax := range s.axes {
+		dims[i] = fmt.Sprint(ax.N())
+	}
+	return fmt.Sprintf("%s[%s]", s.name, strings.Join(dims, "x"))
+}
