@@ -417,38 +417,166 @@ func BenchmarkCompiledSingleCellWorkers(b *testing.B) {
 	}
 }
 
-// BenchmarkSCCDecide times one shadow-cluster admission decision over a
-// seven-cell network with 50 tracked calls.
-func BenchmarkSCCDecide(b *testing.B) {
-	net, err := facs.NewNetwork(facs.NetworkConfig{Rings: 1})
-	if err != nil {
-		b.Fatal(err)
-	}
-	ctrl, err := facs.NewSCC(facs.SCCConfig{Network: net})
-	if err != nil {
-		b.Fatal(err)
-	}
-	bs, err := net.StationAt(facs.Point{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	est := igps.Estimate{SpeedKmh: 60, HeadingDeg: 30}
-	for id := 0; id < 50; id++ {
+// sccObserver is the shared OnAdmit surface of the recompute SCC and
+// the demand ledger, so benches can load either implementation.
+type sccObserver interface {
+	facs.Controller
+	OnAdmit(req facs.AdmissionRequest)
+}
+
+// sccScatter admits n tracked calls with deterministic pseudo-random
+// positions and kinematics scattered across the network, so projected
+// demand spreads over many (cell, interval) entries instead of
+// saturating one cell.
+func sccScatter(b *testing.B, net *facs.Network, ctrl sccObserver, n int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	classes := []facs.Class{facs.Text, facs.Voice, facs.Video}
+	for id := 0; id < n; {
+		pos := facs.Point{
+			X: (2*rng.Float64() - 1) * 7000,
+			Y: (2*rng.Float64() - 1) * 7000,
+		}
+		bs, err := net.StationAt(pos)
+		if err != nil {
+			continue
+		}
+		class := classes[id%len(classes)]
 		ctrl.OnAdmit(facs.AdmissionRequest{
-			Call:    facs.Call{ID: id, Class: facs.Voice, BU: 5},
+			Call:    facs.Call{ID: id, Class: class, BU: class.BandwidthUnits()},
 			Station: bs,
+			Est: igps.Estimate{
+				Pos:        pos,
+				HeadingDeg: rng.Float64()*360 - 180,
+				SpeedKmh:   rng.Float64() * 120,
+			},
+		})
+		id++
+	}
+}
+
+// BenchmarkSCCDecide times one shadow-cluster admission decision at
+// 100 / 1,000 / 10,000 tracked calls, on the recompute-on-query oracle
+// and on the incremental demand ledger. The acceptance bar for the
+// ledger refactor is a >= 10x throughput advantage at 1,000 active
+// calls; the ledger's per-decision cost is flat in the number of
+// tracked calls, so the measured gap widens linearly with load.
+func BenchmarkSCCDecide(b *testing.B) {
+	impls := []struct {
+		name  string
+		build func(net *facs.Network) (sccObserver, error)
+	}{
+		{"recompute", func(net *facs.Network) (sccObserver, error) {
+			return facs.NewSCC(facs.SCCConfig{Network: net})
+		}},
+		{"ledger", func(net *facs.Network) (sccObserver, error) {
+			return facs.NewSCCLedger(facs.SCCConfig{Network: net})
+		}},
+	}
+	for _, active := range []int{100, 1000, 10000} {
+		for _, impl := range impls {
+			impl := impl
+			b.Run(fmt.Sprintf("%s/active=%d", impl.name, active), func(b *testing.B) {
+				net, err := facs.NewNetwork(facs.NetworkConfig{Rings: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctrl, err := impl.build(net)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sccScatter(b, net, ctrl, active)
+				bs, err := net.StationAt(facs.Point{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				req := facs.AdmissionRequest{
+					Call:    facs.Call{ID: 999999, Class: facs.Voice, BU: 5},
+					Station: bs,
+					Est:     igps.Estimate{SpeedKmh: 60, HeadingDeg: 30},
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := ctrl.Decide(req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBatchDecide times a full 512-request batch through the batch
+// pipeline (cac.DecideAll) for each batch-capable controller, against
+// the same requests decided one by one. One benchmark op is the whole
+// batch; the per-request cost is ns/op divided by 512.
+func BenchmarkBatchDecide(b *testing.B) {
+	const batchSize = 512
+	net, err := facs.NewNetwork(facs.NetworkConfig{Rings: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	classes := []facs.Class{facs.Text, facs.Voice, facs.Video}
+	reqs := make([]facs.AdmissionRequest, 0, batchSize)
+	for len(reqs) < batchSize {
+		pos := facs.Point{
+			X: (2*rng.Float64() - 1) * 7000,
+			Y: (2*rng.Float64() - 1) * 7000,
+		}
+		bs, err := net.StationAt(pos)
+		if err != nil {
+			continue
+		}
+		class := classes[len(reqs)%len(classes)]
+		est := igps.Estimate{
+			Pos:        pos,
+			HeadingDeg: rng.Float64()*360 - 180,
+			SpeedKmh:   rng.Float64() * 120,
+		}
+		reqs = append(reqs, facs.AdmissionRequest{
+			Call:    facs.Call{ID: len(reqs) + 1, Class: class, BU: class.BandwidthUnits()},
+			Station: bs,
+			Obs:     igps.Observe(est, bs.Pos()),
 			Est:     est,
 		})
 	}
-	req := facs.AdmissionRequest{
-		Call:    facs.Call{ID: 999, Class: facs.Voice, BU: 5},
-		Station: bs,
-		Est:     est,
+	controllers := []struct {
+		name  string
+		build func() (facs.Controller, error)
+	}{
+		{"facs-compiled", func() (facs.Controller, error) { return facs.DefaultCompiledSystem() }},
+		{"scc-ledger", func() (facs.Controller, error) {
+			ctrl, err := facs.NewSCCLedger(facs.SCCConfig{Network: net})
+			if err != nil {
+				return nil, err
+			}
+			sccScatter(b, net, ctrl, 1000)
+			return ctrl, nil
+		}},
+		{"guard-channel", func() (facs.Controller, error) { return facs.NewGuardChannel(8) }},
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := ctrl.Decide(req); err != nil {
+	for _, tc := range controllers {
+		tc := tc
+		ctrl, err := tc.build()
+		if err != nil {
 			b.Fatal(err)
 		}
+		b.Run(tc.name+"/batch", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := facs.DecideAll(ctrl, reqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(tc.name+"/sequential", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j := range reqs {
+					if _, err := ctrl.Decide(reqs[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
 	}
 }

@@ -10,12 +10,14 @@
 //	facs-sim -n 100 -controller guard -guard 8
 //	facs-sim -n 100 -compiled                # lookup-table FACS fast path
 //	facs-sim -n 100 -reps 8 -workers 4       # 8 replications on 4 workers
+//	facs-sim -batch -n 10000 -active 500     # one-shot batch admission sweep
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"facs"
 	icell "facs/internal/cell"
@@ -42,6 +44,8 @@ type simOptions struct {
 	seed       int64
 	multicell  bool
 	compiled   bool
+	batch      bool
+	active     int
 	guard      int
 	threshold  float64
 	reps       int
@@ -60,6 +64,8 @@ func run(args []string) error {
 	fs.Float64Var(&o.dist, "dist", -1, "pin user-BS distance in km (-1 = sample 0.5..9.5)")
 	fs.Int64Var(&o.seed, "seed", 1, "random seed (first seed when -reps > 1)")
 	fs.BoolVar(&o.multicell, "multicell", false, "run the multi-cell handoff scenario")
+	fs.BoolVar(&o.batch, "batch", false, "decide -n requests in one batch against a network snapshot")
+	fs.IntVar(&o.active, "active", 0, "calls pre-admitted into the -batch snapshot")
 	fs.BoolVar(&o.compiled, "compiled", false, "use the lookup-table FACS fast path (controller facs only)")
 	fs.IntVar(&o.guard, "guard", 8, "guard bandwidth for -controller guard")
 	fs.Float64Var(&o.threshold, "accept-threshold", facs.DefaultAcceptThreshold, "FACS accept threshold")
@@ -73,6 +79,18 @@ func run(args []string) error {
 	}
 	if o.compiled && o.controller != "facs" {
 		return fmt.Errorf("-compiled applies to -controller facs, got %q", o.controller)
+	}
+	if o.batch && o.multicell {
+		return fmt.Errorf("-batch and -multicell are mutually exclusive")
+	}
+	if o.active != 0 && !o.batch {
+		return fmt.Errorf("-active applies to -batch runs")
+	}
+	if o.batch && (o.reps > 1 || o.workers != 0) {
+		return fmt.Errorf("-batch runs a single sweep; -reps/-workers do not apply")
+	}
+	if o.batch {
+		return runBatch(o)
 	}
 	if o.multicell {
 		return runMulti(o)
@@ -174,35 +192,74 @@ func printSingleReplications(o simOptions, results []facs.SingleCellResult) {
 	fmt.Printf("mean accepted %.1f%% over %d replications\n", sum/float64(len(results)), len(results))
 }
 
-func runMulti(o simOptions) error {
-	var factory func(*facs.Network) (facs.Controller, error)
+// networkFactory builds the controller factory shared by the
+// multi-cell and batch modes. SCC runs on the incremental demand
+// ledger, whose decisions are byte-identical to the recompute oracle's.
+func networkFactory(o simOptions) (func(*facs.Network) (facs.Controller, error), error) {
 	switch o.controller {
 	case "facs":
 		// Build once and share across replications: the FACS is
 		// stateless, and the compiled variant costs seconds to build.
 		ctrl, err := buildFACS(o)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		factory = func(*facs.Network) (facs.Controller, error) { return ctrl, nil }
+		return func(*facs.Network) (facs.Controller, error) { return ctrl, nil }, nil
 	case "scc":
-		factory = func(net *facs.Network) (facs.Controller, error) {
-			return iscc.New(iscc.Config{
+		return func(net *facs.Network) (facs.Controller, error) {
+			return iscc.NewLedger(iscc.Config{
 				Network:                net,
 				Reservation:            iscc.ReservationFull,
 				RequireClusterCoverage: true,
 			})
-		}
+		}, nil
 	case "cs":
-		factory = func(*facs.Network) (facs.Controller, error) { return facs.CompleteSharing{}, nil }
+		return func(*facs.Network) (facs.Controller, error) { return facs.CompleteSharing{}, nil }, nil
 	case "guard":
-		factory = func(*facs.Network) (facs.Controller, error) { return facs.NewGuardChannel(o.guard) }
+		return func(*facs.Network) (facs.Controller, error) { return facs.NewGuardChannel(o.guard) }, nil
 	case "threshold":
-		factory = func(*facs.Network) (facs.Controller, error) {
+		return func(*facs.Network) (facs.Controller, error) {
 			return facs.NewThresholdPolicy(map[itraffic.Class]int{itraffic.Video: 10})
-		}
+		}, nil
 	default:
-		return fmt.Errorf("unknown controller %q", o.controller)
+		return nil, fmt.Errorf("unknown controller %q", o.controller)
+	}
+}
+
+// runBatch decides -n synthetic requests in one pass through the batch
+// pipeline against a network snapshot with -active pre-admitted calls,
+// reporting acceptance and decision throughput.
+func runBatch(o simOptions) error {
+	factory, err := networkFactory(o)
+	if err != nil {
+		return err
+	}
+	cfg := facs.BatchAdmissionConfig{
+		NewController: factory,
+		ActiveCalls:   o.active,
+		Requests:      o.n,
+		Seed:          o.seed,
+	}
+	start := time.Now()
+	res, err := facs.RunBatchAdmission(cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	perSec := float64(res.Requested) / elapsed.Seconds()
+	fmt.Printf("scenario      batch admission sweep (7 x %d BU snapshot)\n", icell.DefaultCapacityBU)
+	fmt.Printf("controller    %s\n", res.ControllerName)
+	fmt.Printf("snapshot      %d active calls\n", res.PreAdmitted)
+	fmt.Printf("requested     %d\n", res.Requested)
+	fmt.Printf("accepted      %d (%.1f%%)\n", res.Accepted, res.AcceptedPct())
+	fmt.Printf("throughput    %.0f decisions/s (%.2fs total, incl. setup)\n", perSec, elapsed.Seconds())
+	return nil
+}
+
+func runMulti(o simOptions) error {
+	factory, err := networkFactory(o)
+	if err != nil {
+		return err
 	}
 	cfg := facs.MultiCellConfig{
 		NewController:  factory,

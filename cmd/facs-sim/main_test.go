@@ -91,3 +91,29 @@ func TestRunCompiledAndReplications(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunBatchCLI(t *testing.T) {
+	for _, ctrl := range []string{"facs", "scc", "cs", "guard", "threshold"} {
+		if err := run([]string{"-batch", "-n", "200", "-active", "50", "-controller", ctrl}); err != nil {
+			t.Fatalf("%s: %v", ctrl, err)
+		}
+	}
+	if err := run([]string{"-batch", "-n", "50", "-controller", "bogus"}); err == nil {
+		t.Fatal("unknown controller should fail")
+	}
+	if err := run([]string{"-batch", "-multicell", "-n", "10"}); err == nil {
+		t.Fatal("-batch with -multicell should fail")
+	}
+	if err := run([]string{"-n", "10", "-active", "5"}); err == nil {
+		t.Fatal("-active without -batch should fail")
+	}
+}
+
+func TestRunBatchRejectsReplicationFlags(t *testing.T) {
+	if err := run([]string{"-batch", "-n", "10", "-reps", "5"}); err == nil {
+		t.Fatal("-batch with -reps should fail")
+	}
+	if err := run([]string{"-batch", "-n", "10", "-workers", "4"}); err == nil {
+		t.Fatal("-batch with -workers should fail")
+	}
+}

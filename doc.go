@@ -46,6 +46,34 @@
 // themselves must be reference-grade; use the compiled path when
 // decision throughput matters.
 //
+// # Batch admission and the SCC demand ledger
+//
+// Controllers that can amortise work across many admission questions
+// implement BatchController; DecideAll routes a request slice through
+// the native batch path when one exists and degrades to sequential
+// Decide calls otherwise, with identical outcomes either way:
+//
+//	decisions, err := facs.DecideAll(ctrl, reqs)
+//
+// The FACS System, the compiled fast path, the guard-channel and
+// threshold baselines and the SCC ledger are all batch-capable, and
+// RunBatchAdmission sweeps a whole request batch against a loaded
+// network snapshot in one pass (facs-sim -batch).
+//
+// The Shadow Cluster Concept baseline likewise comes in two
+// interchangeable forms: NewSCC builds the original recompute-on-query
+// controller (the reference oracle), NewSCCLedger the incrementally
+// maintained demand ledger — a dense [cell][interval] matrix of
+// projected demand plus cached per-call footprints, updated in
+// O(footprint) on admit/release/handoff, making each decision
+// O(horizon x cluster-cells) independent of the number of active calls
+// (three-plus orders of magnitude at 1,000 tracked calls; see
+// BenchmarkSCCDecide). Decisions are byte-identical to the oracle's: a
+// guard band re-derives any aggregate landing within 1e-6 BU of the
+// survivability threshold from scratch, and the golden-equivalence
+// suites in internal/scc and internal/experiments pin the contract.
+// internal/scc/DESIGN.md records the invariants.
+//
 // # Reproduction
 //
 //	fig, err := facs.Figure10(facs.FigureConfig{})

@@ -87,12 +87,27 @@ var (
 )
 
 // FACSFactory and SCCFactory build the Fig. 10 contestants for multi-cell
-// runs.
+// runs. SCCFactory supplies the incremental demand-ledger SCC;
+// SCCRecomputeFactory the original recompute-on-query oracle it is
+// golden-tested against.
 var (
 	FACSFactory         = iexp.FACSFactory
 	CompiledFACSFactory = iexp.CompiledFACSFactory
 	SCCFactory          = iexp.SCCFactory
+	SCCRecomputeFactory = iexp.SCCRecomputeFactory
 )
+
+// BatchAdmissionConfig parameterises the batch admission sweep: a
+// network snapshot under load against which a batch of candidate
+// requests is decided in one DecideAll pass; BatchAdmissionResult
+// aggregates the outcomes.
+type (
+	BatchAdmissionConfig = iexp.BatchAdmissionConfig
+	BatchAdmissionResult = iexp.BatchAdmissionResult
+)
+
+// RunBatchAdmission executes the batch admission sweep.
+var RunBatchAdmission = iexp.RunBatchAdmission
 
 // Series is a labelled (x, y) curve, the unit of figure regeneration.
 type Series = imetrics.Series

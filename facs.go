@@ -122,6 +122,18 @@ const (
 // baselines all implement it.
 type Controller = icac.Controller
 
+// BatchController is implemented by controllers with a native batch
+// decision path: DecideBatch decides many requests in one call with
+// identical outcomes to per-request Decide calls, amortising per-request
+// work. The FACS System, the compiled fast path, the SCC ledger and the
+// guard-channel / threshold baselines all implement it.
+type BatchController = icac.BatchController
+
+// DecideAll renders decisions for a batch of requests through the
+// controller's native batch path when it implements BatchController,
+// falling back to sequential Decide calls otherwise.
+var DecideAll = icac.DecideAll
+
 // AdmissionRequest is one admission question posed to a controller.
 type AdmissionRequest = icac.Request
 
@@ -183,6 +195,18 @@ const (
 
 // NewSCC constructs a shadow-cluster controller.
 func NewSCC(cfg SCCConfig) (*SCC, error) { return iscc.New(cfg) }
+
+// SCCLedger is the incrementally maintained shadow-cluster controller:
+// a dense [cell][interval] demand matrix plus cached per-call
+// footprints make Decide O(horizon x cluster-cells) independent of the
+// number of active calls, with decisions byte-identical to SCC's
+// recompute-on-query path (see internal/scc/DESIGN.md).
+type SCCLedger = iscc.Ledger
+
+// NewSCCLedger constructs an incrementally maintained shadow-cluster
+// controller. Prefer it over NewSCC on hot admission paths; the
+// recompute SCC remains the reference oracle.
+func NewSCCLedger(cfg SCCConfig) (*SCCLedger, error) { return iscc.NewLedger(cfg) }
 
 // CompleteSharing is the simplest baseline: admit whenever the call fits.
 type CompleteSharing = icac.CompleteSharing

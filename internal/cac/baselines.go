@@ -3,6 +3,7 @@ package cac
 import (
 	"fmt"
 
+	"facs/internal/cell"
 	"facs/internal/traffic"
 )
 
@@ -37,7 +38,10 @@ type GuardChannel struct {
 	GuardBU int
 }
 
-var _ Controller = GuardChannel{}
+var (
+	_ Controller      = GuardChannel{}
+	_ BatchController = GuardChannel{}
+)
 
 // NewGuardChannel validates and constructs the scheme.
 func NewGuardChannel(guardBU int) (GuardChannel, error) {
@@ -68,6 +72,35 @@ func (g GuardChannel) Decide(req Request) (Decision, error) {
 	return Reject, nil
 }
 
+// DecideBatch implements BatchController: the free-pool read is
+// amortised across consecutive requests on the same station (Decide
+// must not mutate stations, so occupancy is stable for the batch).
+func (g GuardChannel) DecideBatch(reqs []Request) ([]Decision, error) {
+	out := make([]Decision, len(reqs))
+	var station *cell.BaseStation
+	free := 0
+	for i := range reqs {
+		req := &reqs[i]
+		if err := req.Validate(); err != nil {
+			return nil, err
+		}
+		if req.Station != station {
+			station = req.Station
+			free = station.Free()
+		}
+		budget := free
+		if !req.Handoff {
+			budget = free - g.GuardBU
+		}
+		if req.Call.BU <= budget {
+			out[i] = Accept
+		} else {
+			out[i] = Reject
+		}
+	}
+	return out, nil
+}
+
 // ThresholdPolicy is the Multi-Priority Threshold policy shape referenced
 // by the paper ([4], Bartolini & Chlamtac): each class may only occupy
 // bandwidth up to its own threshold. Admission requires both the global
@@ -78,7 +111,10 @@ type ThresholdPolicy struct {
 	MaxBU map[traffic.Class]int
 }
 
-var _ Controller = ThresholdPolicy{}
+var (
+	_ Controller      = ThresholdPolicy{}
+	_ BatchController = ThresholdPolicy{}
+)
 
 // NewThresholdPolicy validates and constructs the policy.
 func NewThresholdPolicy(maxBU map[traffic.Class]int) (ThresholdPolicy, error) {
@@ -122,4 +158,42 @@ func (p ThresholdPolicy) Decide(req Request) (Decision, error) {
 		return Accept, nil
 	}
 	return Reject, nil
+}
+
+// DecideBatch implements BatchController. Decide pays a full
+// Calls() copy-and-sort per request to derive per-class occupancy; the
+// batch path computes the occupancy map once per station run and reuses
+// it, which is the policy's dominant cost on dense cells.
+func (p ThresholdPolicy) DecideBatch(reqs []Request) ([]Decision, error) {
+	out := make([]Decision, len(reqs))
+	var station *cell.BaseStation
+	classUsed := make(map[traffic.Class]int, 3)
+	free := 0
+	for i := range reqs {
+		req := &reqs[i]
+		if err := req.Validate(); err != nil {
+			return nil, err
+		}
+		if req.Station != station {
+			station = req.Station
+			free = station.Free()
+			for class := range classUsed {
+				delete(classUsed, class)
+			}
+			for _, c := range station.Calls() {
+				classUsed[c.Class] += c.BU
+			}
+		}
+		if req.Call.BU > free {
+			out[i] = Reject
+			continue
+		}
+		limit, capped := p.MaxBU[req.Call.Class]
+		if !capped || classUsed[req.Call.Class]+req.Call.BU <= limit {
+			out[i] = Accept
+		} else {
+			out[i] = Reject
+		}
+	}
+	return out, nil
 }

@@ -1,0 +1,49 @@
+package cac
+
+// BatchController is implemented by controllers with a native batch
+// decision path: DecideBatch answers many admission questions in one
+// call, amortising per-request work (surface lookups, scratch buffers,
+// station state reads) that Decide pays on every invocation.
+//
+// Contract: DecideBatch(reqs)[i] must equal Decide(reqs[i]) evaluated
+// against the same controller and station state — batching changes the
+// cost of a decision, never its outcome. Controllers must not mutate
+// any station; like Decide, the caller allocates on Accept. A request
+// that fails validation aborts the batch with its error.
+type BatchController interface {
+	Controller
+	// DecideBatch returns one decision per request, in request order.
+	DecideBatch(reqs []Request) ([]Decision, error)
+}
+
+// DecideAll renders decisions for a batch of requests through c's
+// native batch path when it implements BatchController, and falls back
+// to sequential Decide calls otherwise. It is the single entry point
+// callers should use for multi-request admission, so that batch-capable
+// controllers are amortised automatically.
+// DecideOne renders a single decision through the batch pipeline using
+// caller-provided scratch, so event-driven loops route through the same
+// DecideAll dispatch as real batches without a per-decision allocation.
+func DecideOne(c Controller, scratch *[1]Request, req Request) (Decision, error) {
+	scratch[0] = req
+	out, err := DecideAll(c, scratch[:])
+	if err != nil {
+		return Reject, err
+	}
+	return out[0], nil
+}
+
+func DecideAll(c Controller, reqs []Request) ([]Decision, error) {
+	if bc, ok := c.(BatchController); ok {
+		return bc.DecideBatch(reqs)
+	}
+	out := make([]Decision, len(reqs))
+	for i := range reqs {
+		d, err := c.Decide(reqs[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}

@@ -217,16 +217,33 @@ func CompiledFACSFactory() func(*cell.Network) (cac.Controller, error) {
 	return func(*cell.Network) (cac.Controller, error) { return facs.DefaultCompiled() }
 }
 
-// SCCFactory builds the Fig. 10 SCC baseline: full-bandwidth reservation
-// over the shadow cluster plus the cluster-coverage (path survivability)
-// requirement, per DESIGN.md.
+// sccFig10Config is the Fig. 10 SCC parameterisation: full-bandwidth
+// reservation over the shadow cluster plus the cluster-coverage (path
+// survivability) requirement, per DESIGN.md.
+func sccFig10Config(net *cell.Network) scc.Config {
+	return scc.Config{
+		Network:                net,
+		Reservation:            scc.ReservationFull,
+		RequireClusterCoverage: true,
+	}
+}
+
+// SCCFactory builds the Fig. 10 SCC baseline on the incrementally
+// maintained demand ledger (scc.Ledger): decisions are byte-identical
+// to the recompute Controller's, at O(horizon x cluster-cells) per
+// decision instead of O(active x horizon x stations).
 func SCCFactory() func(*cell.Network) (cac.Controller, error) {
 	return func(net *cell.Network) (cac.Controller, error) {
-		return scc.New(scc.Config{
-			Network:                net,
-			Reservation:            scc.ReservationFull,
-			RequireClusterCoverage: true,
-		})
+		return scc.NewLedger(sccFig10Config(net))
+	}
+}
+
+// SCCRecomputeFactory builds the same baseline on the original
+// recompute-on-query Controller — the reference oracle the
+// golden-equivalence suite holds the ledger against.
+func SCCRecomputeFactory() func(*cell.Network) (cac.Controller, error) {
+	return func(net *cell.Network) (cac.Controller, error) {
+		return scc.New(sccFig10Config(net))
 	}
 }
 

@@ -56,6 +56,11 @@ type MultiCellConfig struct {
 	// MoveIntervalSec is how often active calls update their position
 	// and check for handoffs (default 5 s).
 	MoveIntervalSec float64
+	// TickIntervalSec is how often controllers with time-driven state
+	// (cac.Ticker, e.g. the incremental SCC ledger) receive OnTick while
+	// arrivals remain or calls are active. Default 10 s (the SCC
+	// projection quantum); controllers that are not Tickers get none.
+	TickIntervalSec float64
 	// HandoffPolicy selects how handoffs are admitted at the target
 	// cell. Default HandoffPhysical.
 	HandoffPolicy HandoffPolicy
@@ -128,6 +133,9 @@ func (c MultiCellConfig) withDefaults() MultiCellConfig {
 	if c.MoveIntervalSec == 0 {
 		c.MoveIntervalSec = 5
 	}
+	if c.TickIntervalSec == 0 {
+		c.TickIntervalSec = 10
+	}
 	if c.HandoffPolicy == 0 {
 		c.HandoffPolicy = HandoffPhysical
 	}
@@ -142,7 +150,7 @@ func (c MultiCellConfig) Validate() error {
 	if c.NumRequests <= 0 {
 		return fmt.Errorf("experiments: NumRequests must be > 0, got %d", c.NumRequests)
 	}
-	if !(c.WindowSec > 0) || !(c.MeanHoldingSec > 0) || !(c.MoveIntervalSec > 0) {
+	if !(c.WindowSec > 0) || !(c.MeanHoldingSec > 0) || !(c.MoveIntervalSec > 0) || !(c.TickIntervalSec > 0) {
 		return fmt.Errorf("experiments: time parameters must be > 0")
 	}
 	if c.ObserveSteps < 2 {
@@ -226,6 +234,7 @@ func RunMultiCell(cfg MultiCellConfig) (MultiCellResult, error) {
 	}
 	observer, _ := controller.(cac.Observer)
 	updater, _ := controller.(cac.StateUpdater)
+	ticker, _ := controller.(cac.Ticker)
 
 	gen, err := traffic.NewGenerator(traffic.GeneratorConfig{
 		Mix:              cfg.Mix,
@@ -245,6 +254,7 @@ func RunMultiCell(cfg MultiCellConfig) (MultiCellResult, error) {
 		ctrl:     controller,
 		observer: observer,
 		updater:  updater,
+		ticker:   ticker,
 		userRNG:  userRNG,
 		gpsRNG:   gpsRNG,
 		result:   &result,
@@ -253,9 +263,15 @@ func RunMultiCell(cfg MultiCellConfig) (MultiCellResult, error) {
 	sched := sim.NewScheduler()
 	for _, req := range gen.Take(cfg.NumRequests) {
 		req := req
+		run.pendingArrivals++
 		if _, err := sched.At(req.ArrivalTime, func(s *sim.Scheduler) {
 			run.arrive(s, req)
 		}); err != nil {
+			return MultiCellResult{}, err
+		}
+	}
+	if ticker != nil {
+		if _, err := sched.After(cfg.TickIntervalSec, run.tick); err != nil {
 			return MultiCellResult{}, err
 		}
 	}
@@ -272,10 +288,41 @@ type multiCellRun struct {
 	ctrl     cac.Controller
 	observer cac.Observer
 	updater  cac.StateUpdater
+	ticker   cac.Ticker
 	userRNG  *rand.Rand
 	gpsRNG   *rand.Rand
 	result   *MultiCellResult
 	err      error
+	// pendingArrivals and liveCalls gate the tick chain: ticks re-arm
+	// only while the run still has work, so the scheduler drains.
+	pendingArrivals int
+	liveCalls       int
+	// reqScratch routes every admission question through the batch
+	// pipeline (cac.DecideAll) without a per-decision allocation.
+	reqScratch [1]cac.Request
+}
+
+// decide renders one admission decision through the batch pipeline, so
+// controllers with a native DecideBatch are exercised uniformly by the
+// event-driven runner (single-request batches here, real batches in the
+// RunBatchAdmission sweep).
+func (r *multiCellRun) decide(req cac.Request) (cac.Decision, error) {
+	return cac.DecideOne(r.ctrl, &r.reqScratch, req)
+}
+
+// tick delivers the periodic time advance to the controller and re-arms
+// itself while the run still has pending arrivals or active calls.
+func (r *multiCellRun) tick(s *sim.Scheduler) {
+	if r.err != nil {
+		return
+	}
+	r.ticker.OnTick(s.Now())
+	if r.pendingArrivals == 0 && r.liveCalls == 0 {
+		return
+	}
+	if _, err := s.After(r.cfg.TickIntervalSec, r.tick); err != nil {
+		r.err = err
+	}
 }
 
 // spawn places a new user uniformly inside network coverage with a random
@@ -308,6 +355,7 @@ func (r *multiCellRun) spawn() (*mobility.TurningWalk, error) {
 
 // arrive handles one new connection request.
 func (r *multiCellRun) arrive(s *sim.Scheduler, req traffic.Request) {
+	r.pendingArrivals--
 	if r.err != nil {
 		return
 	}
@@ -352,7 +400,7 @@ func (r *multiCellRun) arrive(s *sim.Scheduler, req traffic.Request) {
 		Est:     est,
 		Now:     s.Now(),
 	}
-	decision, err := r.ctrl.Decide(cacReq)
+	decision, err := r.decide(cacReq)
 	if err != nil {
 		r.err = err
 		return
@@ -366,6 +414,7 @@ func (r *multiCellRun) arrive(s *sim.Scheduler, req traffic.Request) {
 		return
 	}
 	r.result.Accepted++
+	r.liveCalls++
 	if r.observer != nil {
 		r.observer.OnAdmit(cacReq)
 	}
@@ -405,6 +454,7 @@ func (r *multiCellRun) complete(s *sim.Scheduler, call *activeCall) {
 		return
 	}
 	r.result.Completed++
+	r.liveCalls--
 	if r.observer != nil {
 		r.observer.OnRelease(call.id, bs, s.Now())
 	}
@@ -426,6 +476,7 @@ func (r *multiCellRun) dropCall(s *sim.Scheduler, call *activeCall) {
 		r.err = err
 		return
 	}
+	r.liveCalls--
 	if r.observer != nil {
 		r.observer.OnRelease(call.id, src, s.Now())
 	}
@@ -469,7 +520,7 @@ func (r *multiCellRun) move(s *sim.Scheduler, call *activeCall) {
 				Handoff: true,
 				Now:     s.Now(),
 			}
-			decision, err := r.ctrl.Decide(hoReq)
+			decision, err := r.decide(hoReq)
 			if err != nil {
 				r.err = err
 				return

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"facs/internal/cac"
+	"facs/internal/cell"
 	"facs/internal/fuzzy"
 	"facs/internal/gps"
 )
@@ -53,7 +54,10 @@ type CompiledController struct {
 	exact atomic.Int64
 }
 
-var _ cac.Controller = (*CompiledController)(nil)
+var (
+	_ cac.Controller      = (*CompiledController)(nil)
+	_ cac.BatchController = (*CompiledController)(nil)
+)
 
 // NewCompiled constructs the exact System for the given options, then
 // compiles both controllers into surfaces with gridSize uniform nodes
@@ -249,6 +253,46 @@ func (c *CompiledController) Evaluate(obs gps.Observation, requestBU, usedBU int
 		Grade:    gradeFromTerm(c.sys.flc2.Output().HighestTerm(ar)),
 		Accepted: ar >= c.sys.acceptThreshold,
 	}, nil
+}
+
+// DecideBatch implements cac.BatchController with the same semantics as
+// per-request Decide calls against unchanged station state. The batch
+// path amortises the station-occupancy read across runs of requests
+// aimed at the same station (the common shape: many candidates
+// evaluated against one cell), on top of the per-query surface lookups
+// that already dominate the cost.
+func (c *CompiledController) DecideBatch(reqs []cac.Request) ([]cac.Decision, error) {
+	out := make([]cac.Decision, len(reqs))
+	var station *cell.BaseStation
+	used, free := 0, 0
+	for i := range reqs {
+		req := &reqs[i]
+		if err := req.Validate(); err != nil {
+			return nil, err
+		}
+		// Decide must not mutate stations, so occupancy is stable for
+		// the whole batch and one read serves every consecutive request
+		// on the same station.
+		if req.Station != station {
+			station = req.Station
+			used = station.Used()
+			free = station.Free()
+		}
+		if req.Call.BU > free {
+			out[i] = cac.Reject
+			continue
+		}
+		ev, err := c.Evaluate(req.Obs, req.Call.BU, used, req.Handoff)
+		if err != nil {
+			return nil, err
+		}
+		if ev.Accepted {
+			out[i] = cac.Accept
+		} else {
+			out[i] = cac.Reject
+		}
+	}
+	return out, nil
 }
 
 // Decide implements cac.Controller with the same semantics as

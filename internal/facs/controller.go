@@ -110,7 +110,10 @@ type System struct {
 	flc2 *fuzzy.Engine
 }
 
-var _ cac.Controller = (*System)(nil)
+var (
+	_ cac.Controller      = (*System)(nil)
+	_ cac.BatchController = (*System)(nil)
+)
 
 // New constructs a FACS with the paper's defaults, applying any options.
 func New(opts ...Option) (*System, error) {
@@ -217,6 +220,22 @@ func (s *System) Evaluate(obs gps.Observation, requestBU, usedBU int, handoff bo
 		Accepted: ar >= s.acceptThreshold,
 	}
 	return ev, nil
+}
+
+// DecideBatch implements cac.BatchController. The exact engines have
+// no per-request state to amortise (each Mamdani inference allocates
+// internally), so this is a plain sequential pass; the method declares
+// batch capability so the pipeline treats every FACS variant uniformly.
+func (s *System) DecideBatch(reqs []cac.Request) ([]cac.Decision, error) {
+	out := make([]cac.Decision, len(reqs))
+	for i := range reqs {
+		d, err := s.Decide(reqs[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
 }
 
 // Decide implements cac.Controller: the request is admitted when the

@@ -1,0 +1,392 @@
+package scc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"facs/internal/cac"
+	"facs/internal/cell"
+	"facs/internal/geo"
+	"facs/internal/gps"
+	"facs/internal/traffic"
+)
+
+func gpsEstimate(pos geo.Point, headingDeg, speedKmh float64) gps.Estimate {
+	return gps.Estimate{Pos: pos, HeadingDeg: headingDeg, SpeedKmh: speedKmh}
+}
+
+func newLedger(t *testing.T, net *cell.Network, mutate ...func(*Config)) *Ledger {
+	t.Helper()
+	cfg := Config{Network: net}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	l, err := NewLedger(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// randomCoveredPoint samples a plane position inside network coverage.
+func randomCoveredPoint(t *testing.T, rng *rand.Rand, net *cell.Network, radius float64) geo.Point {
+	t.Helper()
+	for tries := 0; tries < 10000; tries++ {
+		p := geo.Point{
+			X: (2*rng.Float64() - 1) * radius,
+			Y: (2*rng.Float64() - 1) * radius,
+		}
+		if _, err := net.StationAt(p); err == nil {
+			return p
+		}
+	}
+	t.Fatal("could not sample a covered point")
+	return geo.Point{}
+}
+
+func randomRequest(t *testing.T, rng *rand.Rand, net *cell.Network, id int, radius float64) cac.Request {
+	t.Helper()
+	classes := []traffic.Class{traffic.Text, traffic.Voice, traffic.Video}
+	class := classes[rng.Intn(len(classes))]
+	pos := randomCoveredPoint(t, rng, net, radius)
+	bs, err := net.StationAt(pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := gpsEstimate(pos, rng.Float64()*360-180, rng.Float64()*120)
+	return cac.Request{
+		Call:    cell.Call{ID: id, Class: class, BU: class.BandwidthUnits()},
+		Station: bs,
+		Est:     est,
+	}
+}
+
+// TestLedgerMatchesOracleRandomized drives the recompute Controller and
+// the Ledger through identical randomized admit / release / update /
+// decide sequences and asserts byte-identical decisions throughout, for
+// both reservation modes and with the cluster-coverage requirement on
+// and off.
+func TestLedgerMatchesOracleRandomized(t *testing.T) {
+	scenarios := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"weighted", func(*Config) {}},
+		{"full-coverage", func(c *Config) {
+			c.Reservation = ReservationFull
+			c.RequireClusterCoverage = true
+		}},
+		{"tight-threshold", func(c *Config) { c.Threshold = 0.4 }},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				net := newNet(t, 2)
+				radius := 2.0 * 2000 * 2 // cover the 2-ring deployment
+				oracle := newSCC(t, net, sc.mutate)
+				ledger := newLedger(t, net, sc.mutate)
+				live := []int{}
+				nextID := 0
+				decisions := 0
+				for step := 0; step < 400; step++ {
+					switch op := rng.Float64(); {
+					case op < 0.45: // admit
+						req := randomRequest(t, rng, net, nextID, radius)
+						nextID++
+						oracle.OnAdmit(req)
+						ledger.OnAdmit(req)
+						live = append(live, req.Call.ID)
+					case op < 0.6 && len(live) > 0: // release
+						i := rng.Intn(len(live))
+						id := live[i]
+						live = append(live[:i], live[i+1:]...)
+						oracle.OnRelease(id, nil, 0)
+						ledger.OnRelease(id, nil, 0)
+					case op < 0.75 && len(live) > 0: // kinematic update
+						id := live[rng.Intn(len(live))]
+						pos := randomCoveredPoint(t, rng, net, radius)
+						heading := rng.Float64()*360 - 180
+						speed := rng.Float64() * 120
+						bs, err := net.StationAt(pos)
+						if err != nil {
+							t.Fatal(err)
+						}
+						oracle.UpdateState(id, pos, heading, speed, bs.Hex())
+						ledger.UpdateState(id, pos, heading, speed, bs.Hex())
+					default: // decide
+						req := randomRequest(t, rng, net, 1_000_000+step, radius)
+						want, err := oracle.Decide(req)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := ledger.Decide(req)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got != want {
+							t.Fatalf("seed %d step %d: ledger = %v, oracle = %v", seed, step, got, want)
+						}
+						decisions++
+					}
+					if oracle.ActiveCalls() != ledger.ActiveCalls() {
+						t.Fatalf("active mismatch: oracle %d, ledger %d", oracle.ActiveCalls(), ledger.ActiveCalls())
+					}
+				}
+				if decisions == 0 {
+					t.Fatal("randomized run rendered no decisions")
+				}
+			}
+		})
+	}
+}
+
+// TestLedgerDemandMatchesRecompute is the ledger-invariant property test:
+// after a randomized admit/release/update sequence the matrix equals a
+// from-scratch recomputation within floating-point drift, and bitwise
+// after a rebuild (OnTick).
+func TestLedgerDemandMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := newNet(t, 1)
+	radius := 2.0 * 2000 * 1.5
+	ledger := newLedger(t, net)
+	oracle := newSCC(t, net)
+	live := []int{}
+	for step := 0; step < 300; step++ {
+		switch op := rng.Float64(); {
+		case op < 0.5:
+			req := randomRequest(t, rng, net, step, radius)
+			ledger.OnAdmit(req)
+			oracle.OnAdmit(req)
+			live = append(live, req.Call.ID)
+		case op < 0.75 && len(live) > 0:
+			i := rng.Intn(len(live))
+			id := live[i]
+			live = append(live[:i], live[i+1:]...)
+			ledger.OnRelease(id, nil, 0)
+			oracle.OnRelease(id, nil, 0)
+		case len(live) > 0:
+			id := live[rng.Intn(len(live))]
+			pos := randomCoveredPoint(t, rng, net, radius)
+			bs, err := net.StationAt(pos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ledger.UpdateState(id, pos, 45, 60, bs.Hex())
+			oracle.UpdateState(id, pos, 45, 60, bs.Hex())
+		}
+	}
+	for _, bs := range net.Stations() {
+		for k := 0; k <= ledger.Config().Horizon; k++ {
+			want := oracle.ExpectedDemand(bs.Hex(), k)
+			got := ledger.ProjectedDemand(bs.Hex(), k)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("drifted demand at %v k=%d: ledger %v, recompute %v", bs.Hex(), k, got, want)
+			}
+		}
+	}
+	ledger.OnTick(0)
+	for _, bs := range net.Stations() {
+		for k := 0; k <= ledger.Config().Horizon; k++ {
+			want := oracle.ExpectedDemand(bs.Hex(), k)
+			got := ledger.ProjectedDemand(bs.Hex(), k)
+			if got != want {
+				t.Fatalf("rebuild not bitwise exact at %v k=%d: ledger %v, recompute %v", bs.Hex(), k, got, want)
+			}
+		}
+	}
+	// Releasing everything and rebuilding must return the matrix to
+	// exactly zero.
+	for _, id := range append([]int(nil), live...) {
+		ledger.OnRelease(id, nil, 0)
+	}
+	ledger.OnTick(0)
+	for _, bs := range net.Stations() {
+		if got := ledger.ProjectedDemand(bs.Hex(), 0); got != 0 {
+			t.Fatalf("empty ledger demand at %v = %v, want exactly 0", bs.Hex(), got)
+		}
+	}
+}
+
+// TestLedgerGuardBandFallback crafts a demand sitting exactly on the
+// survivability threshold, where a naive incremental comparison could
+// flip on drift: the ledger must route it through the exact summation
+// and still agree with the oracle.
+func TestLedgerGuardBandFallback(t *testing.T) {
+	net := newNet(t, 0) // single 40 BU cell
+	mutate := func(c *Config) {
+		c.Threshold = 0.5 // 20 BU budget
+		c.Reservation = ReservationFull
+	}
+	oracle := newSCC(t, net, mutate)
+	ledger := newLedger(t, net, mutate)
+	// Two stationary video calls reserve exactly 20 BU at every interval.
+	for id := 0; id < 2; id++ {
+		req := sccRequest(t, net, id, traffic.Video, geo.Point{}, 0, 0)
+		oracle.OnAdmit(req)
+		ledger.OnAdmit(req)
+	}
+	// A stationary video request projects 20 + 10 > 20: reject. A
+	// zero-BU margin sits inside the guard band on the way there.
+	req := sccRequest(t, net, 50, traffic.Video, geo.Point{}, 0, 0)
+	want, err := oracle.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ledger.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("boundary decision: ledger %v, oracle %v", got, want)
+	}
+	// A text request lands at exactly 20 + 1 = 21 > 20: reject, and the
+	// release of one video (20 -> 10) must re-open the cell.
+	ledger.OnRelease(0, nil, 0)
+	oracle.OnRelease(0, nil, 0)
+	req = sccRequest(t, net, 51, traffic.Video, geo.Point{}, 0, 0)
+	want, err = oracle.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = ledger.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || got != cac.Accept {
+		t.Fatalf("post-release decision: ledger %v, oracle %v, want accept", got, want)
+	}
+	if fallbacks, _ := ledger.Stats(); fallbacks == 0 {
+		t.Fatal("exact fallback should have triggered on the threshold boundary")
+	}
+}
+
+// TestLedgerDecideBatch asserts the native batch path returns exactly
+// the sequential decisions, and that the generic adapter selects it.
+func TestLedgerDecideBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := newNet(t, 1)
+	radius := 2.0 * 2000 * 1.5
+	ledger := newLedger(t, net)
+	for id := 0; id < 40; id++ {
+		ledger.OnAdmit(randomRequest(t, rng, net, id, radius))
+	}
+	reqs := make([]cac.Request, 64)
+	for i := range reqs {
+		reqs[i] = randomRequest(t, rng, net, 1000+i, radius)
+	}
+	batch, err := cac.DecideAll(ledger, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(reqs) {
+		t.Fatalf("batch returned %d decisions for %d requests", len(batch), len(reqs))
+	}
+	for i, req := range reqs {
+		want, err := ledger.Decide(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != want {
+			t.Fatalf("request %d: batch %v, sequential %v", i, batch[i], want)
+		}
+	}
+	// Invalid requests abort the batch.
+	bad := append(append([]cac.Request(nil), reqs[:3]...), cac.Request{})
+	if _, err := ledger.DecideBatch(bad); err == nil {
+		t.Fatal("invalid request should abort the batch")
+	}
+}
+
+// TestLedgerLifecycle covers the remaining Observer/StateUpdater edges:
+// unknown releases and updates are ignored, re-admission replaces the
+// footprint, and Name/accessors report the ledger identity.
+func TestLedgerLifecycle(t *testing.T) {
+	net := newNet(t, 1)
+	ledger := newLedger(t, net)
+	if ledger.Name() != "scc-ledger" {
+		t.Fatalf("Name = %q", ledger.Name())
+	}
+	ledger.OnRelease(99, nil, 0)
+	ledger.UpdateState(99, geo.Point{}, 0, 0, geo.Hex{})
+	if ledger.ActiveCalls() != 0 {
+		t.Fatal("unknown ids must not create tracks")
+	}
+	req := sccRequest(t, net, 1, traffic.Video, geo.Point{}, 0, 0)
+	ledger.OnAdmit(req)
+	first := ledger.ProjectedDemand(geo.Hex{}, 0)
+	// Re-admitting the same ID from a new position replaces, not stacks.
+	east := geo.Hex{Q: 1, R: 0}
+	req2 := sccRequest(t, net, 1, traffic.Video, net.Layout().Center(east), 0, 0)
+	ledger.OnAdmit(req2)
+	if ledger.ActiveCalls() != 1 {
+		t.Fatalf("re-admission duplicated the track: %d active", ledger.ActiveCalls())
+	}
+	if got := ledger.ProjectedDemand(geo.Hex{}, 0); got >= first {
+		t.Fatalf("home demand after re-admission elsewhere = %v, want < %v", got, first)
+	}
+	// Beyond-horizon queries fall back to the exact summation.
+	oracle := newSCC(t, net)
+	oracle.OnAdmit(req2)
+	deep := ledger.Config().Horizon + 3
+	if got, want := ledger.ProjectedDemand(east, deep), oracle.ExpectedDemand(east, deep); got != want {
+		t.Fatalf("beyond-horizon demand = %v, want %v", got, want)
+	}
+	if got := ledger.ProjectedDemand(geo.Hex{Q: 40, R: 40}, 0); got != 0 {
+		t.Fatalf("demand outside the deployment = %v, want 0", got)
+	}
+}
+
+// TestLedgerRebuildDuringChurn pins a regression: the ops-budget
+// rebuild used to fire from inside apply(-1), while the footprint
+// being removed was still registered in the track set, resurrecting it
+// wholesale. Churning enough admit/release pairs to trip the budget
+// mid-removal must leave the matrix exactly on the from-scratch sum.
+func TestLedgerRebuildDuringChurn(t *testing.T) {
+	net := newNet(t, 0) // single cell: footprints are small and cheap
+	ledger := newLedger(t, net)
+	// One persistent stationary video call...
+	keeper := sccRequest(t, net, 1, traffic.Video, geo.Point{}, 0, 0)
+	ledger.OnAdmit(keeper)
+	// ...plus enough admit/release churn of a second call to spend the
+	// rebuild ops budget several times over, so rebuilds land at every
+	// phase of the mutation cycle.
+	churn := sccRequest(t, net, 2, traffic.Voice, geo.Point{}, 0, 0)
+	for i := 0; i < 90_000; i++ {
+		ledger.OnAdmit(churn)
+		ledger.OnRelease(2, nil, 0)
+	}
+	if _, rebuilds := ledger.Stats(); rebuilds == 0 {
+		t.Fatal("churn did not trip the ops-budget rebuild; the regression is not exercised")
+	}
+	oracle := newSCC(t, net)
+	oracle.OnAdmit(keeper)
+	for k := 0; k <= ledger.Config().Horizon; k++ {
+		want := oracle.ExpectedDemand(geo.Hex{}, k)
+		if got := ledger.ProjectedDemand(geo.Hex{}, k); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("k=%d: matrix %v, from-scratch %v (released footprint resurrected?)", k, got, want)
+		}
+	}
+}
+
+// TestLedgerTickSkipsCleanMatrix asserts OnTick is free when nothing
+// changed since the last rebuild.
+func TestLedgerTickSkipsCleanMatrix(t *testing.T) {
+	net := newNet(t, 0)
+	ledger := newLedger(t, net)
+	ledger.OnAdmit(sccRequest(t, net, 1, traffic.Voice, geo.Point{}, 0, 0))
+	ledger.OnTick(10)
+	_, after := ledger.Stats()
+	ledger.OnTick(20)
+	ledger.OnTick(30)
+	if _, got := ledger.Stats(); got != after {
+		t.Fatalf("clean-matrix ticks rebuilt anyway: %d -> %d rebuilds", after, got)
+	}
+	// New churn re-arms the rebuild.
+	ledger.OnRelease(1, nil, 0)
+	ledger.OnTick(40)
+	if _, got := ledger.Stats(); got != after+1 {
+		t.Fatalf("dirty tick should rebuild: %d -> %d", after, got)
+	}
+}

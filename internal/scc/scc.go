@@ -12,6 +12,12 @@
 // Gaussian cone around the dead-reckoned trajectory instead of
 // per-operator measured histories, and a mobile's kinematic state is the
 // one observed at admission (refreshable via UpdateState on handoff).
+//
+// Two interchangeable implementations are provided: Controller, the
+// original recompute-on-query form kept as the reference oracle, and
+// Ledger, the incrementally maintained demand ledger whose decisions are
+// byte-identical at O(horizon x cluster-cells) per decision. DESIGN.md
+// records the ledger invariants and the guard-band argument.
 package scc
 
 import (
@@ -160,12 +166,31 @@ type track struct {
 	home       geo.Hex
 }
 
-// Controller is the shadow-cluster admission controller. It implements
-// cac.Controller and cac.Observer. It is not safe for concurrent use; the
-// simulation kernel is single-threaded.
+// Controller is the shadow-cluster admission controller in its original
+// recompute-on-query form: every Decide and ExpectedDemand re-derives the
+// Gaussian shadow of every tracked call, so Decide is
+// O(active x horizon x stations). It is kept as the reference oracle for
+// the incrementally maintained Ledger (see ledger.go and DESIGN.md); use
+// Ledger on hot admission paths.
+//
+// It implements cac.Controller, cac.Observer and cac.StateUpdater. It is
+// not safe for concurrent use; the simulation kernel is single-threaded.
 type Controller struct {
-	cfg    Config
-	active map[int]track
+	cfg      Config
+	stations []*cell.BaseStation
+	active   map[int]track
+	// ids mirrors the keys of active in ascending order, so that demand
+	// aggregation iterates (and therefore sums) in a deterministic order
+	// without re-sorting on every query.
+	ids []int
+	// Scratch buffers reused across queries (the controller is
+	// single-threaded by contract). reqShadow holds the shadow of the
+	// request under decision, trackShadow the shadow of one tracked call
+	// inside the demand aggregation; they must stay distinct because
+	// Decide holds reqShadow across its ExpectedDemand calls.
+	weights     []float64
+	reqShadow   []CellProb
+	trackShadow []CellProb
 }
 
 var (
@@ -180,7 +205,12 @@ func New(cfg Config) (*Controller, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Controller{cfg: cfg, active: make(map[int]track)}, nil
+	return &Controller{
+		cfg:      cfg,
+		stations: cfg.Network.Stations(),
+		active:   make(map[int]track),
+		weights:  make([]float64, cfg.Network.NumCells()),
+	}, nil
 }
 
 // Name implements cac.Controller.
@@ -199,20 +229,21 @@ type CellProb struct {
 	Prob float64
 }
 
-// Shadow returns the probability distribution over network cells for a
-// mobile with the given kinematics at projection interval k (k=0 is now).
-// Entries below MinProb are dropped; the result is sorted by descending
-// probability, ties broken by (Q, R) for determinism.
-func (c *Controller) Shadow(pos geo.Point, headingDeg, speedMps float64, k int) []CellProb {
+// appendShadow computes the shadow distribution of one mobile at
+// projection interval k and appends the entries above MinProb to dst,
+// reusing weights (which must have len(stations) capacity) as scratch.
+// The math is shared by the recompute Controller and the incremental
+// Ledger so that both derive bit-identical probabilities; entries are
+// appended in station (Q, R) order, unsorted by probability.
+func appendShadow(cfg *Config, stations []*cell.BaseStation, weights []float64, dst []CellProb, pos geo.Point, headingDeg, speedMps float64, k int) []CellProb {
 	if k < 0 {
 		k = 0
 	}
-	travel := speedMps * float64(k) * c.cfg.DeltaT
+	travel := speedMps * float64(k) * cfg.DeltaT
 	q := geo.Move(pos, headingDeg, travel)
-	sigma := c.cfg.SigmaPosM + c.cfg.SpreadAlpha*travel
+	sigma := cfg.SigmaPosM + cfg.SpreadAlpha*travel
 	inv := 1 / (2 * sigma * sigma)
-	stations := c.cfg.Network.Stations()
-	weights := make([]float64, len(stations))
+	weights = weights[:len(stations)]
 	var total float64
 	for i, bs := range stations {
 		d := q.DistanceTo(bs.Pos())
@@ -229,15 +260,26 @@ func (c *Controller) Shadow(pos geo.Point, headingDeg, speedMps float64, k int) 
 				best, bestD = i, d
 			}
 		}
+		for i := range weights {
+			weights[i] = 0
+		}
 		weights[best], total = 1, 1
 	}
-	out := make([]CellProb, 0, 4)
 	for i, bs := range stations {
 		p := weights[i] / total
-		if p >= c.cfg.MinProb {
-			out = append(out, CellProb{Hex: bs.Hex(), Prob: p})
+		if p >= cfg.MinProb {
+			dst = append(dst, CellProb{Hex: bs.Hex(), Prob: p})
 		}
 	}
+	return dst
+}
+
+// Shadow returns the probability distribution over network cells for a
+// mobile with the given kinematics at projection interval k (k=0 is now).
+// Entries below MinProb are dropped; the result is sorted by descending
+// probability, ties broken by (Q, R) for determinism.
+func (c *Controller) Shadow(pos geo.Point, headingDeg, speedMps float64, k int) []CellProb {
+	out := appendShadow(&c.cfg, c.stations, c.weights, nil, pos, headingDeg, speedMps, k)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Prob != out[j].Prob {
 			return out[i].Prob > out[j].Prob
@@ -253,26 +295,29 @@ func (c *Controller) Shadow(pos geo.Point, headingDeg, speedMps float64, k int) 
 // survival returns the probability that a call admitted with the
 // configured mean holding time is still active after k intervals.
 func (c *Controller) survival(k int) float64 {
-	return math.Exp(-float64(k) * c.cfg.DeltaT / c.cfg.MeanHoldingSec)
+	return survival(&c.cfg, k)
+}
+
+// survival is the shared decay term: the probability that a call with the
+// configured mean holding time is still active after k intervals.
+func survival(cfg *Config, k int) float64 {
+	return math.Exp(-float64(k) * cfg.DeltaT / cfg.MeanHoldingSec)
 }
 
 // ExpectedDemand returns the aggregated projected demand E[j, k] in BU for
 // cell j at interval k over all tracked calls, under the configured
-// reservation mode.
+// reservation mode. Contributions are summed in ascending call-ID order
+// for floating-point determinism; the Ledger's exact fallback and rebuild
+// replicate exactly this order.
 func (c *Controller) ExpectedDemand(j geo.Hex, k int) float64 {
 	surv := c.survival(k)
 	var sum float64
-	// Iterate in key order for floating-point determinism.
-	ids := make([]int, 0, len(c.active))
-	for id := range c.active {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
+	for _, id := range c.ids {
 		tr := c.active[id]
-		for _, cp := range c.Shadow(tr.pos, tr.headingDeg, tr.speedMps, k) {
+		c.trackShadow = appendShadow(&c.cfg, c.stations, c.weights, c.trackShadow[:0], tr.pos, tr.headingDeg, tr.speedMps, k)
+		for _, cp := range c.trackShadow {
 			if cp.Hex == j {
-				sum += c.reserve(float64(tr.bu), cp.Prob, surv)
+				sum += reserve(&c.cfg, float64(tr.bu), cp.Prob, surv)
 				break
 			}
 		}
@@ -282,8 +327,14 @@ func (c *Controller) ExpectedDemand(j geo.Hex, k int) float64 {
 
 // reserve converts one shadow entry into reserved bandwidth.
 func (c *Controller) reserve(bu, prob, surv float64) float64 {
-	if c.cfg.Reservation == ReservationFull {
-		if prob >= c.cfg.InclusionProb {
+	return reserve(&c.cfg, bu, prob, surv)
+}
+
+// reserve is the shared reservation rule turning one shadow entry into
+// reserved bandwidth under the configured mode.
+func reserve(cfg *Config, bu, prob, surv float64) float64 {
+	if cfg.Reservation == ReservationFull {
+		if prob >= cfg.InclusionProb {
 			return bu
 		}
 		return 0
@@ -314,7 +365,8 @@ func (c *Controller) Decide(req cac.Request) (cac.Decision, error) {
 	}
 	for k := 0; k <= c.cfg.Horizon; k++ {
 		surv := c.survival(k)
-		for _, cp := range c.Shadow(pos, req.Est.HeadingDeg, speedMps, k) {
+		c.reqShadow = appendShadow(&c.cfg, c.stations, c.weights, c.reqShadow[:0], pos, req.Est.HeadingDeg, speedMps, k)
+		for _, cp := range c.reqShadow {
 			bs, ok := c.cfg.Network.At(cp.Hex)
 			if !ok {
 				continue
@@ -328,8 +380,30 @@ func (c *Controller) Decide(req cac.Request) (cac.Decision, error) {
 	return cac.Accept, nil
 }
 
+// insertID adds id to a sorted id slice unless already present.
+func insertID(ids []int, id int) []int {
+	i := sort.SearchInts(ids, id)
+	if i < len(ids) && ids[i] == id {
+		return ids
+	}
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
+}
+
+// removeID deletes id from a sorted id slice if present.
+func removeID(ids []int, id int) []int {
+	i := sort.SearchInts(ids, id)
+	if i == len(ids) || ids[i] != id {
+		return ids
+	}
+	return append(ids[:i], ids[i+1:]...)
+}
+
 // OnAdmit implements cac.Observer: start projecting the call's shadow.
 func (c *Controller) OnAdmit(req cac.Request) {
+	c.ids = insertID(c.ids, req.Call.ID)
 	c.active[req.Call.ID] = track{
 		bu:         req.Call.BU,
 		pos:        req.Est.Pos,
@@ -341,6 +415,10 @@ func (c *Controller) OnAdmit(req cac.Request) {
 
 // OnRelease implements cac.Observer: stop projecting the call's shadow.
 func (c *Controller) OnRelease(callID int, _ *cell.BaseStation, _ float64) {
+	if _, ok := c.active[callID]; !ok {
+		return
+	}
+	c.ids = removeID(c.ids, callID)
 	delete(c.active, callID)
 }
 

@@ -25,6 +25,7 @@ type Event struct {
 	at       float64
 	seq      uint64
 	fn       Handler
+	owner    *Scheduler
 	canceled bool
 	index    int // heap index, -1 once popped
 }
@@ -33,8 +34,19 @@ type Event struct {
 func (e *Event) Time() float64 { return e.at }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+// already-cancelled event is a no-op. Cancelled events are deleted
+// lazily: they stay in the queue until popped or until the scheduler
+// compacts it (see Scheduler.compact).
+func (e *Event) Cancel() {
+	if e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.index >= 0 && e.owner != nil {
+		e.owner.canceled++
+		e.owner.maybeCompact()
+	}
+}
 
 // Canceled reports whether the event was cancelled.
 func (e *Event) Canceled() bool { return e.canceled }
@@ -49,7 +61,13 @@ type Scheduler struct {
 	seq      uint64
 	pq       eventHeap
 	executed uint64
+	canceled int // cancelled events still sitting in pq
+	compacts uint64
 }
+
+// compactMinLen is the queue size below which compaction is not worth
+// the heap rebuild: small queues drain cancelled events quickly anyway.
+const compactMinLen = 64
 
 // NewScheduler returns an empty scheduler at time zero.
 func NewScheduler() *Scheduler {
@@ -78,11 +96,45 @@ func (s *Scheduler) At(t float64, fn Handler) (*Event, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("sim: event handler must not be nil")
 	}
-	ev := &Event{at: t, seq: s.seq, fn: fn}
+	ev := &Event{at: t, seq: s.seq, fn: fn, owner: s}
 	s.seq++
 	heap.Push(&s.pq, ev)
 	return ev, nil
 }
+
+// maybeCompact discards cancelled events in one pass once they make up
+// more than half of a non-trivial queue. Without it, workloads that
+// cancel most of what they schedule (mobile-heavy runs cancel a
+// move-or-end event per handoff and per drop) grow the queue without
+// bound: lazily deleted events are only freed when their firing time is
+// reached. Compaction preserves execution order — the heap is rebuilt
+// from the surviving events, whose (time, seq) order is total.
+func (s *Scheduler) maybeCompact() {
+	if len(s.pq) < compactMinLen || 2*s.canceled <= len(s.pq) {
+		return
+	}
+	live := s.pq[:0]
+	for _, ev := range s.pq {
+		if ev.canceled {
+			ev.index = -1
+			continue
+		}
+		ev.index = len(live)
+		live = append(live, ev)
+	}
+	// Zero the abandoned tail so dropped events can be collected.
+	for i := len(live); i < len(s.pq); i++ {
+		s.pq[i] = nil
+	}
+	s.pq = live
+	heap.Init(&s.pq)
+	s.canceled = 0
+	s.compacts++
+}
+
+// Compactions returns how many times the queue discarded its cancelled
+// events in bulk.
+func (s *Scheduler) Compactions() uint64 { return s.compacts }
 
 // After schedules fn d seconds from now. Negative delays are errors.
 func (s *Scheduler) After(d float64, fn Handler) (*Event, error) {
@@ -98,6 +150,7 @@ func (s *Scheduler) Step() bool {
 	for len(s.pq) > 0 {
 		ev := heap.Pop(&s.pq).(*Event)
 		if ev.canceled {
+			s.canceled--
 			continue
 		}
 		s.now = ev.at
@@ -147,6 +200,7 @@ func (s *Scheduler) peek() *Event {
 	for len(s.pq) > 0 {
 		if s.pq[0].canceled {
 			heap.Pop(&s.pq)
+			s.canceled--
 			continue
 		}
 		return s.pq[0]

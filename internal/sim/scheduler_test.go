@@ -202,3 +202,101 @@ func TestSchedulerOrderingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCompactionDiscardsCancelledEvents pins the lazy-delete leak fix:
+// cancelling most of a large queue must shrink it immediately instead of
+// carrying the corpses until their firing times.
+func TestCompactionDiscardsCancelledEvents(t *testing.T) {
+	s := NewScheduler()
+	var events []*Event
+	for i := 0; i < 1000; i++ {
+		ev, err := s.At(float64(i), func(*Scheduler) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	// Cancel every second event: at just over half cancelled, the queue
+	// must compact down to the live events.
+	for i := 0; i < len(events); i += 2 {
+		events[i].Cancel()
+	}
+	events[1].Cancel()
+	if got := s.Len(); got > 500 {
+		t.Fatalf("queue holds %d events after cancelling ~half, want compaction to <= 500", got)
+	}
+	if s.Compactions() == 0 {
+		t.Fatal("compaction should have run")
+	}
+	// Double-cancel must not corrupt the cancelled counter.
+	events[3].Cancel()
+	events[3].Cancel()
+	if fired := s.Run(0); fired != 498 {
+		t.Fatalf("fired %d events, want 498 live ones", fired)
+	}
+}
+
+// TestCompactionPreservesOrder asserts compaction mid-run does not
+// change the deterministic firing order.
+func TestCompactionPreservesOrder(t *testing.T) {
+	run := func(cancelHalf bool) []float64 {
+		s := NewScheduler()
+		var fired []float64
+		var events []*Event
+		for i := 0; i < 400; i++ {
+			at := float64((i * 7919) % 1000)
+			ev, err := s.At(at, func(*Scheduler) { fired = append(fired, s.Now()) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			events = append(events, ev)
+		}
+		if cancelHalf {
+			for i := 1; i < len(events); i += 2 {
+				events[i].Cancel()
+			}
+		}
+		s.Run(0)
+		return fired
+	}
+	baseline := run(false)
+	compacted := run(true)
+	// The compacted run fires exactly the even-indexed events, in the
+	// same relative order as the full run fires them.
+	want := make(map[float64]int)
+	for _, at := range baseline {
+		want[at]++
+	}
+	prev := -1.0
+	for _, at := range compacted {
+		if want[at] == 0 {
+			t.Fatalf("compacted run fired unexpected time %v", at)
+		}
+		if at < prev {
+			t.Fatalf("ordering violated: %v after %v", at, prev)
+		}
+		prev = at
+	}
+}
+
+// TestSmallQueueSkipsCompaction: tiny queues drain lazily as before.
+func TestSmallQueueSkipsCompaction(t *testing.T) {
+	s := NewScheduler()
+	var events []*Event
+	for i := 0; i < 10; i++ {
+		ev, err := s.At(float64(i), func(*Scheduler) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	for _, ev := range events {
+		ev.Cancel()
+	}
+	if s.Compactions() != 0 {
+		t.Fatal("small queues should not pay for compaction")
+	}
+	if fired := s.Run(0); fired != 0 {
+		t.Fatalf("fired %d cancelled events", fired)
+	}
+}
