@@ -1,8 +1,9 @@
 package facs_test
 
 // Benchmark harness: one benchmark per paper artifact (Tables 1-2,
-// Figs. 7-10) plus the ablation benches listed in DESIGN.md and
-// micro-benchmarks of the hot paths. Figure benches run a reduced-size
+// Figs. 7-10) plus the ablation benches enumerated in
+// internal/experiments/ablations.go and micro-benchmarks of the hot
+// paths. Figure benches run a reduced-size
 // replica of the experiment per iteration and report the measured
 // acceptance percentage via b.ReportMetric, so `go test -bench .` both
 // regenerates the artifact shapes and times them.

@@ -1,5 +1,6 @@
 // Command facs-repro regenerates every table and figure of the paper's
-// evaluation section, plus the ablation studies listed in DESIGN.md.
+// evaluation section, plus the ablation studies enumerated in
+// internal/experiments/ablations.go.
 //
 // Usage:
 //

@@ -1,0 +1,463 @@
+// Command facs-serve runs the streaming admission service: a long-lived
+// front end that reads newline-delimited JSON admission requests from
+// stdin (or serves them over TCP with -listen), micro-batches them
+// through the configured controller, and writes one JSON decision line
+// per request. With -loadgen N it instead drives itself with the
+// closed-loop synthetic workload and prints a throughput summary.
+//
+// Examples:
+//
+//	echo '{"id":1,"class":"voice","station":0,"speed":40,"angle":0,"distance":2}' | facs-serve
+//	facs-serve -compiled -surface-cache /tmp/facs-cache      # warm restarts
+//	facs-serve -listen 127.0.0.1:4747 -controller scc
+//	facs-serve -loadgen 100000 -wave 128 -batch 64
+//
+// Request lines name a station by index plus the FLC1 observation
+// (speed/angle/distance), or give an absolute position (x/y metres,
+// heading degrees) that is mapped to the covering station:
+//
+//	{"id":1,"class":"voice","station":0,"speed":40,"angle":15,"distance":2.5,"handoff":false,"now":0}
+//	{"id":2,"class":"video","x":1200,"y":-300,"heading":45,"speed":60,"now":1.5}
+//
+// Control lines share the stream and are serialized with the decisions:
+//
+//	{"op":"tick","now":10}
+//	{"op":"release","id":1,"now":12}
+//
+// Each decision line carries the request id, the outcome, whether the
+// call was allocated (commit mode), the service-side latency and the
+// micro-batch size that carried it:
+//
+//	{"id":1,"decision":"accept","committed":true,"latency_us":210,"batch":4}
+//
+// Responses stream back as batches complete and may interleave across
+// ids; correlate by id. Release an admitted call only after observing
+// its response. On stream end (or Ctrl-D) the service drains and a
+// stats summary is printed to stderr.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"facs"
+	icac "facs/internal/cac"
+	icell "facs/internal/cell"
+	igeo "facs/internal/geo"
+	igps "facs/internal/gps"
+	iserve "facs/internal/serve"
+	itraffic "facs/internal/traffic"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "facs-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// serveOptions collects the parsed command line.
+type serveOptions struct {
+	listen       string
+	controller   string
+	compiled     bool
+	surfaceCache string
+	grid         int
+	batch        int
+	maxDelay     time.Duration
+	commit       bool
+	rings        int
+	capacity     int
+	guard        int
+	loadgen      int
+	wave         int
+	seed         int64
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("facs-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o serveOptions
+	fs.StringVar(&o.listen, "listen", "", "TCP address to serve NDJSON on (empty = stdin/stdout)")
+	fs.StringVar(&o.controller, "controller", "facs", "admission controller: facs, scc, cs, guard, threshold")
+	fs.BoolVar(&o.compiled, "compiled", false, "use the lookup-table FACS fast path (controller facs only)")
+	fs.StringVar(&o.surfaceCache, "surface-cache", "", "directory for persisted compiled surfaces (implies -compiled)")
+	fs.IntVar(&o.grid, "grid", 0, "per-axis surface resolution for -compiled (0 = default)")
+	fs.IntVar(&o.batch, "batch", iserve.DefaultMaxBatch, "micro-batch size cap")
+	fs.DurationVar(&o.maxDelay, "max-delay", iserve.DefaultMaxDelay, "max time a request waits for its batch to fill (negative = never wait)")
+	fs.BoolVar(&o.commit, "commit", true, "allocate accepted calls on their stations")
+	fs.IntVar(&o.rings, "rings", 1, "network size in hex rings (1 = seven cells)")
+	fs.IntVar(&o.capacity, "capacity", icell.DefaultCapacityBU, "per-station bandwidth in BU")
+	fs.IntVar(&o.guard, "guard", 8, "guard bandwidth for -controller guard")
+	fs.IntVar(&o.loadgen, "loadgen", 0, "run the closed-loop load generator with N requests instead of serving")
+	fs.IntVar(&o.wave, "wave", 64, "requests per wave for -loadgen")
+	fs.Int64Var(&o.seed, "seed", 1, "random seed for -loadgen")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if o.surfaceCache != "" {
+		o.compiled = true
+	}
+	if o.compiled && o.controller != "facs" {
+		return fmt.Errorf("-compiled applies to -controller facs, got %q", o.controller)
+	}
+	if o.grid != 0 && !o.compiled {
+		return fmt.Errorf("-grid applies to -compiled runs")
+	}
+	if o.batch < 1 {
+		return fmt.Errorf("-batch must be >= 1, got %d", o.batch)
+	}
+	// -loadgen always runs the closed loop in commit mode
+	// (experiments.RunStreaming owns station state); reject an explicit
+	// -commit=false rather than silently ignoring it.
+	commitSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "commit" {
+			commitSet = true
+		}
+	})
+	if o.loadgen > 0 && commitSet && !o.commit {
+		return fmt.Errorf("-loadgen always commits accepted calls; -commit=false is not supported with it")
+	}
+
+	factory, err := controllerFactory(o, stderr)
+	if err != nil {
+		return err
+	}
+	if o.loadgen > 0 {
+		return runLoadgen(o, factory, stdout)
+	}
+
+	netw, err := facs.NewNetwork(facs.NetworkConfig{Rings: o.rings, CapacityBU: o.capacity})
+	if err != nil {
+		return err
+	}
+	ctrl, err := factory(netw)
+	if err != nil {
+		return err
+	}
+	svc, err := iserve.New(iserve.Config{
+		Controller: ctrl,
+		MaxBatch:   o.batch,
+		MaxDelay:   o.maxDelay,
+		Commit:     o.commit,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	if o.listen != "" {
+		return serveTCP(o.listen, svc, netw, stderr)
+	}
+	if err := serveStream(svc, netw, stdin, stdout); err != nil {
+		return err
+	}
+	if err := svc.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(stderr, "facs-serve:", svc.Stats())
+	return nil
+}
+
+// controllerFactory builds the per-network controller constructor,
+// reporting surface compile/cache timing for the FACS fast path.
+func controllerFactory(o serveOptions, stderr io.Writer) (func(*facs.Network) (facs.Controller, error), error) {
+	switch o.controller {
+	case "facs":
+		var ctrl facs.Controller
+		var err error
+		if o.compiled {
+			ctrl, err = buildCompiled(o.grid, o.surfaceCache, stderr)
+		} else {
+			ctrl, err = facs.NewSystem()
+		}
+		if err != nil {
+			return nil, err
+		}
+		return func(*facs.Network) (facs.Controller, error) { return ctrl, nil }, nil
+	case "scc":
+		return func(netw *facs.Network) (facs.Controller, error) {
+			return facs.NewSCCLedger(facs.SCCConfig{
+				Network:                netw,
+				Reservation:            facs.SCCReservationFull,
+				RequireClusterCoverage: true,
+			})
+		}, nil
+	case "cs":
+		return func(*facs.Network) (facs.Controller, error) { return facs.CompleteSharing{}, nil }, nil
+	case "guard":
+		return func(*facs.Network) (facs.Controller, error) { return facs.NewGuardChannel(o.guard) }, nil
+	case "threshold":
+		return func(*facs.Network) (facs.Controller, error) {
+			return facs.NewThresholdPolicy(map[facs.Class]int{facs.Video: 10})
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown controller %q", o.controller)
+	}
+}
+
+// buildCompiled compiles (or cache-loads) the FACS fast path, reporting
+// what happened and how long it took.
+func buildCompiled(grid int, cacheDir string, stderr io.Writer) (facs.Controller, error) {
+	start := time.Now()
+	if cacheDir == "" {
+		fmt.Fprintf(stderr, "facs-serve: compiling FACS surfaces (no cache)...\n")
+		ctrl, err := facs.NewCompiledSystem(grid)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stderr, "facs-serve: compiled in %v\n", time.Since(start).Round(time.Millisecond))
+		return ctrl, nil
+	}
+	ctrl, info, err := facs.NewCompiledSystemCached(grid, cacheDir)
+	if err != nil {
+		// A compiled controller alongside the error means only the cache
+		// write failed (e.g. read-only directory): degrade to plain
+		// compilation instead of discarding the work.
+		if ctrl == nil {
+			return nil, err
+		}
+		fmt.Fprintf(stderr, "facs-serve: warning: %v\n", err)
+	}
+	fmt.Fprintf(stderr, "facs-serve: surface cache %s in %v\n", info, time.Since(start).Round(time.Millisecond))
+	return ctrl, nil
+}
+
+// runLoadgen drives the closed-loop generator and prints a summary.
+func runLoadgen(o serveOptions, factory func(*facs.Network) (facs.Controller, error), stdout io.Writer) error {
+	start := time.Now()
+	res, err := facs.RunStreaming(facs.StreamingConfig{
+		NewController: factory,
+		Rings:         o.rings,
+		CapacityBU:    o.capacity,
+		Requests:      o.loadgen,
+		Wave:          o.wave,
+		MaxBatch:      o.batch,
+		MaxDelay:      o.maxDelay,
+		Seed:          o.seed,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(stdout, "scenario      closed-loop streaming (%d rings x %d BU)\n", o.rings, o.capacity)
+	fmt.Fprintf(stdout, "controller    %s\n", res.ControllerName)
+	fmt.Fprintf(stdout, "requested     %d in %d waves of %d\n", res.Requested, res.Waves, o.wave)
+	fmt.Fprintf(stdout, "accepted      %d (%.1f%%), committed %d, released %d\n",
+		res.Accepted, res.AcceptedPct(), res.Committed, res.Released)
+	fmt.Fprintf(stdout, "throughput    %.0f decisions/s (%.2fs total, incl. setup)\n",
+		float64(res.Requested)/elapsed.Seconds(), elapsed.Seconds())
+	fmt.Fprintf(stdout, "service       %s\n", res.Stats)
+	return nil
+}
+
+// serveTCP accepts connections and streams each over the shared
+// service. It runs until the listener fails (or the process is
+// stopped).
+func serveTCP(addr string, svc *iserve.Service, netw *facs.Network, stderr io.Writer) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Fprintf(stderr, "facs-serve: listening on %s\n", l.Addr())
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			if err := serveStream(svc, netw, conn, conn); err != nil {
+				fmt.Fprintln(stderr, "facs-serve: connection:", err)
+			}
+			fmt.Fprintln(stderr, "facs-serve:", svc.Stats())
+		}()
+	}
+}
+
+// wireRequest is one NDJSON input line: an admission request or (with
+// Op set) a control operation.
+type wireRequest struct {
+	Op      string   `json:"op,omitempty"`
+	ID      int      `json:"id"`
+	Class   string   `json:"class,omitempty"`
+	Station *int     `json:"station,omitempty"`
+	X       *float64 `json:"x,omitempty"`
+	Y       *float64 `json:"y,omitempty"`
+	Heading float64  `json:"heading,omitempty"`
+	Speed   float64  `json:"speed,omitempty"`
+	Angle   float64  `json:"angle,omitempty"`
+	Dist    *float64 `json:"distance,omitempty"`
+	Handoff bool     `json:"handoff,omitempty"`
+	Now     float64  `json:"now,omitempty"`
+}
+
+// wireResponse is one NDJSON output line.
+type wireResponse struct {
+	ID        int    `json:"id"`
+	Decision  string `json:"decision,omitempty"`
+	Committed bool   `json:"committed,omitempty"`
+	LatencyUS int64  `json:"latency_us,omitempty"`
+	Batch     int    `json:"batch,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+func parseClass(s string) (itraffic.Class, error) {
+	for _, c := range itraffic.Classes() {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown class %q (want text, voice or video)", s)
+}
+
+// buildRequest maps one wire line to an admission request against the
+// network.
+func buildRequest(netw *facs.Network, stations []*icell.BaseStation, w wireRequest) (icac.Request, error) {
+	class, err := parseClass(w.Class)
+	if err != nil {
+		return icac.Request{}, err
+	}
+	req := icac.Request{
+		Call:    icell.Call{ID: w.ID, Class: class, BU: class.BandwidthUnits()},
+		Handoff: w.Handoff,
+		Now:     w.Now,
+	}
+	switch {
+	case w.X != nil && w.Y != nil:
+		pos := igeo.Point{X: *w.X, Y: *w.Y}
+		bs, err := netw.StationAt(pos)
+		if err != nil {
+			return icac.Request{}, err
+		}
+		est := igps.Estimate{Pos: pos, HeadingDeg: w.Heading, SpeedKmh: w.Speed}
+		req.Station = bs
+		req.Est = est
+		req.Obs = igps.Observe(est, bs.Pos())
+	case w.Station != nil:
+		if *w.Station < 0 || *w.Station >= len(stations) {
+			return icac.Request{}, fmt.Errorf("station %d out of range (network has %d)", *w.Station, len(stations))
+		}
+		if w.Dist == nil {
+			return icac.Request{}, fmt.Errorf("station-form request %d needs a distance", w.ID)
+		}
+		bs := stations[*w.Station]
+		// Synthesize an absolute estimate consistent with the given
+		// observation: place the user east of the station and aim the
+		// heading so the angle to the station matches.
+		pos := igeo.Point{X: bs.Pos().X + *w.Dist*1000, Y: bs.Pos().Y}
+		bearing := igeo.BearingDeg(pos, bs.Pos())
+		est := igps.Estimate{Pos: pos, HeadingDeg: bearing + w.Angle, SpeedKmh: w.Speed}
+		req.Station = bs
+		req.Est = est
+		req.Obs = igps.Observation{SpeedKmh: w.Speed, AngleDeg: w.Angle, DistanceKm: *w.Dist}
+	default:
+		return icac.Request{}, fmt.Errorf("request %d needs either x/y or station+distance", w.ID)
+	}
+	return req, nil
+}
+
+// serveStream pumps one NDJSON stream through the service: request
+// lines are enqueued in order (decisions fan back as batches complete),
+// op lines are serialized behind the requests already enqueued.
+func serveStream(svc *iserve.Service, netw *facs.Network, r io.Reader, w io.Writer) error {
+	stations := netw.Stations()
+	var (
+		outMu sync.Mutex
+		wg    sync.WaitGroup
+	)
+	out := bufio.NewWriter(w)
+	writeLine := func(resp wireResponse) {
+		outMu.Lock()
+		defer outMu.Unlock()
+		b, err := json.Marshal(resp)
+		if err != nil {
+			return
+		}
+		out.Write(b)
+		out.WriteByte('\n')
+		out.Flush()
+	}
+
+	// committed maps call ID -> station for release ops.
+	var (
+		commitMu  sync.Mutex
+		committed = map[int]*icell.BaseStation{}
+	)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var wr wireRequest
+		if err := json.Unmarshal(line, &wr); err != nil {
+			writeLine(wireResponse{ID: wr.ID, Error: fmt.Sprintf("bad line: %v", err)})
+			continue
+		}
+		switch wr.Op {
+		case "":
+			req, err := buildRequest(netw, stations, wr)
+			if err != nil {
+				writeLine(wireResponse{ID: wr.ID, Error: err.Error()})
+				continue
+			}
+			ch := svc.SubmitAsync(req)
+			wg.Add(1)
+			go func(id int, station *icell.BaseStation) {
+				defer wg.Done()
+				resp := <-ch
+				line := wireResponse{
+					ID:        id,
+					Decision:  resp.Decision.String(),
+					Committed: resp.Committed,
+					LatencyUS: resp.Latency.Microseconds(),
+					Batch:     resp.Batch,
+				}
+				if resp.Err != nil {
+					line.Error = resp.Err.Error()
+				}
+				if resp.Committed {
+					commitMu.Lock()
+					committed[id] = station
+					commitMu.Unlock()
+				}
+				writeLine(line)
+			}(wr.ID, req.Station)
+		case "tick":
+			if err := svc.Tick(wr.Now); err != nil {
+				writeLine(wireResponse{ID: wr.ID, Error: err.Error()})
+			}
+		case "release":
+			commitMu.Lock()
+			bs, ok := committed[wr.ID]
+			delete(committed, wr.ID)
+			commitMu.Unlock()
+			if !ok {
+				writeLine(wireResponse{ID: wr.ID, Error: "release of unknown or uncommitted call"})
+				continue
+			}
+			if err := svc.Release(wr.ID, bs, wr.Now); err != nil {
+				writeLine(wireResponse{ID: wr.ID, Error: err.Error()})
+			}
+		default:
+			writeLine(wireResponse{ID: wr.ID, Error: fmt.Sprintf("unknown op %q", wr.Op)})
+		}
+	}
+	wg.Wait()
+	outMu.Lock()
+	out.Flush()
+	outMu.Unlock()
+	return sc.Err()
+}

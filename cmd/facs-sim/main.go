@@ -9,6 +9,7 @@
 //	facs-sim -n 100 -multicell -controller scc
 //	facs-sim -n 100 -controller guard -guard 8
 //	facs-sim -n 100 -compiled                # lookup-table FACS fast path
+//	facs-sim -compiled -surface-cache ~/.cache/facs  # warm restarts skip compiling
 //	facs-sim -n 100 -reps 8 -workers 4       # 8 replications on 4 workers
 //	facs-sim -batch -n 10000 -active 500     # one-shot batch admission sweep
 package main
@@ -34,22 +35,24 @@ func main() {
 
 // simOptions collects the parsed command line.
 type simOptions struct {
-	controller string
-	n          int
-	window     float64
-	holding    float64
-	speed      float64
-	angle      float64
-	dist       float64
-	seed       int64
-	multicell  bool
-	compiled   bool
-	batch      bool
-	active     int
-	guard      int
-	threshold  float64
-	reps       int
-	workers    int
+	controller   string
+	n            int
+	window       float64
+	holding      float64
+	speed        float64
+	angle        float64
+	dist         float64
+	seed         int64
+	multicell    bool
+	compiled     bool
+	surfaceCache string
+	grid         int
+	batch        bool
+	active       int
+	guard        int
+	threshold    float64
+	reps         int
+	workers      int
 }
 
 func run(args []string) error {
@@ -67,6 +70,8 @@ func run(args []string) error {
 	fs.BoolVar(&o.batch, "batch", false, "decide -n requests in one batch against a network snapshot")
 	fs.IntVar(&o.active, "active", 0, "calls pre-admitted into the -batch snapshot")
 	fs.BoolVar(&o.compiled, "compiled", false, "use the lookup-table FACS fast path (controller facs only)")
+	fs.StringVar(&o.surfaceCache, "surface-cache", "", "directory for persisted compiled surfaces (implies -compiled): load-or-compile instead of always compiling")
+	fs.IntVar(&o.grid, "grid", 0, "per-axis surface resolution for -compiled (0 = default)")
 	fs.IntVar(&o.guard, "guard", 8, "guard bandwidth for -controller guard")
 	fs.Float64Var(&o.threshold, "accept-threshold", facs.DefaultAcceptThreshold, "FACS accept threshold")
 	fs.IntVar(&o.reps, "reps", 1, "independent replications with seeds seed..seed+reps-1")
@@ -77,8 +82,14 @@ func run(args []string) error {
 	if o.reps < 1 {
 		return fmt.Errorf("-reps must be >= 1, got %d", o.reps)
 	}
+	if o.surfaceCache != "" {
+		o.compiled = true
+	}
 	if o.compiled && o.controller != "facs" {
 		return fmt.Errorf("-compiled applies to -controller facs, got %q", o.controller)
+	}
+	if o.grid != 0 && !o.compiled {
+		return fmt.Errorf("-grid applies to -compiled runs")
 	}
 	if o.batch && o.multicell {
 		return fmt.Errorf("-batch and -multicell are mutually exclusive")
@@ -108,16 +119,46 @@ func (o simOptions) seeds() []int64 {
 }
 
 // buildFACS constructs the FACS under test: exact by default, the
-// shared compiled fast path with -compiled (a custom accept threshold
-// compiles a dedicated instance).
+// compiled fast path with -compiled (a custom accept threshold or grid
+// compiles a dedicated instance; -surface-cache loads persisted
+// surfaces instead of recompiling). Compiled construction costs seconds
+// on a cache miss, so progress and elapsed time are reported on stderr.
 func buildFACS(o simOptions) (facs.Controller, error) {
 	if !o.compiled {
 		return facs.NewSystem(facs.WithAcceptThreshold(o.threshold))
 	}
-	if o.threshold == facs.DefaultAcceptThreshold {
-		return facs.DefaultCompiledSystem()
+	start := time.Now()
+	if o.surfaceCache != "" {
+		ctrl, info, err := facs.NewCompiledSystemCached(o.grid, o.surfaceCache,
+			facs.WithAcceptThreshold(o.threshold))
+		if err != nil {
+			// A compiled controller alongside the error means only the
+			// cache write failed (e.g. read-only directory): degrade to
+			// plain compilation instead of discarding the work.
+			if ctrl == nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "facs-sim: warning: %v\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "facs-sim: surface cache %s in %v\n",
+			info, time.Since(start).Round(time.Millisecond))
+		return ctrl, nil
 	}
-	return facs.NewCompiledSystem(0, facs.WithAcceptThreshold(o.threshold))
+	fmt.Fprintln(os.Stderr, "facs-sim: compiling FACS surfaces (no cache)...")
+	var (
+		ctrl facs.Controller
+		err  error
+	)
+	if o.threshold == facs.DefaultAcceptThreshold && o.grid == 0 {
+		ctrl, err = facs.DefaultCompiledSystem()
+	} else {
+		ctrl, err = facs.NewCompiledSystem(o.grid, facs.WithAcceptThreshold(o.threshold))
+	}
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "facs-sim: compiled in %v\n", time.Since(start).Round(time.Millisecond))
+	return ctrl, nil
 }
 
 // buildController constructs a standalone controller (single-cell

@@ -74,15 +74,49 @@
 // suites in internal/scc and internal/experiments pin the contract.
 // internal/scc/DESIGN.md records the invariants.
 //
+// # Streaming admission service
+//
+// For online serving, NewAdmissionService wraps any controller behind
+// a concurrent micro-batching front end: submitters stream requests
+// from any number of goroutines, the service coalesces them into
+// batches (bounded by MaxBatch/MaxDelay), decides them through
+// DecideAll, and serializes ticks, releases and state updates with the
+// decisions so stateful controllers keep their invariants:
+//
+//	svc, err := facs.NewAdmissionService(facs.ServeConfig{Controller: ctrl, Commit: true})
+//	resp := svc.Submit(req)          // one decision, with latency
+//	responses, err := svc.SubmitAll(reqs) // a deterministic wave
+//	stats := svc.Stats()             // throughput / latency / accept rate
+//
+// Micro-batching cannot change outcomes: without Commit a streamed run
+// is byte-identical to DecideAll over the same requests, and waves
+// chunk at deterministic batch boundaries only. RunStreaming is the
+// closed-loop load generator over the service (facs-serve -loadgen),
+// and the cmd/facs-serve binary serves newline-delimited JSON over
+// stdin or TCP.
+//
+// # Surface persistence
+//
+// Compiling the default surfaces costs seconds, which a long-lived
+// service should pay once, not on every restart:
+//
+//	cc, info, err := facs.NewCompiledSystemCached(0, cacheDir)
+//
+// persists compiled surfaces as versioned, checksummed binary blobs
+// validated by a config+grid hash; a warm start decodes them in
+// milliseconds (info reports hit/stale/miss, and CompileCount exposes
+// the compilation counter). Stale or corrupt entries are recompiled
+// and overwritten, never trusted.
+//
 // # Reproduction
 //
 //	fig, err := facs.Figure10(facs.FigureConfig{})
 //	fmt.Print(facs.Chart(fig.Series, facs.ChartOptions{Title: fig.Title}))
 //
-// The cmd/facs-repro binary regenerates every table and figure; DESIGN.md
-// maps each paper artifact to the module that rebuilds it and
-// EXPERIMENTS.md records paper-vs-measured results. Figure
-// replications are independent simulations and run on a worker pool
+// The cmd/facs-repro binary regenerates every table and figure;
+// ARCHITECTURE.md maps the layers and oracle contracts, and
+// cmd/README.md documents every binary's flags. Figure replications
+// are independent simulations and run on a worker pool
 // (FigureConfig.Workers, default one per CPU); results are identical
 // for every worker count because each replication derives all of its
 // randomness from its own seed. FigureConfig.Compiled switches the

@@ -1,0 +1,66 @@
+package facs_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles lists the curated documentation whose intra-repo links the
+// docs gate keeps honest. PAPER.md/PAPERS.md/SNIPPETS.md are retrieval
+// artifacts and exempt.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"ROADMAP.md", "ARCHITECTURE.md", "CHANGES.md", "ISSUE.md", "cmd/README.md"}
+	designs, err := filepath.Glob("internal/*/DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, designs...)
+	out := files[:0]
+	for _, f := range files {
+		if _, err := os.Stat(f); err == nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks verifies that every relative markdown link in the
+// curated docs points at a file or directory that actually exists, so
+// refactors cannot silently strand the documentation.
+func TestMarkdownLinks(t *testing.T) {
+	checked := 0
+	for _, file := range docFiles(t) {
+		body, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s): %v", file, m[1], resolved, err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("link check scanned no links; doc list is broken")
+	}
+	t.Logf("checked %d intra-repo links", checked)
+}

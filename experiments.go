@@ -69,7 +69,7 @@ type (
 )
 
 // Figure regenerators, one per result figure of the paper, plus the
-// ablation studies listed in DESIGN.md.
+// ablation studies enumerated in internal/experiments/ablations.go.
 var (
 	Figure7                 = iexp.Figure7
 	Figure8                 = iexp.Figure8
@@ -108,6 +108,21 @@ type (
 
 // RunBatchAdmission executes the batch admission sweep.
 var RunBatchAdmission = iexp.RunBatchAdmission
+
+// StreamingConfig parameterises the closed-loop streaming load
+// generator: waves of synthetic requests streamed through an
+// AdmissionService with per-wave call releases and controller ticks;
+// StreamingResult aggregates the deterministic decision stream and the
+// service statistics.
+type (
+	StreamingConfig = iexp.StreamingConfig
+	StreamingResult = iexp.StreamingResult
+)
+
+// RunStreaming executes the closed-loop streaming scenario. Equal
+// configurations produce byte-identical decision streams regardless of
+// timing (see internal/serve's determinism contract).
+var RunStreaming = iexp.RunStreaming
 
 // Series is a labelled (x, y) curve, the unit of figure regeneration.
 type Series = imetrics.Series

@@ -1,11 +1,3 @@
-// Package cac defines the call-admission-control framework shared by the
-// paper's FACS system, the SCC baseline and the classical schemes the
-// paper's introduction surveys (Complete Sharing, Guard Channel and the
-// Multi-Priority Threshold policy).
-//
-// A Controller only renders decisions; the simulation (or caller) performs
-// the actual bandwidth allocation on the base station, then notifies
-// controllers that track state through the optional Observer interface.
 package cac
 
 import (

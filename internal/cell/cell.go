@@ -1,10 +1,3 @@
-// Package cell models the radio resource substrate: base stations with a
-// fixed bandwidth-unit capacity and an allocation ledger split into the
-// paper's Real-Time and Non-Real-Time counters (RTC/NRTC), plus a
-// hexagonal multi-cell network with neighbour topology and handoffs.
-//
-// The paper's evaluation uses a base station with 40 bandwidth units (BU);
-// text, voice and video calls consume 1, 5 and 10 BU respectively.
 package cell
 
 import (

@@ -1,0 +1,28 @@
+// Package experiments contains the reproduction and load harness: one
+// driver per figure of the paper's evaluation section (Figs. 7-10), the
+// ablation studies enumerated in ablations.go, the one-shot batch
+// admission sweep (RunBatchAdmission) and the closed-loop streaming
+// load generator (RunStreaming) over the internal/serve service.
+//
+// # Determinism
+//
+// Every experiment is deterministic for a given configuration: each
+// replication derives all of its randomness from its own seed via
+// sim.NewStream, so figure results are byte-identical for every worker
+// count (RunSingleCellSeeds/RunMultiCellSeeds shard replications over a
+// worker pool), and RunStreaming produces byte-identical decision
+// streams regardless of service timing because waves chunk only at
+// MaxBatch boundaries. The determinism suites in parallel_test.go,
+// dispatch_test.go and streaming_test.go pin these contracts.
+//
+// # Entry points
+//
+// Figure7..Figure10 and AllFigures regenerate the paper artifacts under
+// a FigureConfig (load points, seeds, workers, compiled fast path);
+// AllAblations runs the sensitivity studies; RunSingleCell/RunMultiCell
+// execute one scenario; RunBatchAdmission sweeps a request batch
+// against a loaded network snapshot; RunStreaming drives the streaming
+// admission service with waves, held calls and controller ticks. The
+// controller factories (FACSFactory, CompiledFACSFactory, SCCFactory,
+// SCCRecomputeFactory) build the multi-cell contestants.
+package experiments

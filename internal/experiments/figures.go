@@ -219,7 +219,7 @@ func CompiledFACSFactory() func(*cell.Network) (cac.Controller, error) {
 
 // sccFig10Config is the Fig. 10 SCC parameterisation: full-bandwidth
 // reservation over the shadow cluster plus the cluster-coverage (path
-// survivability) requirement, per DESIGN.md.
+// survivability) requirement, per internal/scc/DESIGN.md.
 func sccFig10Config(net *cell.Network) scc.Config {
 	return scc.Config{
 		Network:                net,

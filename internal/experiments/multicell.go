@@ -34,8 +34,7 @@ type MultiCellConfig struct {
 	NumRequests int
 	// WindowSec is the arrival window. The default of 150 s is chosen
 	// so that 100 requesting connections saturate the seven-cell
-	// network, giving the figure its full dynamic range (EXPERIMENTS.md
-	// records the calibration).
+	// network, giving the figure its full dynamic range.
 	WindowSec float64
 	// MeanHoldingSec is the exponential mean call duration (default 120).
 	MeanHoldingSec float64

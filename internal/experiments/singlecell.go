@@ -1,7 +1,3 @@
-// Package experiments contains the reproduction harness: one driver per
-// figure of the paper's evaluation section (Figs. 7-10) plus the ablation
-// studies listed in DESIGN.md. Every experiment is deterministic for a
-// given seed.
 package experiments
 
 import (

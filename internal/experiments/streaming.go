@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"facs/internal/cac"
+	"facs/internal/cell"
+	"facs/internal/serve"
+	"facs/internal/sim"
+	"facs/internal/traffic"
+)
+
+// StreamingConfig parameterises the closed-loop streaming load
+// generator: a long-lived serve.Service fed with waves of synthetic
+// admission requests, where accepted calls occupy their stations for a
+// configurable number of waves before being released and time-driven
+// controllers receive periodic ticks — the online counterpart of the
+// one-shot RunBatchAdmission sweep.
+//
+// Determinism follows the seeded-RNG pattern of the figure harness:
+// every request is derived from Seed, waves are submitted through
+// serve.SubmitAll (chunked only at MaxBatch boundaries, never by
+// timing), and releases/ticks are scheduled by wave index, so two runs
+// with equal configs produce byte-identical decision streams.
+type StreamingConfig struct {
+	// NewController builds the controller under test. Required.
+	NewController func(net *cell.Network) (cac.Controller, error)
+	// Rings is the network size (default 1: seven cells).
+	Rings int
+	// CellRadiusM is the hex cell radius (default 1500 m).
+	CellRadiusM float64
+	// CapacityBU is the per-station bandwidth (default 40).
+	CapacityBU int
+	// Requests is the total number of streamed requests. Required.
+	Requests int
+	// Wave is the closed-loop window: requests submitted per wave
+	// (default 64).
+	Wave int
+	// MaxBatch caps the service micro-batch (default Wave).
+	MaxBatch int
+	// MaxDelay is the service batching delay (default the serve
+	// package default; it cannot change outcomes, only latency).
+	MaxDelay time.Duration
+	// HoldWaves is how many waves a committed call occupies its station
+	// before release (default 4).
+	HoldWaves int
+	// TickEveryWaves delivers an OnTick to time-driven controllers
+	// every so many waves (default 8).
+	TickEveryWaves int
+	// WaveIntervalSec advances simulation time per wave (default 1 s).
+	WaveIntervalSec float64
+	// Mix is the class mix (default 60/30/10).
+	Mix traffic.Mix
+	// SpeedKmh samples user speeds (default Span{10, 80}).
+	SpeedKmh Span
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c StreamingConfig) withDefaults() StreamingConfig {
+	if c.Rings == 0 {
+		c.Rings = 1
+	}
+	if c.CellRadiusM == 0 {
+		c.CellRadiusM = 1500
+	}
+	if c.CapacityBU == 0 {
+		c.CapacityBU = cell.DefaultCapacityBU
+	}
+	if c.Wave == 0 {
+		c.Wave = 64
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = c.Wave
+	}
+	if c.HoldWaves == 0 {
+		c.HoldWaves = 4
+	}
+	if c.TickEveryWaves == 0 {
+		c.TickEveryWaves = 8
+	}
+	if c.WaveIntervalSec == 0 {
+		c.WaveIntervalSec = 1
+	}
+	if (c.Mix == traffic.Mix{}) {
+		c.Mix = traffic.DefaultMix()
+	}
+	if (c.SpeedKmh == Span{}) {
+		c.SpeedKmh = Span{Min: 10, Max: 80}
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c StreamingConfig) Validate() error {
+	if c.NewController == nil {
+		return fmt.Errorf("experiments: streaming config needs a controller factory")
+	}
+	if c.Requests <= 0 {
+		return fmt.Errorf("experiments: Requests must be > 0, got %d", c.Requests)
+	}
+	if c.Wave < 1 {
+		return fmt.Errorf("experiments: Wave must be >= 1, got %d", c.Wave)
+	}
+	if c.HoldWaves < 1 {
+		return fmt.Errorf("experiments: HoldWaves must be >= 1, got %d", c.HoldWaves)
+	}
+	if c.TickEveryWaves < 1 {
+		return fmt.Errorf("experiments: TickEveryWaves must be >= 1, got %d", c.TickEveryWaves)
+	}
+	if err := c.SpeedKmh.Validate(); err != nil {
+		return err
+	}
+	return c.Mix.Validate()
+}
+
+// StreamingResult aggregates one closed-loop streaming run.
+type StreamingResult struct {
+	// ControllerName identifies the scheme under test.
+	ControllerName string
+	// Requested / Accepted / Committed count streamed decisions;
+	// Committed is the subset of accepts actually allocated (an accept
+	// can fail to commit when its own micro-batch exhausted the
+	// station).
+	Requested, Accepted, Committed int
+	// Released counts calls retired by the closed loop.
+	Released int
+	// Waves is the number of submitted waves.
+	Waves int
+	// Decisions holds the per-request outcomes in stream order.
+	Decisions []cac.Decision
+	// Stats is the service-side counter snapshot after drain.
+	Stats serve.Stats
+}
+
+// AcceptedPct returns 100 * accepted / requested.
+func (r StreamingResult) AcceptedPct() float64 {
+	if r.Requested == 0 {
+		return 0
+	}
+	return 100 * float64(r.Accepted) / float64(r.Requested)
+}
+
+// streamedCall tracks one committed call until its scheduled release.
+type streamedCall struct {
+	releaseWave int
+	id          int
+	station     *cell.BaseStation
+}
+
+// RunStreaming drives a serve.Service with the closed-loop workload
+// described by cfg and returns the deterministic decision stream plus
+// service statistics. The service owns station state (Commit mode):
+// accepted calls are allocated on admission, held for HoldWaves waves
+// and released through the same serialized op queue as the decisions,
+// so stateful controllers see a consistent call lifecycle.
+func RunStreaming(cfg StreamingConfig) (StreamingResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return StreamingResult{}, err
+	}
+	net, err := cell.NewNetwork(cell.NetworkConfig{
+		Rings:       cfg.Rings,
+		CellRadiusM: cfg.CellRadiusM,
+		CapacityBU:  cfg.CapacityBU,
+	})
+	if err != nil {
+		return StreamingResult{}, err
+	}
+	controller, err := cfg.NewController(net)
+	if err != nil {
+		return StreamingResult{}, err
+	}
+	svc, err := serve.New(serve.Config{
+		Controller: controller,
+		MaxBatch:   cfg.MaxBatch,
+		MaxDelay:   cfg.MaxDelay,
+		Commit:     true,
+	})
+	if err != nil {
+		return StreamingResult{}, err
+	}
+	defer svc.Close()
+
+	// Request sampling shares the batch sweep's generator, so the two
+	// harnesses stress controllers with the same spatial workload.
+	sampleCfg := BatchAdmissionConfig{
+		Rings:       cfg.Rings,
+		CellRadiusM: cfg.CellRadiusM,
+		CapacityBU:  cfg.CapacityBU,
+		Mix:         cfg.Mix,
+		SpeedKmh:    cfg.SpeedKmh,
+	}
+	rng := sim.NewStream(cfg.Seed, "streaming")
+
+	result := StreamingResult{
+		ControllerName: controller.Name(),
+		Decisions:      make([]cac.Decision, 0, cfg.Requests),
+	}
+	var active []streamedCall
+	now := 0.0
+	reqs := make([]cac.Request, 0, cfg.Wave)
+	for wave := 0; result.Requested < cfg.Requests; wave++ {
+		// Retire calls due this wave, strictly before new admissions.
+		keep := active[:0]
+		for _, c := range active {
+			if c.releaseWave <= wave {
+				if err := svc.Release(c.id, c.station, now); err != nil {
+					return StreamingResult{}, err
+				}
+				result.Released++
+			} else {
+				keep = append(keep, c)
+			}
+		}
+		active = keep
+		if wave > 0 && wave%cfg.TickEveryWaves == 0 {
+			if err := svc.Tick(now); err != nil {
+				return StreamingResult{}, err
+			}
+		}
+
+		k := cfg.Wave
+		if remaining := cfg.Requests - result.Requested; k > remaining {
+			k = remaining
+		}
+		reqs = reqs[:0]
+		for i := 0; i < k; i++ {
+			req, err := sampleBatchRequest(rng, net, sampleCfg, result.Requested+i+1)
+			if err != nil {
+				return StreamingResult{}, err
+			}
+			req.Now = now
+			reqs = append(reqs, req)
+		}
+		responses, err := svc.SubmitAll(reqs)
+		if err != nil {
+			return StreamingResult{}, err
+		}
+		for i, resp := range responses {
+			// A rejected response with an error is a controller failure;
+			// an accepted one with an error merely failed to commit
+			// (its own micro-batch exhausted the station), which the
+			// closed loop treats as a non-admission.
+			if resp.Err != nil && !resp.Decision.Accepted() {
+				return StreamingResult{}, resp.Err
+			}
+			result.Decisions = append(result.Decisions, resp.Decision)
+			if resp.Decision.Accepted() {
+				result.Accepted++
+			}
+			if resp.Committed {
+				result.Committed++
+				active = append(active, streamedCall{
+					releaseWave: wave + cfg.HoldWaves,
+					id:          reqs[i].Call.ID,
+					station:     reqs[i].Station,
+				})
+			}
+		}
+		result.Requested += k
+		result.Waves++
+		now += cfg.WaveIntervalSec
+	}
+	if err := svc.Close(); err != nil {
+		return StreamingResult{}, err
+	}
+	result.Stats = svc.Stats()
+	return result, nil
+}

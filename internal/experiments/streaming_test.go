@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"facs/internal/cac"
+	"facs/internal/cell"
+	"facs/internal/scc"
+	"facs/internal/sim"
+)
+
+// streamGuardFactory builds a stateless-but-station-sensitive baseline.
+func streamGuardFactory(*cell.Network) (cac.Controller, error) {
+	return cac.NewGuardChannel(8)
+}
+
+// streamLedgerFactory builds the stateful SCC demand ledger, covering
+// Observer/Ticker/StateUpdater serialization through the service.
+func streamLedgerFactory(net *cell.Network) (cac.Controller, error) {
+	return scc.NewLedger(scc.Config{
+		Network:                net,
+		Reservation:            scc.ReservationFull,
+		RequireClusterCoverage: true,
+	})
+}
+
+// replayStreaming is the sequential oracle: the same closed loop, wave
+// chunking and commit semantics as RunStreaming, executed inline
+// without the service. Byte-identical output proves the streamed run
+// is exactly the deterministic computation it claims to be.
+func replayStreaming(t *testing.T, cfg StreamingConfig) StreamingResult {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	net, err := cell.NewNetwork(cell.NetworkConfig{
+		Rings:       cfg.Rings,
+		CellRadiusM: cfg.CellRadiusM,
+		CapacityBU:  cfg.CapacityBU,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	controller, err := cfg.NewController(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observer, _ := controller.(cac.Observer)
+	ticker, _ := controller.(cac.Ticker)
+	sampleCfg := BatchAdmissionConfig{
+		Rings:       cfg.Rings,
+		CellRadiusM: cfg.CellRadiusM,
+		CapacityBU:  cfg.CapacityBU,
+		Mix:         cfg.Mix,
+		SpeedKmh:    cfg.SpeedKmh,
+	}
+	rng := sim.NewStream(cfg.Seed, "streaming")
+	result := StreamingResult{ControllerName: controller.Name()}
+	var active []streamedCall
+	now := 0.0
+	for wave := 0; result.Requested < cfg.Requests; wave++ {
+		keep := active[:0]
+		for _, c := range active {
+			if c.releaseWave <= wave {
+				if _, err := c.station.Release(c.id); err != nil {
+					t.Fatal(err)
+				}
+				if observer != nil {
+					observer.OnRelease(c.id, c.station, now)
+				}
+				result.Released++
+			} else {
+				keep = append(keep, c)
+			}
+		}
+		active = keep
+		if wave > 0 && wave%cfg.TickEveryWaves == 0 && ticker != nil {
+			ticker.OnTick(now)
+		}
+		k := cfg.Wave
+		if remaining := cfg.Requests - result.Requested; k > remaining {
+			k = remaining
+		}
+		reqs := make([]cac.Request, k)
+		for i := 0; i < k; i++ {
+			req, err := sampleBatchRequest(rng, net, sampleCfg, result.Requested+i+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Now = now
+			reqs[i] = req
+		}
+		// Deterministic MaxBatch chunking with commits in between,
+		// mirroring serve's wave semantics.
+		for lo := 0; lo < k; lo += cfg.MaxBatch {
+			hi := lo + cfg.MaxBatch
+			if hi > k {
+				hi = k
+			}
+			chunk := reqs[lo:hi]
+			decisions, err := cac.DecideAll(controller, chunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, d := range decisions {
+				result.Decisions = append(result.Decisions, d)
+				if !d.Accepted() {
+					continue
+				}
+				result.Accepted++
+				call := chunk[i].Call
+				call.AdmittedAt = chunk[i].Now
+				call.Handoff = chunk[i].Handoff
+				if err := chunk[i].Station.Admit(call); err != nil {
+					continue // accepted but not committed
+				}
+				result.Committed++
+				if observer != nil {
+					observer.OnAdmit(chunk[i])
+				}
+				active = append(active, streamedCall{
+					releaseWave: wave + cfg.HoldWaves,
+					id:          chunk[i].Call.ID,
+					station:     chunk[i].Station,
+				})
+			}
+		}
+		result.Requested += k
+		result.Waves++
+		now += cfg.WaveIntervalSec
+	}
+	return result
+}
+
+func assertStreamEqual(t *testing.T, got, want StreamingResult, label string) {
+	t.Helper()
+	if got.Requested != want.Requested || got.Accepted != want.Accepted ||
+		got.Committed != want.Committed || got.Released != want.Released ||
+		got.Waves != want.Waves {
+		t.Fatalf("%s: aggregate mismatch: got {req %d acc %d com %d rel %d waves %d}, want {req %d acc %d com %d rel %d waves %d}",
+			label, got.Requested, got.Accepted, got.Committed, got.Released, got.Waves,
+			want.Requested, want.Accepted, want.Committed, want.Released, want.Waves)
+	}
+	if !reflect.DeepEqual(got.Decisions, want.Decisions) {
+		for i := range want.Decisions {
+			if got.Decisions[i] != want.Decisions[i] {
+				t.Fatalf("%s: decision %d is %v, want %v", label, i, got.Decisions[i], want.Decisions[i])
+			}
+		}
+		t.Fatalf("%s: decision streams differ in length: %d vs %d", label, len(got.Decisions), len(want.Decisions))
+	}
+}
+
+func TestRunStreamingDeterministic(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		factory func(*cell.Network) (cac.Controller, error)
+	}{
+		{"guard", streamGuardFactory},
+		{"scc-ledger", streamLedgerFactory},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := StreamingConfig{
+				NewController: tc.factory,
+				Requests:      600,
+				Wave:          48,
+				MaxBatch:      16,
+				HoldWaves:     3,
+				Seed:          11,
+			}
+			first, err := RunStreaming(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := RunStreaming(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertStreamEqual(t, again, first, "rerun")
+
+			// Timing knobs must not leak into outcomes.
+			fast := cfg
+			fast.MaxDelay = -1
+			slow := cfg
+			slow.MaxDelay = 2 * time.Millisecond
+			forFast, err := RunStreaming(fast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			forSlow, err := RunStreaming(slow)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertStreamEqual(t, forFast, first, "greedy MaxDelay")
+			assertStreamEqual(t, forSlow, first, "slow MaxDelay")
+
+			// And the stream equals the sequential inline replay.
+			oracle := replayStreaming(t, cfg)
+			assertStreamEqual(t, first, oracle, "oracle replay")
+
+			if first.Requested != 600 || len(first.Decisions) != 600 {
+				t.Fatalf("unexpected volume: %+v", first)
+			}
+			if first.Accepted == 0 || first.Released == 0 {
+				t.Fatalf("degenerate run (no accepts or releases): %+v", first)
+			}
+			if first.Stats.Decided != 600 {
+				t.Fatalf("service stats incomplete: %+v", first.Stats)
+			}
+			// Only time-driven controllers receive (and count) ticks.
+			if tc.name == "scc-ledger" && first.Stats.Ticks == 0 {
+				t.Fatalf("ledger run should have ticked: %+v", first.Stats)
+			}
+		})
+	}
+}
+
+func TestRunStreamingValidates(t *testing.T) {
+	if _, err := RunStreaming(StreamingConfig{Requests: 10}); err == nil {
+		t.Fatal("missing factory should fail")
+	}
+	if _, err := RunStreaming(StreamingConfig{NewController: streamGuardFactory}); err == nil {
+		t.Fatal("missing request count should fail")
+	}
+	if _, err := RunStreaming(StreamingConfig{NewController: streamGuardFactory, Requests: 10, Wave: -1}); err == nil {
+		t.Fatal("negative wave should fail")
+	}
+}

@@ -73,6 +73,17 @@ func NewCompiled(gridSize int, opts ...Option) (*CompiledController, error) {
 	return CompileSystem(sys, gridSize)
 }
 
+// compileCount counts completed surface compilations process-wide (one
+// per compiled System, i.e. per FLC1+FLC2 surface pair). Cached loads
+// (CompileSystemCached) do not increment it, which is exactly what the
+// cache tests assert: a warm start leaves the counter unchanged.
+var compileCount atomic.Int64
+
+// CompileCount returns the number of surface compilations performed by
+// this process so far. It is a diagnostic for the load-or-compile
+// cache: a service that starts from a warm cache reports zero.
+func CompileCount() int64 { return compileCount.Load() }
+
 // CompileSystem compiles an already constructed System into a
 // CompiledController without rebuilding it.
 func CompileSystem(sys *System, gridSize int) (*CompiledController, error) {
@@ -105,13 +116,21 @@ func CompileSystem(sys *System, gridSize int) (*CompiledController, error) {
 	if err != nil {
 		return nil, fmt.Errorf("facs: compiling FLC2 surface: %w", err)
 	}
-	c := &CompiledController{
+	compileCount.Add(1)
+	return newCompiledFromSurfaces(sys, surf1, surf2), nil
+}
+
+// newCompiledFromSurfaces assembles a controller from already compiled
+// (or cache-decoded) surfaces. The grade/threshold boundaries are
+// re-derived from the exact system, which is cheap; only the surface
+// sampling itself is worth persisting.
+func newCompiledFromSurfaces(sys *System, surf1, surf2 *fuzzy.Surface) *CompiledController {
+	return &CompiledController{
 		sys:        sys,
 		surf1:      surf1,
 		surf2:      surf2,
 		boundaries: append(gradeBoundaries(sys.flc2.Output()), sys.acceptThreshold),
 	}
-	return c, nil
 }
 
 // integerNodes lists 1, 2, ..., ceil(max)-1 (interior integers; the

@@ -1,0 +1,35 @@
+package facs_test
+
+import (
+	"fmt"
+
+	"facs/internal/facs"
+	"facs/internal/gps"
+)
+
+// ExampleCompiledController evaluates one admission question on the
+// lookup-table fast path. The crisp Cv and A/R values carry a small
+// interpolation tolerance, but the guard band makes the grade and the
+// accept/reject outcome always identical to the exact System.
+func ExampleCompiledController() {
+	cc, err := facs.DefaultCompiled() // compiled once, shared process-wide
+	if err != nil {
+		panic(err)
+	}
+	obs := gps.Observation{SpeedKmh: 60, AngleDeg: 0, DistanceKm: 2}
+	ev, err := cc.Evaluate(obs, 5 /* requested BU */, 12 /* occupied BU */, false)
+	if err != nil {
+		panic(err)
+	}
+	exact, err := cc.System().Evaluate(obs, 5, 12, false)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("accepted:", ev.Accepted)
+	fmt.Println("grade:", ev.Grade)
+	fmt.Println("matches exact system:", ev.Accepted == exact.Accepted && ev.Grade == exact.Grade)
+	// Output:
+	// accepted: true
+	// grade: weak-accept
+	// matches exact system: true
+}

@@ -1,11 +1,3 @@
-// Package facs implements the paper's contribution: the Fuzzy Admission
-// Control System. It wires two Mamdani controllers in series —
-//
-//	FLC1 (prediction): Speed, Angle, Distance      -> Correction value Cv
-//	FLC2 (admission):  Cv, Request, Counter state  -> Accept/Reject  A/R
-//
-// with the exact term sets, membership-function shapes (paper Figs. 5, 6)
-// and rule bases FRB1/FRB2 (paper Tables 1, 2).
 package facs
 
 import (

@@ -1,0 +1,32 @@
+// Package fuzzy implements a self-contained Mamdani fuzzy-inference
+// engine: membership functions, linguistic variables, a rule base with
+// a textual rule parser, min/product inference, and several
+// defuzzifiers.
+//
+// The engine is the substrate for the paper's two fuzzy logic
+// controllers (FLC1 and FLC2). It is deliberately generic: nothing in
+// this package knows about call admission control. The
+// membership-function forms are exactly the triangular f(x; x0, a0, a1)
+// and trapezoidal g(x; x0, x1, a0, a1) functions of the paper (Fig. 3).
+//
+// # Compiled surfaces
+//
+// Surface is the lookup-table fast path: an engine sampled over a
+// breakpoint-aligned grid at construction time and answered by
+// multilinear interpolation — exact at grid nodes, bounded-error
+// between them, with optional per-cell error bounds
+// (WithSurfaceErrorMap) that let callers guard decisions near
+// thresholds. A Surface is immutable and safe for concurrent use.
+// EncodeSurface/DecodeSurface persist a compiled surface as a
+// versioned, checksummed binary blob validated against a caller
+// config hash (SurfaceFormatVersion, ErrSurfaceStale,
+// ErrSurfaceCorrupt), so processes can load surfaces in milliseconds
+// instead of recompiling for seconds.
+//
+// # Entry points
+//
+// NewVariable/NewTriangular/NewTrapezoidal build the vocabulary;
+// NewEngine (with WithTNorm, WithImplication, WithDefuzzifier,
+// WithResolution) assembles a controller; Engine.Evaluate/EvaluateVec
+// run one inference; NewSurface compiles the lookup table.
+package fuzzy

@@ -1,12 +1,3 @@
-// Package fuzzy implements a self-contained Mamdani fuzzy-inference engine:
-// membership functions, linguistic variables, a rule base with a textual
-// rule parser, min/product inference, and several defuzzifiers.
-//
-// The engine is the substrate for the paper's two fuzzy logic controllers
-// (FLC1 and FLC2). It is deliberately generic: nothing in this package knows
-// about call admission control. The membership-function forms are exactly
-// the triangular f(x; x0, a0, a1) and trapezoidal g(x; x0, x1, a0, a1)
-// functions of the paper (Fig. 3).
 package fuzzy
 
 import (

@@ -1,0 +1,15 @@
+// Package geo provides the planar geometry substrate for the cellular
+// simulation: points and vectors in metres, heading/bearing arithmetic
+// in degrees, and an axial-coordinate hexagonal grid used for cell
+// layout.
+//
+// Angles follow one convention package-wide: degrees, normalised by
+// NormalizeDeg with differences taken by AngleDiffDeg. Hex coordinates
+// are axial (Q, R) with a Layout mapping them to plane positions;
+// Hex.Ring, Hex.Spiral and Hex.Neighbors enumerate the topology the
+// network builder and SCC's shadow clusters traverse.
+//
+// Entry points: Point/Vector arithmetic with Move and BearingDeg, Hex
+// (Neighbors, Ring, DistanceTo) and Layout (Center, HexAt), plus the
+// unit conversions (KmhToMps, MToKm, ...).
+package geo

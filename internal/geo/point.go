@@ -1,6 +1,3 @@
-// Package geo provides the planar geometry substrate for the cellular
-// simulation: points and vectors in metres, heading/bearing arithmetic in
-// degrees, and an axial-coordinate hexagonal grid used for cell layout.
 package geo
 
 import (

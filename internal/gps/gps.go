@@ -1,9 +1,3 @@
-// Package gps simulates the paper's positioning substrate: "the user
-// movement is obtained by GPS". A Receiver samples a mobility model at a
-// fixed interval and adds Gaussian position noise; an Estimator converts
-// the fix stream into the speed/heading estimates that the fuzzy
-// prediction stage consumes; Observe derives the FLC1 input triple
-// (Speed, Angle, Distance) relative to a base station.
 package gps
 
 import (

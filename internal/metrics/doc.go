@@ -1,0 +1,9 @@
+// Package metrics provides the small statistics toolkit used by the
+// simulation and the experiment harness: streaming summaries (count,
+// mean, min/max without storing samples), acceptance ratios, and
+// labelled X/Y series — the unit every figure regenerator produces and
+// every renderer in internal/plot consumes.
+//
+// Entry points: Summary (Add/Mean/StdDev/CI95), Ratio
+// (Observe/Percent), Series.
+package metrics

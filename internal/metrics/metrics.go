@@ -1,6 +1,3 @@
-// Package metrics provides the small statistics toolkit used by the
-// simulation and the experiment harness: streaming summaries, acceptance
-// ratios, and labelled X/Y series for figure regeneration.
 package metrics
 
 import (

@@ -1,8 +1,3 @@
-// Package mobility provides the user-movement models that drive the
-// simulation: constant velocity, a speed-dependent turning walk (the
-// mechanism behind the paper's Fig. 7 — walking users change direction
-// easily, fast users do not), and random waypoint. Models are stateful,
-// per-terminal objects advanced in discrete time steps.
 package mobility
 
 import (

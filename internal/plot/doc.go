@@ -1,0 +1,8 @@
+// Package plot renders experiment series as ASCII line charts, aligned
+// tables and CSV, so that every figure of the paper can be regenerated
+// on a terminal without external tooling.
+//
+// Entry points: Chart (with Options controlling size, ranges and
+// title), Table and CSV, each taking the metrics.Series slices the
+// experiment harness produces.
+package plot

@@ -1,6 +1,3 @@
-// Package plot renders experiment series as ASCII line charts, aligned
-// tables and CSV, so that every figure of the paper can be regenerated on
-// a terminal without external tooling.
 package plot
 
 import (

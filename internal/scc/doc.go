@@ -1,0 +1,35 @@
+// Package scc implements the Shadow Cluster Concept baseline (Levine,
+// Akyildiz, Naghshineh, IEEE/ACM ToN 1997) as summarised in the paper's
+// Section 2: every active mobile projects a probabilistic "shadow" of
+// future bandwidth demand over the cells along its trajectory; base
+// stations aggregate these shadows into per-interval expected demand
+// and admit a new call only if, over the whole projection horizon,
+// demand stays below a survivability threshold of capacity in every
+// cell the new call's own tentative shadow cluster touches.
+//
+// Differences from the original paper are deliberate simplifications
+// and are documented in DESIGN.md: probabilities come from a
+// closed-form Gaussian cone around the dead-reckoned trajectory instead
+// of per-operator measured histories, and a mobile's kinematic state is
+// the one observed at admission (refreshable via UpdateState on
+// handoff).
+//
+// # Two implementations, one contract
+//
+// Controller is the original recompute-on-query form, kept as the
+// reference oracle. Ledger is the incrementally maintained demand
+// ledger — a dense [cell][interval] matrix of projected demand plus
+// cached per-call footprints, updated in O(footprint) on
+// admit/release/handoff — whose decisions are byte-identical at
+// O(horizon x cluster-cells) per decision: a 1e-6 BU guard band
+// re-derives near-threshold aggregates through the oracle summation.
+// DESIGN.md records the ledger invariants and the guard-band argument;
+// ledger_test.go holds the golden-equivalence suite.
+//
+// # Entry points
+//
+// New builds the oracle, NewLedger the fast path, both from the same
+// Config (Network, ReservationMode, thresholds, horizon). Both
+// implement cac.Controller, cac.BatchController, cac.Observer,
+// cac.Ticker and cac.StateUpdater.
+package scc

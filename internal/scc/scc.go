@@ -1,23 +1,3 @@
-// Package scc implements the Shadow Cluster Concept baseline (Levine,
-// Akyildiz, Naghshineh, IEEE/ACM ToN 1997) as summarised in the paper's
-// Section 2: every active mobile projects a probabilistic "shadow" of
-// future bandwidth demand over the cells along its trajectory; base
-// stations aggregate these shadows into per-interval expected demand and
-// admit a new call only if, over the whole projection horizon, demand
-// stays below a survivability threshold of capacity in every cell the new
-// call's own tentative shadow cluster touches.
-//
-// Differences from the original paper are deliberate simplifications and
-// are documented in DESIGN.md: probabilities come from a closed-form
-// Gaussian cone around the dead-reckoned trajectory instead of
-// per-operator measured histories, and a mobile's kinematic state is the
-// one observed at admission (refreshable via UpdateState on handoff).
-//
-// Two interchangeable implementations are provided: Controller, the
-// original recompute-on-query form kept as the reference oracle, and
-// Ledger, the incrementally maintained demand ledger whose decisions are
-// byte-identical at O(horizon x cluster-cells) per decision. DESIGN.md
-// records the ledger invariants and the guard-band argument.
 package scc
 
 import (

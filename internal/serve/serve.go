@@ -1,0 +1,581 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"facs/internal/cac"
+	"facs/internal/cell"
+	"facs/internal/gps"
+)
+
+// Defaults applied by New when the corresponding Config field is zero.
+const (
+	// DefaultMaxBatch is the micro-batch size cap.
+	DefaultMaxBatch = 64
+	// DefaultMaxDelay is how long the batcher waits for more requests
+	// after the first pending one before deciding a short batch.
+	DefaultMaxDelay = 200 * time.Microsecond
+)
+
+// ErrClosed is returned by Submit/SubmitAll/ops after Close.
+var ErrClosed = errors.New("serve: service is closed")
+
+// Config parameterises a Service.
+type Config struct {
+	// Controller renders the admission decisions. Controllers with a
+	// native batch path (cac.BatchController) are amortised through
+	// cac.DecideAll; any other controller is decided sequentially
+	// inside the loop with identical outcomes. Required.
+	Controller cac.Controller
+
+	// MaxBatch caps how many requests one DecideBatch call may carry
+	// (default DefaultMaxBatch). Waves larger than MaxBatch are split
+	// into deterministic MaxBatch-sized chunks.
+	MaxBatch int
+
+	// MaxDelay bounds how long the first pending request may wait for
+	// the batch to fill (default DefaultMaxDelay). Zero after defaults
+	// are applied is impossible; a negative value selects greedy mode:
+	// never wait, batch only what is already queued.
+	MaxDelay time.Duration
+
+	// Queue is the intake channel capacity (default 4 x MaxBatch).
+	// Submitters block once it is full, providing natural backpressure.
+	Queue int
+
+	// Commit makes the service the owner of station state: an accepted
+	// request is immediately allocated on its station (cell.Admit) and
+	// observers (cac.Observer) are notified, before any later request
+	// or op is processed; Release deallocates. Without Commit the
+	// service never mutates stations — decisions are rendered against
+	// whatever state the caller maintains, and arbitrary micro-batch
+	// boundaries provably cannot change any outcome.
+	Commit bool
+}
+
+// Response is the outcome of one streamed admission request.
+type Response struct {
+	// Decision is the controller's verdict.
+	Decision cac.Decision
+	// Committed reports that the service allocated the call on its
+	// station (Commit mode only). An accepted request can fail to
+	// commit when earlier accepts in its own micro-batch — decided
+	// against the same snapshot, per the DecideBatch contract — already
+	// claimed the remaining bandwidth; Err then carries the cause.
+	Committed bool
+	// Err is the decision or commit error, if any. A decision error
+	// forces Decision to Reject.
+	Err error
+	// Latency is the time from enqueue to decided (including commit).
+	Latency time.Duration
+	// Batch is the size of the micro-batch that carried the request.
+	Batch int
+}
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	// Submitted counts requests accepted into the intake queue;
+	// Decided counts requests answered (equal once drained).
+	Submitted, Decided int64
+	// Accepted / Rejected split Decided by outcome; Committed counts
+	// accepted requests actually allocated (Commit mode).
+	Accepted, Rejected, Committed int64
+	// Batches counts DecideBatch calls; MaxBatch is the largest batch
+	// realised; Waves counts SubmitAll calls.
+	Batches, Waves int64
+	MaxBatch       int
+	// Ops counts serialized control operations (ticks, releases, state
+	// updates, Do barriers); Ticks the OnTick deliveries among them.
+	Ops, Ticks int64
+	// CommitErrs counts accepted-but-uncommitted requests; OpErrs
+	// counts failed releases.
+	CommitErrs, OpErrs int64
+	// AvgLatency / MaxLatency aggregate Response.Latency over every
+	// decided request.
+	AvgLatency, MaxLatency time.Duration
+}
+
+// AcceptRate returns Accepted/Decided in [0, 1] (0 when idle).
+func (s Stats) AcceptRate() float64 {
+	if s.Decided == 0 {
+		return 0
+	}
+	return float64(s.Accepted) / float64(s.Decided)
+}
+
+// AvgBatch returns the mean realised micro-batch size.
+func (s Stats) AvgBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Decided) / float64(s.Batches)
+}
+
+// String renders a one-line operator summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("decided %d (%.1f%% accept) in %d batches (avg %.1f, max %d), latency avg %s max %s, ops %d",
+		s.Decided, 100*s.AcceptRate(), s.Batches, s.AvgBatch(), s.MaxBatch, s.AvgLatency, s.MaxLatency, s.Ops)
+}
+
+// pending is one in-flight single request.
+type pending struct {
+	req   cac.Request
+	enq   time.Time
+	reply chan Response
+}
+
+// wave is one SubmitAll call: a caller-defined batch that is decided as
+// a unit, split only at deterministic MaxBatch boundaries.
+type wave struct {
+	reqs  []cac.Request
+	enq   time.Time
+	reply chan []Response
+}
+
+// op is one serialized control operation.
+type op struct {
+	fn   func(ctrl cac.Controller)
+	done chan struct{} // non-nil for synchronous ops
+}
+
+// item is one intake-queue entry; exactly one field is set.
+type item struct {
+	single *pending
+	wave   *wave
+	op     *op
+}
+
+// Service is a streaming admission front end over an admission
+// controller: concurrent submitters enqueue requests, a single loop
+// goroutine coalesces them into micro-batches (bounded by MaxBatch and
+// MaxDelay), decides each batch through cac.DecideAll, and fans the
+// responses back with per-request latency. Control operations — ticks,
+// releases, kinematic updates — travel the same queue and execute in
+// the same goroutine, strictly ordered against decisions, so stateful
+// controllers (e.g. the SCC demand ledger) keep their invariants
+// without any locking of their own.
+type Service struct {
+	cfg  Config
+	in   chan item
+	done chan struct{}
+
+	mu     sync.RWMutex // guards closed against in-flight sends
+	closed bool
+
+	// Loop-local scratch, reused across micro-batches.
+	reqScratch  []cac.Request
+	pendScratch []*pending
+
+	submitted  atomic.Int64
+	decided    atomic.Int64
+	accepted   atomic.Int64
+	rejected   atomic.Int64
+	committed  atomic.Int64
+	batches    atomic.Int64
+	waves      atomic.Int64
+	ops        atomic.Int64
+	ticks      atomic.Int64
+	commitErrs atomic.Int64
+	opErrs     atomic.Int64
+	maxBatch   atomic.Int64
+	latSumNs   atomic.Int64
+	latMaxNs   atomic.Int64
+}
+
+// New validates the configuration, applies defaults and starts the
+// decision loop. The returned service is live until Close.
+func New(cfg Config) (*Service, error) {
+	if cfg.Controller == nil {
+		return nil, fmt.Errorf("serve: config needs a controller")
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxBatch < 1 {
+		return nil, fmt.Errorf("serve: MaxBatch must be >= 1, got %d", cfg.MaxBatch)
+	}
+	if cfg.MaxDelay == 0 {
+		cfg.MaxDelay = DefaultMaxDelay
+	}
+	if cfg.Queue == 0 {
+		cfg.Queue = 4 * cfg.MaxBatch
+	}
+	if cfg.Queue < 1 {
+		return nil, fmt.Errorf("serve: Queue must be >= 1, got %d", cfg.Queue)
+	}
+	s := &Service{
+		cfg:         cfg,
+		in:          make(chan item, cfg.Queue),
+		done:        make(chan struct{}),
+		reqScratch:  make([]cac.Request, 0, cfg.MaxBatch),
+		pendScratch: make([]*pending, 0, cfg.MaxBatch),
+	}
+	go s.loop()
+	return s, nil
+}
+
+// Controller returns the wrapped controller. Reading mutable controller
+// state concurrently with the loop is racy; use Do for a serialized
+// view.
+func (s *Service) Controller() cac.Controller { return s.cfg.Controller }
+
+// send enqueues an item unless the service is closed. The read lock is
+// held across the channel send so Close cannot close the intake channel
+// under an in-flight submitter.
+func (s *Service) send(it item) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.in <- it
+	return nil
+}
+
+// Submit enqueues one request and blocks until its decision. It is safe
+// for any number of concurrent callers; requests from one goroutine are
+// decided in submission order. The decision (or error) is carried in
+// the Response.
+func (s *Service) Submit(req cac.Request) Response {
+	return <-s.SubmitAsync(req)
+}
+
+// SubmitAsync enqueues one request and returns immediately with a
+// buffered channel that will carry exactly one Response. It lets a
+// single producer keep the intake queue full (and the micro-batcher
+// well fed) without one blocked round trip per request; the enqueue
+// order — and therefore the decision order — is the call order. After
+// Close the response carries ErrClosed.
+func (s *Service) SubmitAsync(req cac.Request) <-chan Response {
+	p := &pending{req: req, enq: time.Now(), reply: make(chan Response, 1)}
+	s.submitted.Add(1)
+	if err := s.send(item{single: p}); err != nil {
+		s.submitted.Add(-1)
+		p.reply <- Response{Decision: cac.Reject, Err: err}
+	}
+	return p.reply
+}
+
+// SubmitAll enqueues a caller-defined batch (a "wave") and blocks until
+// every decision is rendered, returning responses in request order. A
+// wave is decided as a unit: it never coalesces with other traffic, and
+// it is split only at MaxBatch boundaries — deterministically, never by
+// timing — so closed-loop drivers that need reproducible outcomes
+// stream waves. In Commit mode, accepted calls of one chunk are
+// allocated before the next chunk is decided.
+func (s *Service) SubmitAll(reqs []cac.Request) ([]Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	w := &wave{reqs: reqs, enq: time.Now(), reply: make(chan []Response, 1)}
+	s.submitted.Add(int64(len(reqs)))
+	if err := s.send(item{wave: w}); err != nil {
+		s.submitted.Add(int64(-len(reqs)))
+		return nil, err
+	}
+	return <-w.reply, nil
+}
+
+// Do runs fn inside the decision loop, after every previously enqueued
+// request and op has completed, and blocks until fn returns. It is the
+// barrier primitive: a serialized, race-free view of the controller and
+// of any station state the service commits to.
+func (s *Service) Do(fn func(ctrl cac.Controller)) error {
+	o := &op{fn: fn, done: make(chan struct{})}
+	if err := s.send(item{op: o}); err != nil {
+		return err
+	}
+	<-o.done
+	return nil
+}
+
+// Flush blocks until everything enqueued before it has been decided.
+func (s *Service) Flush() error {
+	return s.Do(func(cac.Controller) {})
+}
+
+// Tick delivers cac.Ticker.OnTick(now) to the controller, serialized
+// after everything already enqueued. It is asynchronous; a controller
+// without time-driven state makes it a cheap no-op.
+func (s *Service) Tick(now float64) error {
+	t, ok := s.cfg.Controller.(cac.Ticker)
+	if !ok {
+		return nil
+	}
+	return s.send(item{op: &op{fn: func(cac.Controller) {
+		t.OnTick(now)
+		s.ticks.Add(1)
+	}}})
+}
+
+// Release retires a carried call: in Commit mode the bandwidth is
+// released on the station (a failure counts into Stats.OpErrs), and
+// observer controllers are notified either way. Asynchronous, ordered
+// after everything already enqueued.
+func (s *Service) Release(callID int, station *cell.BaseStation, now float64) error {
+	return s.send(item{op: &op{fn: func(ctrl cac.Controller) {
+		if s.cfg.Commit {
+			if _, err := station.Release(callID); err != nil {
+				s.opErrs.Add(1)
+			}
+		}
+		if obs, ok := ctrl.(cac.Observer); ok {
+			obs.OnRelease(callID, station, now)
+		}
+	}}})
+}
+
+// UpdateState delivers a fresh kinematic estimate for a carried call to
+// mobility-tracking controllers (cac.StateUpdater). Asynchronous,
+// ordered after everything already enqueued.
+func (s *Service) UpdateState(callID int, est gps.Estimate, station *cell.BaseStation) error {
+	u, ok := s.cfg.Controller.(cac.StateUpdater)
+	if !ok {
+		return nil
+	}
+	return s.send(item{op: &op{fn: func(cac.Controller) {
+		u.OnStateUpdate(callID, est, station)
+	}}})
+}
+
+// Close stops intake, waits for the queue to drain and the loop to
+// exit, then returns. Submissions racing with Close either complete
+// normally or return ErrClosed; Close is idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.in)
+	}
+	s.mu.Unlock()
+	<-s.done
+	return nil
+}
+
+// Stats returns a consistent-enough snapshot of the counters: each
+// field is atomically read, and after Flush (or Close) the snapshot is
+// exact.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Submitted:  s.submitted.Load(),
+		Decided:    s.decided.Load(),
+		Accepted:   s.accepted.Load(),
+		Rejected:   s.rejected.Load(),
+		Committed:  s.committed.Load(),
+		Batches:    s.batches.Load(),
+		Waves:      s.waves.Load(),
+		MaxBatch:   int(s.maxBatch.Load()),
+		Ops:        s.ops.Load(),
+		Ticks:      s.ticks.Load(),
+		CommitErrs: s.commitErrs.Load(),
+		OpErrs:     s.opErrs.Load(),
+		AvgLatency: time.Duration(safeDiv(s.latSumNs.Load(), s.decided.Load())),
+		MaxLatency: time.Duration(s.latMaxNs.Load()),
+	}
+}
+
+func safeDiv(sum, n int64) int64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// loop is the decision goroutine: the only place the controller is
+// invoked and (in Commit mode) stations are mutated.
+func (s *Service) loop() {
+	defer close(s.done)
+	for it := range s.in {
+		for {
+			var next *item
+			switch {
+			case it.single != nil:
+				next = s.coalesce(it.single)
+			case it.wave != nil:
+				s.decideWave(it.wave)
+			case it.op != nil:
+				s.runOp(it.op)
+			}
+			if next == nil {
+				break
+			}
+			it = *next
+		}
+	}
+}
+
+// coalesce grows a micro-batch from the first pending request until
+// MaxBatch, MaxDelay after enqueue of the first request, or a
+// non-single item interrupts; the batch is then decided. The
+// interrupting item, if any, is returned so the loop handles it next —
+// strictly after the requests that preceded it.
+func (s *Service) coalesce(first *pending) *item {
+	batch := append(s.pendScratch[:0], first)
+	var interrupt *item
+	if s.cfg.MaxDelay > 0 && s.cfg.MaxBatch > 1 {
+		wait := s.cfg.MaxDelay - time.Since(first.enq)
+		if wait > 0 {
+			timer := time.NewTimer(wait)
+		fill:
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case it, ok := <-s.in:
+					if !ok {
+						break fill
+					}
+					if it.single != nil {
+						batch = append(batch, it.single)
+					} else {
+						interrupt = &it
+						break fill
+					}
+				case <-timer.C:
+					break fill
+				}
+			}
+			timer.Stop()
+		}
+	}
+	// Greedy tail: take whatever is already queued without waiting.
+	if interrupt == nil {
+	drain:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case it, ok := <-s.in:
+				if !ok {
+					break drain
+				}
+				if it.single != nil {
+					batch = append(batch, it.single)
+				} else {
+					interrupt = &it
+					break drain
+				}
+			default:
+				break drain
+			}
+		}
+	}
+	reqs := s.reqScratch[:0]
+	for _, p := range batch {
+		reqs = append(reqs, p.req)
+	}
+	decisions, err := cac.DecideAll(s.cfg.Controller, reqs)
+	s.noteBatch(len(batch))
+	for i, p := range batch {
+		var resp Response
+		if err != nil {
+			resp = s.finishErr(err, len(batch))
+		} else {
+			resp = s.finish(p.req, decisions[i], len(batch))
+		}
+		resp.Latency = s.noteLatency(p.enq, 1)
+		p.reply <- resp
+	}
+	return interrupt
+}
+
+// decideWave decides one SubmitAll batch in deterministic MaxBatch
+// chunks. A chunk's decision error fails the rest of the wave.
+func (s *Service) decideWave(w *wave) {
+	s.waves.Add(1)
+	out := make([]Response, len(w.reqs))
+	var failed error
+	for lo := 0; lo < len(w.reqs); lo += s.cfg.MaxBatch {
+		hi := lo + s.cfg.MaxBatch
+		if hi > len(w.reqs) {
+			hi = len(w.reqs)
+		}
+		chunk := w.reqs[lo:hi]
+		if failed == nil {
+			decisions, err := cac.DecideAll(s.cfg.Controller, chunk)
+			s.noteBatch(len(chunk))
+			if err != nil {
+				failed = err
+			} else {
+				for i := range chunk {
+					out[lo+i] = s.finish(chunk[i], decisions[i], len(chunk))
+				}
+			}
+		}
+		if failed != nil {
+			for i := range chunk {
+				out[lo+i] = s.finishErr(failed, len(chunk))
+			}
+		}
+	}
+	lat := s.noteLatency(w.enq, len(w.reqs))
+	for i := range out {
+		out[i].Latency = lat
+	}
+	w.reply <- out
+}
+
+// finish applies the outcome of one decided request: commit in Commit
+// mode, outcome counters, and the response skeleton.
+func (s *Service) finish(req cac.Request, d cac.Decision, batchSize int) Response {
+	s.decided.Add(1)
+	resp := Response{Decision: d, Batch: batchSize}
+	if !d.Accepted() {
+		s.rejected.Add(1)
+		return resp
+	}
+	s.accepted.Add(1)
+	if !s.cfg.Commit {
+		return resp
+	}
+	call := req.Call
+	call.AdmittedAt = req.Now
+	call.Handoff = req.Handoff
+	if err := req.Station.Admit(call); err != nil {
+		// Accepted against the batch-start snapshot, but earlier
+		// accepts in the same chunk exhausted the bandwidth.
+		s.commitErrs.Add(1)
+		resp.Err = err
+		return resp
+	}
+	resp.Committed = true
+	s.committed.Add(1)
+	if obs, ok := s.cfg.Controller.(cac.Observer); ok {
+		obs.OnAdmit(req)
+	}
+	return resp
+}
+
+// finishErr records one request failed by a batch decision error.
+func (s *Service) finishErr(err error, batchSize int) Response {
+	s.decided.Add(1)
+	s.rejected.Add(1)
+	return Response{Decision: cac.Reject, Err: err, Batch: batchSize}
+}
+
+func (s *Service) runOp(o *op) {
+	o.fn(s.cfg.Controller)
+	s.ops.Add(1)
+	if o.done != nil {
+		close(o.done)
+	}
+}
+
+func (s *Service) noteBatch(n int) {
+	s.batches.Add(1)
+	if int64(n) > s.maxBatch.Load() {
+		s.maxBatch.Store(int64(n))
+	}
+}
+
+// noteLatency records one completion covering n requests (a wave's
+// requests all complete together, so its latency weighs n times into
+// the average).
+func (s *Service) noteLatency(enq time.Time, n int) time.Duration {
+	lat := time.Since(enq)
+	s.latSumNs.Add(int64(lat) * int64(n))
+	if int64(lat) > s.latMaxNs.Load() {
+		s.latMaxNs.Store(int64(lat))
+	}
+	return lat
+}

@@ -1,0 +1,19 @@
+// Package sim provides a minimal deterministic discrete-event
+// simulation kernel: an event scheduler with cancellable events, and
+// seeded random number streams with the standard distributions used by
+// the workload generators.
+//
+// Simulation time is a float64 number of seconds from the start of the
+// run. Determinism: with the same seed and the same sequence of
+// schedule calls, a run always executes events in the same order (ties
+// on time break by schedule order). Each subsystem should draw from its
+// own named stream (NewStream) so adding draws in one subsystem never
+// perturbs another — the property all replication-determinism suites
+// rest on. The scheduler compacts its heap when cancelled events exceed
+// half of a non-trivial queue, so mobile-heavy runs do not grow it
+// unboundedly.
+//
+// Entry points: Scheduler (After/At/Step/Run, with cancellable
+// Events), NewRNG/NewStream/StreamSeed and the distribution helpers
+// (Uniform, Exponential, Normal, WeightedChoice).
+package sim

@@ -1,12 +1,3 @@
-// Package sim provides a minimal deterministic discrete-event simulation
-// kernel: an event scheduler with cancellable events, and seeded random
-// number streams with the standard distributions used by the workload
-// generators.
-//
-// Simulation time is a float64 number of seconds from the start of the run.
-// Determinism: with the same seed and the same sequence of schedule calls,
-// a run always executes events in the same order (ties on time break by
-// schedule order).
 package sim
 
 import (

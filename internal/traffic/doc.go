@@ -1,0 +1,12 @@
+// Package traffic models the paper's workload: three service classes
+// (text, voice, video) with fixed bandwidth demands of 1, 5 and 10
+// bandwidth units, a 60/30/10 arrival mix, Poisson call arrivals and
+// exponentially distributed call holding times.
+//
+// Voice and video are real-time classes (they debit the base station's
+// RTC counter), text is non-real-time (NRTC); Class.RealTime encodes
+// the split and Class.BandwidthUnits the demands.
+//
+// Entry points: Class and Mix (Sample), plus Generator for a Poisson
+// arrival stream of requests with sampled holding times.
+package traffic

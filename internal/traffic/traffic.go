@@ -1,7 +1,3 @@
-// Package traffic models the paper's workload: three service classes
-// (text, voice, video) with fixed bandwidth demands of 1, 5 and 10
-// bandwidth units, a 60/30/10 arrival mix, Poisson call arrivals and
-// exponentially distributed call holding times.
 package traffic
 
 import (
