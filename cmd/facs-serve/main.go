@@ -1,16 +1,22 @@
-// Command facs-serve runs the streaming admission service: a long-lived
-// front end that reads newline-delimited JSON admission requests from
-// stdin (or serves them over TCP with -listen), micro-batches them
-// through the configured controller, and writes one JSON decision line
-// per request. With -loadgen N it instead drives itself with the
-// closed-loop synthetic workload and prints a throughput summary.
+// Command facs-serve runs the streaming admission front end: a
+// long-lived service that reads newline-delimited JSON admission
+// requests from stdin (or serves them over TCP with -listen),
+// micro-batches them through the configured controller, and writes one
+// JSON decision line per request. The front end is the sharded
+// admission engine: -shards N partitions the network's cells across N
+// parallel decision loops with deterministic routing (the default 1
+// behaves like the classic single loop). With -loadgen N it instead
+// drives itself with the closed-loop synthetic workload and prints a
+// throughput summary (the sharded workload, including cross-shard
+// handoffs, when -shards > 1).
 //
 // Examples:
 //
 //	echo '{"id":1,"class":"voice","station":0,"speed":40,"angle":0,"distance":2}' | facs-serve
 //	facs-serve -compiled -surface-cache /tmp/facs-cache      # warm restarts
 //	facs-serve -listen 127.0.0.1:4747 -controller scc
-//	facs-serve -loadgen 100000 -wave 128 -batch 64
+//	facs-serve -shards 4 -rings 3                            # sharded engine
+//	facs-serve -loadgen 100000 -wave 128 -batch 64 -shards 4
 //
 // Request lines name a station by index plus the FLC1 observation
 // (speed/angle/distance), or give an absolute position (x/y metres,
@@ -23,6 +29,13 @@
 //
 //	{"op":"tick","now":10}
 //	{"op":"release","id":1,"now":12}
+//	{"op":"handoff","id":2,"x":2400,"y":-100,"heading":40,"speed":60,"now":13}
+//
+// A handoff op moves a committed call to the station covering the new
+// position through the engine's two-phase protocol (release at the
+// source shard, admit with handoff priority at the target shard); the
+// response line reports the target-side decision — committed:false
+// means the call was dropped.
 //
 // Each decision line carries the request id, the outcome, whether the
 // call was allocated (commit mode), the service-side latency and the
@@ -32,8 +45,18 @@
 //
 // Responses stream back as batches complete and may interleave across
 // ids; correlate by id. Release an admitted call only after observing
-// its response. On stream end (or Ctrl-D) the service drains and a
-// stats summary is printed to stderr.
+// its response.
+//
+// Flow control: each stream holds at most -max-inflight undecided
+// requests. A request line arriving with the window full is not
+// buffered; it is answered immediately with the documented error line
+//
+//	{"id":7,"error":"intake queue full: 1024 requests in flight; read responses before submitting more"}
+//
+// so a well-behaved client treats it as backpressure and drains
+// responses before retrying. On stream end (or Ctrl-D) the engine
+// drains and a stats summary (including latency p50/p99) is printed to
+// stderr.
 package main
 
 import (
@@ -53,6 +76,7 @@ import (
 	igeo "facs/internal/geo"
 	igps "facs/internal/gps"
 	iserve "facs/internal/serve"
+	ishard "facs/internal/shard"
 	itraffic "facs/internal/traffic"
 )
 
@@ -70,9 +94,11 @@ type serveOptions struct {
 	compiled     bool
 	surfaceCache string
 	grid         int
+	shards       int
 	batch        int
 	maxDelay     time.Duration
 	commit       bool
+	maxInflight  int
 	rings        int
 	capacity     int
 	guard        int
@@ -90,9 +116,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs.BoolVar(&o.compiled, "compiled", false, "use the lookup-table FACS fast path (controller facs only)")
 	fs.StringVar(&o.surfaceCache, "surface-cache", "", "directory for persisted compiled surfaces (implies -compiled)")
 	fs.IntVar(&o.grid, "grid", 0, "per-axis surface resolution for -compiled (0 = default)")
-	fs.IntVar(&o.batch, "batch", iserve.DefaultMaxBatch, "micro-batch size cap")
+	fs.IntVar(&o.shards, "shards", 1, "decision loops to shard the network's cells across (capped at the cell count)")
+	fs.IntVar(&o.batch, "batch", iserve.DefaultMaxBatch, "micro-batch size cap (the sharded engine's chunk size)")
 	fs.DurationVar(&o.maxDelay, "max-delay", iserve.DefaultMaxDelay, "max time a request waits for its batch to fill (negative = never wait)")
 	fs.BoolVar(&o.commit, "commit", true, "allocate accepted calls on their stations")
+	fs.IntVar(&o.maxInflight, "max-inflight", 1024, "per-stream cap on undecided requests; excess lines get a queue-full error response")
 	fs.IntVar(&o.rings, "rings", 1, "network size in hex rings (1 = seven cells)")
 	fs.IntVar(&o.capacity, "capacity", icell.DefaultCapacityBU, "per-station bandwidth in BU")
 	fs.IntVar(&o.guard, "guard", 8, "guard bandwidth for -controller guard")
@@ -111,12 +139,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if o.grid != 0 && !o.compiled {
 		return fmt.Errorf("-grid applies to -compiled runs")
 	}
+	if o.shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", o.shards)
+	}
 	if o.batch < 1 {
 		return fmt.Errorf("-batch must be >= 1, got %d", o.batch)
 	}
+	if o.maxInflight < 1 {
+		return fmt.Errorf("-max-inflight must be >= 1, got %d", o.maxInflight)
+	}
 	// -loadgen always runs the closed loop in commit mode
-	// (experiments.RunStreaming owns station state); reject an explicit
-	// -commit=false rather than silently ignoring it.
+	// (experiments.RunStreaming/RunSharded own station state); reject an
+	// explicit -commit=false rather than silently ignoring it.
 	commitSet := false
 	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "commit" {
@@ -132,6 +166,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return err
 	}
 	if o.loadgen > 0 {
+		if o.shards > 1 {
+			return runShardedLoadgen(o, factory, stdout)
+		}
 		return runLoadgen(o, factory, stdout)
 	}
 
@@ -139,36 +176,42 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ctrl, err := factory(netw)
-	if err != nil {
-		return err
-	}
-	svc, err := iserve.New(iserve.Config{
-		Controller: ctrl,
-		MaxBatch:   o.batch,
-		MaxDelay:   o.maxDelay,
-		Commit:     o.commit,
+	// The serving path always runs the sharded engine: at -shards 1 it
+	// is the classic single decision loop (plus the handoff op); above
+	// it the cells spread across parallel loops.
+	eng, err := ishard.New(ishard.Config{
+		Network: netw,
+		Shards:  o.shards,
+		NewController: func(v ishard.View) (icac.Controller, error) {
+			return factory(v.Network())
+		},
+		MaxBatch: o.batch,
+		MaxDelay: o.maxDelay,
+		Commit:   o.commit,
 	})
 	if err != nil {
 		return err
 	}
-	defer svc.Close()
+	defer eng.Close()
 
 	if o.listen != "" {
-		return serveTCP(o.listen, svc, netw, stderr)
+		return serveTCP(o.listen, eng, netw, o.maxInflight, stderr)
 	}
-	if err := serveStream(svc, netw, stdin, stdout); err != nil {
+	if err := serveStream(eng, netw, stdin, stdout, o.maxInflight); err != nil {
 		return err
 	}
-	if err := svc.Close(); err != nil {
+	if err := eng.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintln(stderr, "facs-serve:", svc.Stats())
+	fmt.Fprintln(stderr, "facs-serve:", eng.Stats())
 	return nil
 }
 
 // controllerFactory builds the per-network controller constructor,
-// reporting surface compile/cache timing for the FACS fast path.
+// reporting surface compile/cache timing for the FACS fast path. The
+// sharded engine calls it once per shard: FACS and the classical
+// baselines hand every shard one shared concurrency-safe instance,
+// while scc builds a fresh (loop-confined) ledger per shard.
 func controllerFactory(o serveOptions, stderr io.Writer) (func(*facs.Network) (facs.Controller, error), error) {
 	switch o.controller {
 	case "facs":
@@ -231,7 +274,8 @@ func buildCompiled(grid int, cacheDir string, stderr io.Writer) (facs.Controller
 	return ctrl, nil
 }
 
-// runLoadgen drives the closed-loop generator and prints a summary.
+// runLoadgen drives the single-loop closed-loop generator and prints a
+// summary.
 func runLoadgen(o serveOptions, factory func(*facs.Network) (facs.Controller, error), stdout io.Writer) error {
 	start := time.Now()
 	res, err := facs.RunStreaming(facs.StreamingConfig{
@@ -255,14 +299,66 @@ func runLoadgen(o serveOptions, factory func(*facs.Network) (facs.Controller, er
 		res.Accepted, res.AcceptedPct(), res.Committed, res.Released)
 	fmt.Fprintf(stdout, "throughput    %.0f decisions/s (%.2fs total, incl. setup)\n",
 		float64(res.Requested)/elapsed.Seconds(), elapsed.Seconds())
+	fmt.Fprintf(stdout, "latency       avg %s p50 %s p99 %s max %s\n",
+		res.Stats.AvgLatency, res.Stats.P50Latency(), res.Stats.P99Latency(), res.Stats.MaxLatency)
 	fmt.Fprintf(stdout, "service       %s\n", res.Stats)
 	return nil
 }
 
+// runShardedLoadgen drives the sharded closed-loop generator (with
+// cross-shard handoffs) and prints a summary.
+func runShardedLoadgen(o serveOptions, factory func(*facs.Network) (facs.Controller, error), stdout io.Writer) error {
+	start := time.Now()
+	res, err := facs.RunSharded(facs.ShardedConfig{
+		NewController: func(v facs.ShardView) (facs.Controller, error) {
+			return factory(v.Network())
+		},
+		Shards:     o.shards,
+		Rings:      o.rings,
+		CapacityBU: o.capacity,
+		Requests:   o.loadgen,
+		Wave:       o.wave,
+		MaxBatch:   o.batch,
+		MaxDelay:   o.maxDelay,
+		Seed:       o.seed,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	total := res.Stats.Total
+	fmt.Fprintf(stdout, "scenario      closed-loop sharded (%d rings x %d BU, %d shards)\n", o.rings, o.capacity, res.Shards)
+	fmt.Fprintf(stdout, "controller    %s (cell-local %v)\n", res.ControllerName, res.CellLocal)
+	fmt.Fprintf(stdout, "requested     %d in %d waves of %d\n", res.Requested, res.Waves, o.wave)
+	fmt.Fprintf(stdout, "accepted      %d (%.1f%%), committed %d, released %d\n",
+		res.Accepted, res.AcceptedPct(), res.Committed, res.Released)
+	fmt.Fprintf(stdout, "handoffs      %d (%d cross-shard, %d dropped)\n",
+		res.Handoffs, res.CrossShard, res.HandoffDropped)
+	fmt.Fprintf(stdout, "throughput    %.0f decisions/s (%.2fs total, incl. setup)\n",
+		float64(res.Requested)/elapsed.Seconds(), elapsed.Seconds())
+	fmt.Fprintf(stdout, "latency       avg %s p50 %s p99 %s max %s\n",
+		total.AvgLatency, total.P50Latency(), total.P99Latency(), total.MaxLatency)
+	fmt.Fprintf(stdout, "engine        %s\n", res.Stats)
+	return nil
+}
+
+// admitter is the front-end surface serveStream drives; both the
+// single-loop serve.Service and the sharded engine satisfy it.
+type admitter interface {
+	SubmitAsync(req icac.Request) <-chan iserve.Response
+	Tick(now float64) error
+	Release(callID int, station *icell.BaseStation, now float64) error
+}
+
+// handoffer is the optional handoff surface (the sharded engine).
+type handoffer interface {
+	HandoffCall(h ishard.Handoff) ishard.HandoffResult
+}
+
 // serveTCP accepts connections and streams each over the shared
-// service. It runs until the listener fails (or the process is
+// engine. It runs until the listener fails (or the process is
 // stopped).
-func serveTCP(addr string, svc *iserve.Service, netw *facs.Network, stderr io.Writer) error {
+func serveTCP(addr string, eng *ishard.Engine, netw *facs.Network, maxInflight int, stderr io.Writer) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -276,10 +372,10 @@ func serveTCP(addr string, svc *iserve.Service, netw *facs.Network, stderr io.Wr
 		}
 		go func() {
 			defer conn.Close()
-			if err := serveStream(svc, netw, conn, conn); err != nil {
+			if err := serveStream(eng, netw, conn, conn, maxInflight); err != nil {
 				fmt.Fprintln(stderr, "facs-serve: connection:", err)
 			}
-			fmt.Fprintln(stderr, "facs-serve:", svc.Stats())
+			fmt.Fprintln(stderr, "facs-serve:", eng.Stats())
 		}()
 	}
 }
@@ -309,6 +405,21 @@ type wireResponse struct {
 	LatencyUS int64  `json:"latency_us,omitempty"`
 	Batch     int    `json:"batch,omitempty"`
 	Error     string `json:"error,omitempty"`
+}
+
+// toWire maps one service response onto the wire format.
+func toWire(id int, resp iserve.Response) wireResponse {
+	line := wireResponse{
+		ID:        id,
+		Decision:  resp.Decision.String(),
+		Committed: resp.Committed,
+		LatencyUS: resp.Latency.Microseconds(),
+		Batch:     resp.Batch,
+	}
+	if resp.Err != nil {
+		line.Error = resp.Err.Error()
+	}
+	return line
 }
 
 func parseClass(s string) (itraffic.Class, error) {
@@ -366,10 +477,11 @@ func buildRequest(netw *facs.Network, stations []*icell.BaseStation, w wireReque
 	return req, nil
 }
 
-// serveStream pumps one NDJSON stream through the service: request
-// lines are enqueued in order (decisions fan back as batches complete),
-// op lines are serialized behind the requests already enqueued.
-func serveStream(svc *iserve.Service, netw *facs.Network, r io.Reader, w io.Writer) error {
+// serveStream pumps one NDJSON stream through the front end: request
+// lines are enqueued in order (decisions fan back as batches complete)
+// under a bounded in-flight window, op lines are serialized behind the
+// requests already enqueued on their stations' shards.
+func serveStream(front admitter, netw *facs.Network, r io.Reader, w io.Writer, maxInflight int) error {
 	stations := netw.Stations()
 	var (
 		outMu sync.Mutex
@@ -388,7 +500,12 @@ func serveStream(svc *iserve.Service, netw *facs.Network, r io.Reader, w io.Writ
 		out.Flush()
 	}
 
-	// committed maps call ID -> station for release ops.
+	// inflight bounds the undecided requests buffered for this stream:
+	// a full window sheds new request lines with the documented
+	// queue-full error instead of buffering them without limit.
+	inflight := make(chan struct{}, maxInflight)
+
+	// committed maps call ID -> station for release and handoff ops.
 	var (
 		commitMu  sync.Mutex
 		committed = map[int]*icell.BaseStation{}
@@ -408,35 +525,34 @@ func serveStream(svc *iserve.Service, netw *facs.Network, r io.Reader, w io.Writ
 		}
 		switch wr.Op {
 		case "":
+			select {
+			case inflight <- struct{}{}:
+			default:
+				writeLine(wireResponse{ID: wr.ID, Error: fmt.Sprintf(
+					"intake queue full: %d requests in flight; read responses before submitting more", maxInflight)})
+				continue
+			}
 			req, err := buildRequest(netw, stations, wr)
 			if err != nil {
+				<-inflight
 				writeLine(wireResponse{ID: wr.ID, Error: err.Error()})
 				continue
 			}
-			ch := svc.SubmitAsync(req)
+			ch := front.SubmitAsync(req)
 			wg.Add(1)
 			go func(id int, station *icell.BaseStation) {
 				defer wg.Done()
+				defer func() { <-inflight }()
 				resp := <-ch
-				line := wireResponse{
-					ID:        id,
-					Decision:  resp.Decision.String(),
-					Committed: resp.Committed,
-					LatencyUS: resp.Latency.Microseconds(),
-					Batch:     resp.Batch,
-				}
-				if resp.Err != nil {
-					line.Error = resp.Err.Error()
-				}
 				if resp.Committed {
 					commitMu.Lock()
 					committed[id] = station
 					commitMu.Unlock()
 				}
-				writeLine(line)
+				writeLine(toWire(id, resp))
 			}(wr.ID, req.Station)
 		case "tick":
-			if err := svc.Tick(wr.Now); err != nil {
+			if err := front.Tick(wr.Now); err != nil {
 				writeLine(wireResponse{ID: wr.ID, Error: err.Error()})
 			}
 		case "release":
@@ -448,9 +564,51 @@ func serveStream(svc *iserve.Service, netw *facs.Network, r io.Reader, w io.Writ
 				writeLine(wireResponse{ID: wr.ID, Error: "release of unknown or uncommitted call"})
 				continue
 			}
-			if err := svc.Release(wr.ID, bs, wr.Now); err != nil {
+			if err := front.Release(wr.ID, bs, wr.Now); err != nil {
 				writeLine(wireResponse{ID: wr.ID, Error: err.Error()})
 			}
+		case "handoff":
+			ho, ok := front.(handoffer)
+			if !ok {
+				writeLine(wireResponse{ID: wr.ID, Error: "handoff is not supported by this front end"})
+				continue
+			}
+			if wr.X == nil || wr.Y == nil {
+				writeLine(wireResponse{ID: wr.ID, Error: "handoff needs the new x/y position"})
+				continue
+			}
+			commitMu.Lock()
+			from, ok := committed[wr.ID]
+			commitMu.Unlock()
+			if !ok {
+				writeLine(wireResponse{ID: wr.ID, Error: "handoff of unknown or uncommitted call"})
+				continue
+			}
+			pos := igeo.Point{X: *wr.X, Y: *wr.Y}
+			target, err := netw.StationAt(pos)
+			if err != nil {
+				writeLine(wireResponse{ID: wr.ID, Error: err.Error()})
+				continue
+			}
+			res := ho.HandoffCall(ishard.Handoff{
+				CallID: wr.ID,
+				From:   from,
+				To:     target,
+				Est:    igps.Estimate{Pos: pos, HeadingDeg: wr.Heading, SpeedKmh: wr.Speed},
+				Now:    wr.Now,
+			})
+			if res.Err != nil {
+				writeLine(wireResponse{ID: wr.ID, Error: res.Err.Error()})
+				continue
+			}
+			commitMu.Lock()
+			if res.Response.Committed {
+				committed[wr.ID] = target
+			} else {
+				delete(committed, wr.ID) // dropped: the source released it
+			}
+			commitMu.Unlock()
+			writeLine(toWire(wr.ID, res.Response))
 		default:
 			writeLine(wireResponse{ID: wr.ID, Error: fmt.Sprintf("unknown op %q", wr.Op)})
 		}

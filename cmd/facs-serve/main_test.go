@@ -8,9 +8,12 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"facs"
+	icac "facs/internal/cac"
 	iserve "facs/internal/serve"
+	ishard "facs/internal/shard"
 )
 
 // decodeLines parses every NDJSON output line by request id.
@@ -106,6 +109,12 @@ func TestFlagValidation(t *testing.T) {
 	if err := run([]string{"-loadgen", "10", "-commit=false"}, strings.NewReader(""), &out, &errw); err == nil {
 		t.Fatal("-loadgen with -commit=false should fail")
 	}
+	if err := run([]string{"-shards", "0"}, strings.NewReader(""), &out, &errw); err == nil {
+		t.Fatal("zero shards should fail")
+	}
+	if err := run([]string{"-max-inflight", "0"}, strings.NewReader(""), &out, &errw); err == nil {
+		t.Fatal("zero max-inflight should fail")
+	}
 }
 
 func TestLoadgenSummary(t *testing.T) {
@@ -115,10 +124,175 @@ func TestLoadgenSummary(t *testing.T) {
 		t.Fatal(err)
 	}
 	text := out.String()
-	for _, want := range []string{"closed-loop streaming", "guard-channel", "requested     300", "throughput", "decided 300"} {
+	for _, want := range []string{"closed-loop streaming", "guard-channel", "requested     300", "throughput", "decided 300", "p50", "p99"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("loadgen summary missing %q:\n%s", want, text)
 		}
+	}
+}
+
+func TestShardedLoadgenSummary(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-loadgen", "300", "-wave", "32", "-shards", "4", "-rings", "2", "-controller", "guard"},
+		strings.NewReader(""), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"closed-loop sharded", "4 shards", "guard-channel", "cell-local true",
+		"requested     300", "handoffs", "cross-shard", "latency", "p50", "p99"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("sharded loadgen summary missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestShardedStdinStream runs the NDJSON path on a multi-shard engine.
+func TestShardedStdinStream(t *testing.T) {
+	in := strings.Join([]string{
+		`{"id":1,"class":"voice","station":0,"speed":10,"angle":0,"distance":1}`,
+		`{"id":2,"class":"text","station":3,"speed":10,"angle":0,"distance":1}`,
+		`{"id":3,"class":"video","station":6,"speed":40,"angle":5,"distance":1.5}`,
+	}, "\n") + "\n"
+	var out, errw bytes.Buffer
+	if err := run([]string{"-shards", "4", "-controller", "cs"}, strings.NewReader(in), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	got := decodeLines(t, out.String())
+	for _, id := range []int{1, 2, 3} {
+		r, ok := got[id]
+		if !ok || r.Error != "" || r.Decision != "accept" || !r.Committed {
+			t.Fatalf("request %d: %+v (out: %s)", id, r, out.String())
+		}
+	}
+	if !strings.Contains(errw.String(), "4 shards") {
+		t.Fatalf("stats summary should name the shard count: %q", errw.String())
+	}
+}
+
+// TestBackpressureShedsWhenFull pins the flow-control contract: with a
+// one-request window and a slow batcher, the second request line is
+// not buffered — it is answered immediately with the documented
+// queue-full error.
+func TestBackpressureShedsWhenFull(t *testing.T) {
+	netw, err := facs.NewNetwork(facs.NetworkConfig{Rings: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ishard.New(ishard.Config{
+		Network:       netw,
+		Shards:        1,
+		NewController: func(ishard.View) (icac.Controller, error) { return facs.CompleteSharing{}, nil },
+		MaxBatch:      64,
+		MaxDelay:      300 * time.Millisecond, // hold the first request undecided
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	in := strings.Join([]string{
+		`{"id":1,"class":"text","station":0,"speed":10,"angle":0,"distance":1}`,
+		`{"id":2,"class":"text","station":0,"speed":10,"angle":0,"distance":1}`,
+	}, "\n") + "\n"
+	var out bytes.Buffer
+	if err := serveStream(eng, netw, strings.NewReader(in), &out, 1); err != nil {
+		t.Fatal(err)
+	}
+	got := decodeLines(t, out.String())
+	if r := got[1]; r.Error != "" || r.Decision != "accept" {
+		t.Fatalf("request 1 should decide cleanly: %+v", r)
+	}
+	if r := got[2]; !strings.Contains(r.Error, "intake queue full") {
+		t.Fatalf("request 2 should be shed with the queue-full error, got %+v", r)
+	}
+}
+
+// TestHandoffOpOverStream drives the wire-level handoff protocol: a
+// committed call moves to the cell covering its new position; an
+// unknown call errors.
+func TestHandoffOpOverStream(t *testing.T) {
+	netw, err := facs.NewNetwork(facs.NetworkConfig{Rings: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ishard.New(ishard.Config{
+		Network:       netw,
+		Shards:        3,
+		NewController: func(ishard.View) (icac.Controller, error) { return facs.CompleteSharing{}, nil },
+		Commit:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	stations := netw.Stations()
+	src, dst := stations[0], stations[1]
+
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- serveStream(eng, netw, server, server, 64)
+		server.Close()
+	}()
+
+	w := bufio.NewWriter(client)
+	sc := bufio.NewScanner(client)
+	readLine := func() wireResponse {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("stream ended early: %v", sc.Err())
+		}
+		var r wireResponse
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	// Admit at the source cell's centre, await the committed response.
+	fmt.Fprintf(w, `{"id":7,"class":"voice","x":%g,"y":%g,"heading":0,"speed":30}`+"\n", src.Pos().X, src.Pos().Y)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r := readLine(); r.ID != 7 || !r.Committed {
+		t.Fatalf("admission response: %+v", r)
+	}
+
+	// Hand it off to the neighbouring cell's centre.
+	fmt.Fprintf(w, `{"op":"handoff","id":7,"x":%g,"y":%g,"heading":10,"speed":30,"now":5}`+"\n", dst.Pos().X, dst.Pos().Y)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r := readLine(); r.ID != 7 || !r.Committed || r.Decision != "accept" {
+		t.Fatalf("handoff response: %+v", r)
+	}
+	if _, ok := src.Call(7); ok {
+		t.Fatal("source still carries the call")
+	}
+	if _, ok := dst.Call(7); !ok {
+		t.Fatal("target does not carry the call")
+	}
+
+	// Unknown call and missing position both error.
+	fmt.Fprintf(w, `{"op":"handoff","id":99,"x":%g,"y":%g}`+"\n", dst.Pos().X, dst.Pos().Y)
+	fmt.Fprintln(w, `{"op":"handoff","id":7}`)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r := readLine(); !strings.Contains(r.Error, "unknown") {
+		t.Fatalf("unknown-call handoff should error: %+v", r)
+	}
+	if r := readLine(); !strings.Contains(r.Error, "x/y") {
+		t.Fatalf("positionless handoff should error: %+v", r)
+	}
+
+	client.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Unknown calls and malformed lines are shed at the wire layer, so
+	// only the successful transfer reaches the engine's protocol worker.
+	if st := eng.Stats(); st.Handoffs != 1 || st.Errs != 0 || st.CrossShard != 1 {
+		t.Fatalf("engine handoff counters: %+v", st)
 	}
 }
 
@@ -138,7 +312,7 @@ func TestServeStreamOverConnection(t *testing.T) {
 	client, server := net.Pipe()
 	done := make(chan error, 1)
 	go func() {
-		done <- serveStream(svc, netw, server, server)
+		done <- serveStream(svc, netw, server, server, 1024)
 		server.Close()
 	}()
 

@@ -95,6 +95,30 @@
 // and the cmd/facs-serve binary serves newline-delimited JSON over
 // stdin or TCP.
 //
+// # Sharded admission engine
+//
+// One decision loop is a ceiling on multi-cell throughput. The sharded
+// engine partitions the network's cells across N decision loops with a
+// deterministic router and a serialized cross-shard handoff protocol
+// (release on the source shard, then admit with handoff priority on
+// the target shard):
+//
+//	eng, err := facs.NewShardedEngine(facs.ShardedEngineConfig{
+//		Network: netw, Shards: 8, Commit: true,
+//		NewController: func(facs.ShardView) (facs.Controller, error) { return ctrl, nil },
+//	})
+//	responses, err := eng.SubmitWave(reqs) // chunked in global order, barriers between chunks
+//	res := eng.HandoffCall(facs.ShardHandoff{CallID: 7, From: src, To: dst, Est: est, Now: now})
+//
+// For cell-local controllers (CellLocalController: FACS exact and
+// compiled, the classical baselines) every outcome is byte-identical
+// for every shard count — pinned against an inline sequential replay —
+// while throughput scales with cores. RunSharded / RunShardedSweep
+// drive the closed-loop sharded workload (facs-serve -loadgen -shards
+// N), and facs-serve -shards N serves the engine over NDJSON including
+// the handoff wire op. ARCHITECTURE.md's "The sharded engine" section
+// records the router, the protocol and the determinism argument.
+//
 // # Surface persistence
 //
 // Compiling the default surfaces costs seconds, which a long-lived

@@ -124,6 +124,26 @@ type (
 // timing (see internal/serve's determinism contract).
 var RunStreaming = iexp.RunStreaming
 
+// ShardedConfig parameterises the closed-loop sharded load generator:
+// waves of synthetic requests streamed through a ShardedEngine with
+// per-wave releases, barrier ticks and cross-cell (often cross-shard)
+// handoffs; ShardedResult aggregates the deterministic decision and
+// handoff streams plus engine statistics.
+type (
+	ShardedConfig = iexp.ShardedConfig
+	ShardedResult = iexp.ShardedResult
+)
+
+// RunSharded executes the closed-loop sharded scenario for one shard
+// count; RunShardedSweep repeats the identical workload once per shard
+// count (for cell-local controllers, every entry's decision and
+// handoff streams are byte-identical — only wall-clock and the
+// cross-shard split change).
+var (
+	RunSharded      = iexp.RunSharded
+	RunShardedSweep = iexp.RunShardedSweep
+)
+
 // Series is a labelled (x, y) curve, the unit of figure regeneration.
 type Series = imetrics.Series
 

@@ -12,10 +12,14 @@ import (
 // unfair to wide calls and blind to mobility.
 type CompleteSharing struct{}
 
-var _ Controller = CompleteSharing{}
+var _ CellLocal = CompleteSharing{}
 
 // Name implements Controller.
 func (CompleteSharing) Name() string { return "complete-sharing" }
+
+// CellLocal implements CellLocal: the decision reads only the request's
+// station.
+func (CompleteSharing) CellLocal() {}
 
 // Decide implements Controller.
 func (CompleteSharing) Decide(req Request) (Decision, error) {
@@ -41,6 +45,7 @@ type GuardChannel struct {
 var (
 	_ Controller      = GuardChannel{}
 	_ BatchController = GuardChannel{}
+	_ CellLocal       = GuardChannel{}
 )
 
 // NewGuardChannel validates and constructs the scheme.
@@ -53,6 +58,10 @@ func NewGuardChannel(guardBU int) (GuardChannel, error) {
 
 // Name implements Controller.
 func (g GuardChannel) Name() string { return "guard-channel" }
+
+// CellLocal implements CellLocal: the decision reads only the request's
+// station free pool.
+func (GuardChannel) CellLocal() {}
 
 // Decide implements Controller.
 func (g GuardChannel) Decide(req Request) (Decision, error) {
@@ -114,6 +123,7 @@ type ThresholdPolicy struct {
 var (
 	_ Controller      = ThresholdPolicy{}
 	_ BatchController = ThresholdPolicy{}
+	_ CellLocal       = ThresholdPolicy{}
 )
 
 // NewThresholdPolicy validates and constructs the policy.
@@ -135,6 +145,10 @@ func NewThresholdPolicy(maxBU map[traffic.Class]int) (ThresholdPolicy, error) {
 
 // Name implements Controller.
 func (ThresholdPolicy) Name() string { return "multi-priority-threshold" }
+
+// CellLocal implements CellLocal: per-class occupancy is derived from
+// the request's station alone.
+func (ThresholdPolicy) CellLocal() {}
 
 // Decide implements Controller.
 func (p ThresholdPolicy) Decide(req Request) (Decision, error) {

@@ -75,6 +75,24 @@ type Controller interface {
 	Decide(req Request) (Decision, error)
 }
 
+// CellLocal is implemented by controllers whose decisions are a pure
+// function of the request and the mutable state of the request's own
+// station (everything else they read — parameters, surfaces, network
+// geometry — is immutable after construction), and that must also be
+// safe for concurrent use. Cell-locality is the sharding seam: a
+// sharded engine that partitions stations across decision loops changes
+// neither the inputs nor the order of any station's decisions, so
+// outcomes of a CellLocal controller are byte-identical for every shard
+// count. Controllers tracking cross-cell state (e.g. SCC's shadow
+// clusters, which project demand into neighbouring cells) must not
+// declare cell-locality: sharding them partitions demand visibility,
+// which is deterministic per shard count but not shard-count-invariant.
+type CellLocal interface {
+	Controller
+	// CellLocal is a marker; implementations assert the contract above.
+	CellLocal()
+}
+
 // Observer is implemented by controllers that maintain per-call state
 // (e.g. SCC's shadow clusters). The simulation invokes these callbacks
 // after the corresponding ledger operation succeeded.

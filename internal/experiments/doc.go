@@ -1,8 +1,10 @@
 // Package experiments contains the reproduction and load harness: one
 // driver per figure of the paper's evaluation section (Figs. 7-10), the
 // ablation studies enumerated in ablations.go, the one-shot batch
-// admission sweep (RunBatchAdmission) and the closed-loop streaming
-// load generator (RunStreaming) over the internal/serve service.
+// admission sweep (RunBatchAdmission), the closed-loop streaming load
+// generator (RunStreaming) over the internal/serve service, and the
+// closed-loop sharded load generator (RunSharded / RunShardedSweep)
+// over the internal/shard engine.
 //
 // # Determinism
 //
@@ -10,10 +12,13 @@
 // replication derives all of its randomness from its own seed via
 // sim.NewStream, so figure results are byte-identical for every worker
 // count (RunSingleCellSeeds/RunMultiCellSeeds shard replications over a
-// worker pool), and RunStreaming produces byte-identical decision
-// streams regardless of service timing because waves chunk only at
-// MaxBatch boundaries. The determinism suites in parallel_test.go,
-// dispatch_test.go and streaming_test.go pin these contracts.
+// worker pool), RunStreaming produces byte-identical decision streams
+// regardless of service timing because waves chunk only at MaxBatch
+// boundaries, and RunSharded produces byte-identical decision and
+// handoff streams for every shard count when the controller is
+// cell-local (cac.CellLocal). The determinism suites in
+// parallel_test.go, dispatch_test.go, streaming_test.go and
+// sharded_test.go pin these contracts.
 //
 // # Entry points
 //
@@ -22,7 +27,9 @@
 // AllAblations runs the sensitivity studies; RunSingleCell/RunMultiCell
 // execute one scenario; RunBatchAdmission sweeps a request batch
 // against a loaded network snapshot; RunStreaming drives the streaming
-// admission service with waves, held calls and controller ticks. The
+// admission service with waves, held calls and controller ticks;
+// RunSharded drives the sharded engine with the same closed loop plus
+// neighbour handoffs (RunShardedSweep repeats it per shard count). The
 // controller factories (FACSFactory, CompiledFACSFactory, SCCFactory,
 // SCCRecomputeFactory) build the multi-cell contestants.
 package experiments

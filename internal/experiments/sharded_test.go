@@ -1,0 +1,348 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"facs/internal/cac"
+	"facs/internal/cell"
+	"facs/internal/facs"
+	"facs/internal/gps"
+	"facs/internal/scc"
+	"facs/internal/shard"
+	"facs/internal/sim"
+)
+
+// observeAt mirrors the engine's handoff request construction.
+func observeAt(est gps.Estimate, bs *cell.BaseStation) gps.Observation {
+	return gps.Observe(est, bs.Pos())
+}
+
+// shardGuardFactory hands every shard the same stateless guard-channel
+// baseline (cell-local: outcomes must be shard-count-invariant).
+func shardGuardFactory(shard.View) (cac.Controller, error) {
+	return cac.NewGuardChannel(8)
+}
+
+// shardFACSFactory shares one immutable exact FACS across all shards.
+var sharedFACSSystem = facs.Must()
+
+func shardFACSFactory(shard.View) (cac.Controller, error) {
+	return sharedFACSSystem, nil
+}
+
+// shardLedgerFactory builds a fresh SCC demand ledger per shard — NOT
+// cell-local: determinism holds per fixed shard count only.
+func shardLedgerFactory(v shard.View) (cac.Controller, error) {
+	return scc.NewLedger(scc.Config{
+		Network:     v.Network(),
+		Reservation: scc.ReservationFull,
+	})
+}
+
+// replaySharded is the sequential oracle: the identical closed loop —
+// same seeded draws, same MaxBatch chunking, same two-phase handoff
+// protocol — executed inline against the single controller a 1-shard
+// engine would build, without any service or goroutine. Byte-identical
+// output proves the sharded engine computes exactly this.
+func replaySharded(t *testing.T, cfg ShardedConfig) ShardedResult {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	net, err := cell.NewNetwork(cell.NetworkConfig{
+		Rings:       cfg.Rings,
+		CellRadiusM: cfg.CellRadiusM,
+		CapacityBU:  cfg.CapacityBU,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	controller, err := cfg.NewController(shard.SingleView(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	observer, _ := controller.(cac.Observer)
+	ticker, _ := controller.(cac.Ticker)
+	sampleCfg := BatchAdmissionConfig{
+		Rings:       cfg.Rings,
+		CellRadiusM: cfg.CellRadiusM,
+		CapacityBU:  cfg.CapacityBU,
+		Mix:         cfg.Mix,
+		SpeedKmh:    cfg.SpeedKmh,
+	}
+	rng := sim.NewStream(cfg.Seed, "sharded")
+	result := ShardedResult{ControllerName: controller.Name(), Shards: 1}
+
+	// commit mirrors serve's finish: allocate and notify on success.
+	commit := func(req cac.Request) bool {
+		call := req.Call
+		call.AdmittedAt = req.Now
+		call.Handoff = req.Handoff
+		if err := req.Station.Admit(call); err != nil {
+			return false
+		}
+		if observer != nil {
+			observer.OnAdmit(req)
+		}
+		return true
+	}
+
+	var active []shardedCall
+	now := 0.0
+	for wave := 0; result.Requested < cfg.Requests; wave++ {
+		keep := active[:0]
+		for _, c := range active {
+			if c.releaseWave <= wave {
+				if _, err := c.station.Release(c.id); err != nil {
+					t.Fatal(err)
+				}
+				if observer != nil {
+					observer.OnRelease(c.id, c.station, now)
+				}
+				result.Released++
+			} else {
+				keep = append(keep, c)
+			}
+		}
+		active = keep
+		if wave > 0 && wave%cfg.TickEveryWaves == 0 && ticker != nil {
+			ticker.OnTick(now)
+		}
+
+		if wave > 0 && wave%cfg.HandoffEveryWaves == 0 {
+			keep = active[:0]
+			for i := range active {
+				c := active[i]
+				if rng.Float64() >= cfg.HandoffFraction {
+					keep = append(keep, c)
+					continue
+				}
+				neighbors := net.Neighbors(c.station.Hex())
+				if len(neighbors) == 0 {
+					keep = append(keep, c)
+					continue
+				}
+				target := neighbors[rng.Intn(len(neighbors))]
+				est := sampleHandoffEstimate(rng, target, cfg)
+				// Two-phase protocol, inline: source release, then
+				// target admission as its own single-request chunk.
+				call, err := c.station.Release(c.id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if observer != nil {
+					observer.OnRelease(c.id, c.station, now)
+				}
+				req := cac.Request{
+					Call:    cell.Call{ID: call.ID, Class: call.Class, BU: call.BU},
+					Station: target,
+					Obs:     observeAt(est, target),
+					Est:     est,
+					Handoff: true,
+					Now:     now,
+				}
+				decisions, err := cac.DecideAll(controller, []cac.Request{req})
+				if err != nil {
+					t.Fatal(err)
+				}
+				result.Handoffs++
+				result.HandoffDecisions = append(result.HandoffDecisions, decisions[0])
+				if !decisions[0].Accepted() || !commit(req) {
+					result.HandoffDropped++
+					continue
+				}
+				c.station = target
+				c.est = est
+				keep = append(keep, c)
+			}
+			active = keep
+		}
+
+		k := cfg.Wave
+		if remaining := cfg.Requests - result.Requested; k > remaining {
+			k = remaining
+		}
+		reqs := make([]cac.Request, k)
+		for i := 0; i < k; i++ {
+			req, err := sampleBatchRequest(rng, net, sampleCfg, result.Requested+i+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Now = now
+			reqs[i] = req
+		}
+		for lo := 0; lo < k; lo += cfg.MaxBatch {
+			hi := lo + cfg.MaxBatch
+			if hi > k {
+				hi = k
+			}
+			chunk := reqs[lo:hi]
+			decisions, err := cac.DecideAll(controller, chunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, d := range decisions {
+				result.Decisions = append(result.Decisions, d)
+				if !d.Accepted() {
+					continue
+				}
+				result.Accepted++
+				if !commit(chunk[i]) {
+					continue
+				}
+				result.Committed++
+				active = append(active, shardedCall{
+					releaseWave: wave + cfg.HoldWaves,
+					id:          chunk[i].Call.ID,
+					station:     chunk[i].Station,
+					est:         chunk[i].Est,
+				})
+			}
+		}
+		result.Requested += k
+		result.Waves++
+		now += cfg.WaveIntervalSec
+	}
+	return result
+}
+
+func assertShardedEqual(t *testing.T, got, want ShardedResult, label string) {
+	t.Helper()
+	if got.Requested != want.Requested || got.Accepted != want.Accepted ||
+		got.Committed != want.Committed || got.Released != want.Released ||
+		got.Waves != want.Waves || got.Handoffs != want.Handoffs ||
+		got.HandoffDropped != want.HandoffDropped {
+		t.Fatalf("%s: aggregate mismatch:\n got {req %d acc %d com %d rel %d waves %d ho %d drop %d}\nwant {req %d acc %d com %d rel %d waves %d ho %d drop %d}",
+			label,
+			got.Requested, got.Accepted, got.Committed, got.Released, got.Waves, got.Handoffs, got.HandoffDropped,
+			want.Requested, want.Accepted, want.Committed, want.Released, want.Waves, want.Handoffs, want.HandoffDropped)
+	}
+	if !reflect.DeepEqual(got.Decisions, want.Decisions) {
+		for i := range want.Decisions {
+			if i < len(got.Decisions) && got.Decisions[i] != want.Decisions[i] {
+				t.Fatalf("%s: decision %d is %v, want %v", label, i, got.Decisions[i], want.Decisions[i])
+			}
+		}
+		t.Fatalf("%s: decision streams differ in length: %d vs %d", label, len(got.Decisions), len(want.Decisions))
+	}
+	if !reflect.DeepEqual(got.HandoffDecisions, want.HandoffDecisions) {
+		t.Fatalf("%s: handoff streams differ:\n got %v\nwant %v", label, got.HandoffDecisions, want.HandoffDecisions)
+	}
+}
+
+// TestShardedDeterminism is the acceptance suite for the sharded
+// engine: a randomized multi-cell closed-loop workload — admissions,
+// holds, releases, barrier ticks and neighbour handoffs interleaved —
+// must produce byte-identical decision and handoff streams for shard
+// counts 1, 2, 4 and 8, equal to the inline sequential replay, for
+// cell-local controllers. It stays fast enough for the race-detector
+// job in short mode.
+func TestShardedDeterminism(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		factory func(shard.View) (cac.Controller, error)
+	}{
+		{"guard", shardGuardFactory},
+		{"facs", shardFACSFactory},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ShardedConfig{
+				NewController:     tc.factory,
+				Rings:             2, // 19 cells
+				Requests:          600,
+				Wave:              48,
+				MaxBatch:          16,
+				HoldWaves:         3,
+				HandoffEveryWaves: 2,
+				TickEveryWaves:    4,
+				Seed:              29,
+			}
+			oracle := replaySharded(t, cfg)
+			if oracle.Handoffs == 0 || oracle.Released == 0 || oracle.Accepted == 0 {
+				t.Fatalf("degenerate workload: %+v", oracle)
+			}
+
+			results, err := RunShardedSweep(cfg, []int{1, 2, 4, 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, res := range results {
+				label := tc.name + "/shards-" + string(rune('0'+res.Shards))
+				assertShardedEqual(t, res, oracle, label)
+				if !res.CellLocal {
+					t.Fatalf("%s: engine should report cell-local", label)
+				}
+				if res.Stats.Total.Decided != int64(res.Requested)+int64(res.Handoffs) {
+					t.Fatalf("%s: engine decided %d, want %d requests + %d handoffs",
+						label, res.Stats.Total.Decided, res.Requested, res.Handoffs)
+				}
+				if res.Shards > 1 && res.CrossShard == 0 {
+					t.Fatalf("%s: no cross-shard handoffs in a %d-shard run (%d handoffs)",
+						label, res.Shards, res.Handoffs)
+				}
+				if res.Shards == 1 && res.CrossShard != 0 {
+					t.Fatalf("%s: 1-shard run reports cross-shard handoffs", label)
+				}
+			}
+
+			// Timing knobs must not leak into outcomes.
+			slow := cfg
+			slow.Shards = 4
+			slow.MaxDelay = 2 * time.Millisecond
+			slowRes, err := RunSharded(slow)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertShardedEqual(t, slowRes, oracle, tc.name+"/slow-delay")
+		})
+	}
+}
+
+// TestShardedSCCFixedCountReproducible covers the non-cell-local
+// regime: per-shard SCC ledgers are deterministic run-to-run for a
+// fixed shard count (and race-free under -race), even though outcomes
+// legitimately differ between shard counts.
+func TestShardedSCCFixedCountReproducible(t *testing.T) {
+	cfg := ShardedConfig{
+		NewController:     shardLedgerFactory,
+		Rings:             2,
+		Requests:          400,
+		Wave:              40,
+		MaxBatch:          16,
+		HoldWaves:         3,
+		HandoffEveryWaves: 2,
+		TickEveryWaves:    4,
+		Shards:            4,
+		Seed:              31,
+	}
+	first, err := RunSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CellLocal {
+		t.Fatal("SCC shards must not report cell-local")
+	}
+	if first.Handoffs == 0 || first.Accepted == 0 {
+		t.Fatalf("degenerate workload: %+v", first)
+	}
+	again, err := RunSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertShardedEqual(t, again, first, "scc rerun")
+}
+
+func TestRunShardedValidates(t *testing.T) {
+	if _, err := RunSharded(ShardedConfig{Requests: 10}); err == nil {
+		t.Fatal("missing factory should fail")
+	}
+	if _, err := RunSharded(ShardedConfig{NewController: shardGuardFactory}); err == nil {
+		t.Fatal("missing request count should fail")
+	}
+	if _, err := RunSharded(ShardedConfig{NewController: shardGuardFactory, Requests: 10, HandoffFraction: 1.5}); err == nil {
+		t.Fatal("out-of-range handoff fraction should fail")
+	}
+	if _, err := RunShardedSweep(ShardedConfig{NewController: shardGuardFactory, Requests: 10}, nil); err == nil {
+		t.Fatal("empty sweep should fail")
+	}
+}

@@ -57,7 +57,14 @@ type CompiledController struct {
 var (
 	_ cac.Controller      = (*CompiledController)(nil)
 	_ cac.BatchController = (*CompiledController)(nil)
+	_ cac.CellLocal       = (*CompiledController)(nil)
 )
+
+// CellLocal implements cac.CellLocal: like the exact System, a decision
+// reads only the request and its station's occupancy against immutable
+// surfaces, and the controller is safe for concurrent use — one
+// instance may be shared across the shards of a sharded engine.
+func (c *CompiledController) CellLocal() {}
 
 // NewCompiled constructs the exact System for the given options, then
 // compiles both controllers into surfaces with gridSize uniform nodes

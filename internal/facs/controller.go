@@ -113,6 +113,7 @@ type System struct {
 var (
 	_ cac.Controller      = (*System)(nil)
 	_ cac.BatchController = (*System)(nil)
+	_ cac.CellLocal       = (*System)(nil)
 )
 
 // New constructs a FACS with the paper's defaults, applying any options.
@@ -163,6 +164,12 @@ func Must(opts ...Option) *System {
 
 // Name implements cac.Controller.
 func (s *System) Name() string { return "facs" }
+
+// CellLocal implements cac.CellLocal: a decision reads the request plus
+// the occupancy of the request's own station; the engines are immutable
+// and the System is safe for concurrent use, so one instance may be
+// shared across the shards of a sharded admission engine.
+func (s *System) CellLocal() {}
 
 // FLC1 returns the compiled prediction controller.
 func (s *System) FLC1() *fuzzy.Engine { return s.flc1 }

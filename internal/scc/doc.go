@@ -26,6 +26,20 @@
 // DESIGN.md records the ledger invariants and the guard-band argument;
 // ledger_test.go holds the golden-equivalence suite.
 //
+// # Sharding
+//
+// Neither implementation declares cac.CellLocal: an SCC decision reads
+// the demand projected by every tracked call, which is cross-cell
+// state by design. Under the sharded engine (internal/shard) the
+// shard-safe construction is one fresh Controller or Ledger per shard
+// — each instance is confined to its shard's decision loop, so runs
+// are race-free and reproducible for a fixed shard count — but each
+// shard's instance tracks only the calls admitted through its own
+// cells, so shadow pressure from calls homed on other shards is
+// invisible. That is a documented model change with the shard count as
+// a parameter, not a determinism bug; controllers needing
+// shard-count-invariant outcomes must be cell-local.
+//
 // # Entry points
 //
 // New builds the oracle, NewLedger the fast path, both from the same

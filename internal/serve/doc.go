@@ -36,8 +36,10 @@
 //
 // New starts a Service; Submit/SubmitAll stream requests; Tick,
 // Release and UpdateState forward controller lifecycle events; Do and
-// Flush are serialized barriers; Stats snapshots throughput, latency,
+// Flush are serialized barriers; Stats snapshots throughput, latency
+// (avg/max plus p50/p99 from a mergeable power-of-two histogram),
 // accept-rate and batching counters; Close drains and stops. The
-// cmd/facs-serve binary wraps a Service behind a newline-delimited
-// JSON listener on stdin or TCP.
+// internal/shard engine scales the Service horizontally (one per cell
+// shard), and the cmd/facs-serve binary wraps either behind a
+// newline-delimited JSON listener on stdin or TCP.
 package serve

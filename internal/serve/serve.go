@@ -3,6 +3,8 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,6 +78,12 @@ type Response struct {
 	Batch int
 }
 
+// LatencyBuckets is the number of power-of-two histogram buckets in
+// Stats.LatencyHist: bucket i counts latencies in [2^(i-1), 2^i)
+// nanoseconds (bucket 0 holds sub-nanosecond measurements), which spans
+// every representable time.Duration.
+const LatencyBuckets = 64
+
 // Stats is a point-in-time snapshot of the service counters.
 type Stats struct {
 	// Submitted counts requests accepted into the intake queue;
@@ -97,7 +105,72 @@ type Stats struct {
 	// AvgLatency / MaxLatency aggregate Response.Latency over every
 	// decided request.
 	AvgLatency, MaxLatency time.Duration
+	// LatencyHist is the per-request latency histogram over
+	// power-of-two buckets (see LatencyBuckets): the source for the
+	// LatencyQuantile / P50Latency / P99Latency percentiles. A wave's
+	// requests complete together, so its latency weighs once per
+	// request, exactly like AvgLatency. Histograms from several
+	// services add field-wise, which is how the sharded engine
+	// aggregates engine-level percentiles.
+	LatencyHist [LatencyBuckets]int64
 }
+
+// LatencyQuantile returns the latency at quantile q in [0, 1],
+// estimated from the power-of-two histogram by linear interpolation
+// inside the covering bucket (so the estimate is within 2x of the true
+// order statistic). It returns 0 when nothing has been decided.
+func (s Stats) LatencyQuantile(q float64) time.Duration {
+	var total int64
+	for _, n := range s.LatencyHist {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, n := range s.LatencyHist {
+		if n == 0 {
+			continue
+		}
+		seen += n
+		if seen < rank {
+			continue
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = int64(1) << (i - 1)
+		}
+		hi := lo * 2
+		if hi == 0 { // bucket 0: [0, 1) ns
+			hi = 1
+		}
+		// Interpolate by the rank's position among this bucket's counts,
+		// clamped to the exact maximum (sparse buckets can otherwise
+		// interpolate past it).
+		est := time.Duration(float64(lo) + float64(rank-(seen-n))/float64(n)*float64(hi-lo))
+		if s.MaxLatency > 0 && est > s.MaxLatency {
+			est = s.MaxLatency
+		}
+		return est
+	}
+	return s.MaxLatency
+}
+
+// P50Latency returns the median per-request latency.
+func (s Stats) P50Latency() time.Duration { return s.LatencyQuantile(0.50) }
+
+// P99Latency returns the 99th-percentile per-request latency.
+func (s Stats) P99Latency() time.Duration { return s.LatencyQuantile(0.99) }
 
 // AcceptRate returns Accepted/Decided in [0, 1] (0 when idle).
 func (s Stats) AcceptRate() float64 {
@@ -117,8 +190,9 @@ func (s Stats) AvgBatch() float64 {
 
 // String renders a one-line operator summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("decided %d (%.1f%% accept) in %d batches (avg %.1f, max %d), latency avg %s max %s, ops %d",
-		s.Decided, 100*s.AcceptRate(), s.Batches, s.AvgBatch(), s.MaxBatch, s.AvgLatency, s.MaxLatency, s.Ops)
+	return fmt.Sprintf("decided %d (%.1f%% accept) in %d batches (avg %.1f, max %d), latency avg %s p50 %s p99 %s max %s, ops %d",
+		s.Decided, 100*s.AcceptRate(), s.Batches, s.AvgBatch(), s.MaxBatch,
+		s.AvgLatency, s.P50Latency(), s.P99Latency(), s.MaxLatency, s.Ops)
 }
 
 // pending is one in-flight single request.
@@ -184,6 +258,7 @@ type Service struct {
 	maxBatch   atomic.Int64
 	latSumNs   atomic.Int64
 	latMaxNs   atomic.Int64
+	latHist    [LatencyBuckets]atomic.Int64
 }
 
 // New validates the configuration, applies defaults and starts the
@@ -360,7 +435,7 @@ func (s *Service) Close() error {
 // field is atomically read, and after Flush (or Close) the snapshot is
 // exact.
 func (s *Service) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Submitted:  s.submitted.Load(),
 		Decided:    s.decided.Load(),
 		Accepted:   s.accepted.Load(),
@@ -376,6 +451,10 @@ func (s *Service) Stats() Stats {
 		AvgLatency: time.Duration(safeDiv(s.latSumNs.Load(), s.decided.Load())),
 		MaxLatency: time.Duration(s.latMaxNs.Load()),
 	}
+	for i := range s.latHist {
+		st.LatencyHist[i] = s.latHist[i].Load()
+	}
+	return st
 }
 
 func safeDiv(sum, n int64) int64 {
@@ -577,5 +656,20 @@ func (s *Service) noteLatency(enq time.Time, n int) time.Duration {
 	if int64(lat) > s.latMaxNs.Load() {
 		s.latMaxNs.Store(int64(lat))
 	}
+	s.latHist[latencyBucket(lat)].Add(int64(n))
 	return lat
+}
+
+// latencyBucket maps a latency to its power-of-two histogram bucket:
+// the index of the highest set bit, i.e. bucket i covers [2^(i-1), 2^i)
+// nanoseconds.
+func latencyBucket(lat time.Duration) int {
+	if lat <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(lat))
+	if b >= LatencyBuckets {
+		b = LatencyBuckets - 1
+	}
+	return b
 }

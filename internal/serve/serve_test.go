@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -540,5 +541,81 @@ func TestConcurrentMixedTrafficUnderRace(t *testing.T) {
 	st := s.Stats()
 	if st.Decided != int64(len(reqs)) || st.Accepted+st.Rejected != st.Decided {
 		t.Fatalf("unbalanced stats after drain: %+v", st)
+	}
+}
+
+// TestLatencyQuantiles covers the power-of-two histogram: bucket
+// assignment, interpolation and the service-side accounting.
+func TestLatencyQuantiles(t *testing.T) {
+	for _, tc := range []struct {
+		lat  time.Duration
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11},
+		{time.Duration(1) << 62, 63},
+	} {
+		if got := latencyBucket(tc.lat); got != tc.want {
+			t.Errorf("latencyBucket(%d) = %d, want %d", tc.lat, got, tc.want)
+		}
+	}
+
+	// A synthetic histogram: 90 requests in [256, 512) ns, 10 in
+	// [64Ki, 128Ki) ns. The median must land in the low bucket, the
+	// p99 in the high one, and quantiles must be monotone.
+	var st Stats
+	st.LatencyHist[9] = 90
+	st.LatencyHist[17] = 10
+	st.MaxLatency = 100 * time.Microsecond
+	if p50 := st.P50Latency(); p50 < 256 || p50 >= 512 {
+		t.Fatalf("p50 = %v, want within [256ns, 512ns)", p50)
+	}
+	if p99 := st.P99Latency(); p99 < 1<<16 || p99 >= 1<<17 {
+		t.Fatalf("p99 = %v, want within [64Ki ns, 128Ki ns)", p99)
+	}
+	if st.P50Latency() > st.LatencyQuantile(0.9) || st.LatencyQuantile(0.9) > st.P99Latency() {
+		t.Fatalf("quantiles not monotone: p50 %v p90 %v p99 %v",
+			st.P50Latency(), st.LatencyQuantile(0.9), st.P99Latency())
+	}
+	if (Stats{}).P99Latency() != 0 {
+		t.Fatalf("empty histogram should quantile to 0")
+	}
+
+	// End to end: a drained service's histogram accounts every decided
+	// request, and its quantiles are bounded by the max.
+	net := testNetwork(t, 5)
+	ctrl, err := cac.NewGuardChannel(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Controller: ctrl, MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := genRequests(t, net, 31, 200)
+	if _, err := s.SubmitAll(reqs[:120]); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs[120:] {
+		if resp := s.Submit(r); resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Stats()
+	var total int64
+	for _, n := range got.LatencyHist {
+		total += n
+	}
+	if total != got.Decided {
+		t.Fatalf("histogram holds %d samples, want %d decided", total, got.Decided)
+	}
+	if got.P50Latency() > got.P99Latency() || got.P99Latency() > 2*got.MaxLatency {
+		t.Fatalf("implausible quantiles: p50 %v p99 %v max %v",
+			got.P50Latency(), got.P99Latency(), got.MaxLatency)
+	}
+	if !strings.Contains(got.String(), "p50") || !strings.Contains(got.String(), "p99") {
+		t.Fatalf("summary misses percentiles: %s", got)
 	}
 }

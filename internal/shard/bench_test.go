@@ -1,0 +1,62 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"facs/internal/cac"
+	"facs/internal/facs"
+	"facs/internal/serve"
+)
+
+// BenchmarkShardedServe measures decision throughput of the sharded
+// engine against the single-loop serve.Service it generalises, on a
+// multi-cell workload (37 cells, exact FACS — the Mamdani inference is
+// the realistic per-decision cost that parallelism amortises). The
+// acceptance bar from the sharding issue: >= 1.5x over the single loop
+// at >= 4 shards on multi-core hardware; on a single core the engine
+// must merely not regress (CI runs this as a 1x smoke). Commit stays
+// off so iteration count cannot saturate station state and skew the
+// accept path.
+func BenchmarkShardedServe(b *testing.B) {
+	const wave, maxBatch = 512, 128
+	net := testNetwork(b, 3) // 37 cells
+	sys := facs.Must()
+	reqs := genRequests(b, net, 42, 8192)
+
+	runWaves := func(b *testing.B, submit func([]cac.Request) ([]serve.Response, error)) {
+		b.Helper()
+		b.ResetTimer()
+		for done := 0; done < b.N; done += wave {
+			off := done % (len(reqs) - wave)
+			if _, err := submit(reqs[off : off+wave]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("single-loop", func(b *testing.B) {
+		svc, err := serve.New(serve.Config{Controller: sys, MaxBatch: maxBatch})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close()
+		runWaves(b, svc.SubmitAll)
+	})
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			e, err := New(Config{
+				Network:       net,
+				Shards:        shards,
+				MaxBatch:      maxBatch,
+				NewController: func(View) (cac.Controller, error) { return sys, nil },
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			runWaves(b, e.SubmitWave)
+		})
+	}
+}

@@ -1,0 +1,52 @@
+// Package shard is the horizontally sharded admission engine: the
+// scale-out layer between the admission controllers and the network
+// front end.
+//
+// A single serve.Service serializes every decision through one
+// goroutine — correct, but a ceiling on multi-cell throughput. The
+// engine removes the ceiling along the seam the CAC literature
+// identifies: admission state is naturally cell-local, with explicit
+// cross-cell transfer only at handoff. Cells are partitioned across N
+// shards by a deterministic router (station i of the network's (Q, R)
+// order belongs to shard i mod N), each shard runs its own controller
+// behind its own serve.Service decision loop, and every station's
+// traffic — decisions, releases, state updates — is serialized by
+// exactly one shard.
+//
+// # Determinism
+//
+// Three mechanisms make outcomes reproducible for every shard count:
+//
+//   - Ownership: one shard owns each station, so a station's requests
+//     are decided in submission order no matter how many shards exist.
+//   - Global chunking: SubmitWave splits waves at MaxBatch boundaries
+//     in global request order BEFORE routing and barriers between
+//     chunks, so every request is decided against the same chunk-start
+//     station state regardless of how the chunk scattered across
+//     shards.
+//   - Serialized handoffs: a single protocol worker processes the
+//     handoff queue in FIFO order, releasing on the source shard (a
+//     barrier op) before admitting on the target shard.
+//
+// For controllers declaring cac.CellLocal — FACS exact and compiled,
+// complete sharing, guard channel, multi-priority threshold — this
+// makes every per-request outcome byte-identical to the 1-shard
+// engine and to an inline sequential replay (the pinned oracle in
+// internal/experiments). Controllers with cross-cell state, i.e. the
+// SCC family, stay race-free (each shard's instance is confined to its
+// loop) and reproducible for a fixed shard count, but the partition
+// changes their model: each shard's ledger sees only the demand of
+// calls admitted through its own cells, so shadow-cluster pressure
+// from calls homed on other shards is invisible. Engine.CellLocal
+// reports which regime a configuration is in.
+//
+// # Entry points
+//
+// New starts the engine; SubmitWave / Submit / SubmitAsync decide
+// traffic; Tick is a cross-shard barrier; Release / UpdateState route
+// to the owner shard; HandoffCall / HandoffAsync run the two-phase
+// cross-shard handoff; Stats aggregates per-shard serve.Stats
+// (including merged latency percentiles) with handoff counters.
+// experiments.RunSharded drives the closed loop; cmd/facs-serve wires
+// the engine behind -shards.
+package shard

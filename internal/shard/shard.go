@@ -1,0 +1,632 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"facs/internal/cac"
+	"facs/internal/cell"
+	"facs/internal/geo"
+	"facs/internal/gps"
+	"facs/internal/serve"
+)
+
+// View is the slice of the network one shard owns: the stations whose
+// admission, release and state-update traffic this shard's decision
+// loop serializes. It is handed to Config.NewController so factories
+// can build per-shard controller instances (or return one shared,
+// concurrency-safe instance).
+type View struct {
+	index    int
+	network  *cell.Network
+	stations []*cell.BaseStation
+}
+
+// Index returns the shard number in [0, Engine.Shards()).
+func (v View) Index() int { return v.index }
+
+// Network returns the full deployment (shared by all shards); shard
+// controllers may read its immutable geometry but must treat stations
+// outside Stations() as foreign.
+func (v View) Network() *cell.Network { return v.network }
+
+// Stations returns the stations owned by this shard, in the network's
+// deterministic (Q, R) order.
+func (v View) Stations() []*cell.BaseStation { return v.stations }
+
+// NumCells returns the number of owned stations.
+func (v View) NumCells() int { return len(v.stations) }
+
+// SingleView returns the view a 1-shard engine hands its controller
+// factory: the whole network. Sequential replay oracles and front ends
+// use it to build exactly the controller a 1-shard engine would.
+func SingleView(net *cell.Network) View {
+	return View{index: 0, network: net, stations: net.Stations()}
+}
+
+// Config parameterises an Engine.
+type Config struct {
+	// Network is the deployment whose cells are partitioned. Required.
+	Network *cell.Network
+
+	// Shards is the number of decision loops. Zero selects
+	// min(GOMAXPROCS, cells); any value is capped at the cell count
+	// (an empty shard could never receive traffic).
+	Shards int
+
+	// NewController builds the admission controller for one shard.
+	// Stateful controllers (e.g. the SCC ledger) must return a fresh
+	// instance per call — each instance is confined to its shard's
+	// decision loop; concurrency-safe cell-local controllers (FACS
+	// exact or compiled, the classical baselines) may return one shared
+	// instance. Required.
+	NewController func(v View) (cac.Controller, error)
+
+	// MaxBatch is the engine's chunk size: SubmitWave splits a wave at
+	// MaxBatch boundaries in global request order BEFORE routing, with
+	// a cross-shard barrier between chunks, so chunk boundaries — and
+	// therefore outcomes — are identical for every shard count
+	// (default serve.DefaultMaxBatch). Per-shard services inherit it as
+	// their micro-batch cap.
+	MaxBatch int
+
+	// MaxDelay bounds how long a per-shard batcher waits for singles to
+	// coalesce (default serve.DefaultMaxDelay); it cannot change wave
+	// outcomes, only single-submit latency.
+	MaxDelay time.Duration
+
+	// Queue is the per-shard intake capacity (default serve's 4 x
+	// MaxBatch).
+	Queue int
+
+	// Commit makes each shard the owner of its stations' allocation
+	// state, exactly like serve.Config.Commit. Handoffs require it.
+	Commit bool
+}
+
+// Handoff describes one call transfer between cells: release the call
+// at From, then ask the admission controller owning To whether the
+// target cell accepts it (with handoff priority). From and To may live
+// on the same shard or different ones; the engine serializes either
+// case identically.
+type Handoff struct {
+	// CallID identifies the carried call at From.
+	CallID int
+	// From is the station currently carrying the call.
+	From *cell.BaseStation
+	// To is the station the call is moving into.
+	To *cell.BaseStation
+	// Est is the user's latest kinematic estimate, consumed by the
+	// target-side admission decision.
+	Est gps.Estimate
+	// Now is the simulation time of the handoff.
+	Now float64
+}
+
+// HandoffResult is the outcome of one handoff.
+type HandoffResult struct {
+	// Response is the target shard's admission outcome. The call
+	// survives the handoff only when Response.Committed is set; an
+	// accepted-but-uncommitted or rejected handoff is a drop (the
+	// source side has already released — the mobile left that cell's
+	// coverage regardless).
+	Response serve.Response
+	// CrossShard reports that source and target live on different
+	// shards.
+	CrossShard bool
+	// Err carries a protocol failure: unknown call at the source,
+	// unroutable station, or a closed engine. The target decision never
+	// ran when Err is non-nil and the release did not happen unless
+	// Err wraps the target shard's submission failure.
+	Err error
+}
+
+// Dropped reports that the call did not survive the handoff.
+func (r HandoffResult) Dropped() bool { return r.Err != nil || !r.Response.Committed }
+
+// handoffItem is one queued handoff awaiting the protocol worker.
+type handoffItem struct {
+	h     Handoff
+	reply chan HandoffResult
+}
+
+// Stats aggregates engine counters with the per-shard service
+// snapshots.
+type Stats struct {
+	// Shards is the number of decision loops.
+	Shards int
+	// CellLocal reports that every shard controller declared
+	// cac.CellLocal, i.e. outcomes are provably shard-count-invariant.
+	CellLocal bool
+	// Total is the field-wise aggregation of PerShard: counters sum,
+	// MaxBatch/MaxLatency take the maximum, AvgLatency is weighted by
+	// decided requests and the latency histogram (and so the
+	// percentiles) merges.
+	Total serve.Stats
+	// PerShard holds one service snapshot per shard.
+	PerShard []serve.Stats
+	// Waves counts engine-level SubmitWave calls.
+	Waves int64
+	// Handoffs counts completed release-and-readmit protocols;
+	// CrossShard the subset spanning two shards; Drops the handoffs
+	// whose target did not commit; Errs the protocol failures (unknown
+	// call, unroutable station).
+	Handoffs, CrossShard, Drops, Errs int64
+}
+
+// String renders a one-line operator summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d shards: %s; handoffs %d (%d cross-shard, %d dropped, %d errors)",
+		s.Shards, s.Total, s.Handoffs, s.CrossShard, s.Drops, s.Errs)
+}
+
+// Engine is the horizontally sharded admission engine: the network's
+// cells are partitioned across N shards, each running its own
+// controller behind its own serve.Service decision loop, with a
+// deterministic router mapping every station to its owner shard.
+//
+// Determinism contract: a station's traffic is serialized by exactly
+// one shard in submission order, and SubmitWave chunks waves at
+// MaxBatch boundaries in global request order before routing, with a
+// barrier between chunks. For controllers declaring cac.CellLocal
+// (whose decisions read only the request's own station), every
+// per-request outcome — decision, committed flag, commit error — is
+// therefore byte-identical for every shard count, including the
+// 1-shard engine and an inline sequential replay. Controllers that
+// track cross-cell state (the SCC family) remain race-free and
+// reproducible for a fixed shard count, but partition their demand
+// visibility per shard; see the package documentation.
+//
+// Handoffs travel a dedicated FIFO queue processed by one protocol
+// worker: release on the source shard (a serialized barrier op), then
+// admit on the target shard, so source-release-before-target-admit
+// ordering holds for every shard count and interleaving.
+type Engine struct {
+	cfg       Config
+	views     []View
+	services  []*serve.Service
+	owner     map[geo.Hex]int
+	cellLocal bool
+
+	mu     sync.RWMutex // guards closed against in-flight handoff sends
+	closed bool
+
+	handoffs    chan handoffItem
+	handoffDone chan struct{}
+
+	waves        atomic.Int64
+	handoffCount atomic.Int64
+	crossShard   atomic.Int64
+	drops        atomic.Int64
+	handoffErrs  atomic.Int64
+}
+
+// New validates the configuration, partitions the network, starts one
+// decision loop per shard plus the handoff worker, and returns the live
+// engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("shard: config needs a network")
+	}
+	if cfg.NewController == nil {
+		return nil, fmt.Errorf("shard: config needs a controller factory")
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("shard: Shards must be >= 0, got %d", cfg.Shards)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if n := cfg.Network.NumCells(); cfg.Shards > n {
+		cfg.Shards = n
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = serve.DefaultMaxBatch
+	}
+	if cfg.MaxBatch < 1 {
+		return nil, fmt.Errorf("shard: MaxBatch must be >= 1, got %d", cfg.MaxBatch)
+	}
+
+	e := &Engine{
+		cfg:         cfg,
+		views:       make([]View, cfg.Shards),
+		services:    make([]*serve.Service, 0, cfg.Shards),
+		owner:       make(map[geo.Hex]int, cfg.Network.NumCells()),
+		handoffs:    make(chan handoffItem, cfg.Shards),
+		handoffDone: make(chan struct{}),
+		cellLocal:   true,
+	}
+	// Deterministic round-robin partition over the network's (Q, R)
+	// station order: station i belongs to shard i mod N. Round-robin
+	// interleaves neighbouring cells across shards, balancing spatially
+	// concentrated load.
+	for i := range e.views {
+		e.views[i] = View{index: i, network: cfg.Network}
+	}
+	for i, bs := range cfg.Network.Stations() {
+		s := i % cfg.Shards
+		e.owner[bs.Hex()] = s
+		e.views[s].stations = append(e.views[s].stations, bs)
+	}
+	for i := range e.views {
+		ctrl, err := cfg.NewController(e.views[i])
+		if err != nil {
+			e.closeServices()
+			return nil, fmt.Errorf("shard: building controller for shard %d: %w", i, err)
+		}
+		if _, ok := ctrl.(cac.CellLocal); !ok {
+			e.cellLocal = false
+		}
+		svc, err := serve.New(serve.Config{
+			Controller: ctrl,
+			MaxBatch:   cfg.MaxBatch,
+			MaxDelay:   cfg.MaxDelay,
+			Queue:      cfg.Queue,
+			Commit:     cfg.Commit,
+		})
+		if err != nil {
+			e.closeServices()
+			return nil, fmt.Errorf("shard: starting shard %d: %w", i, err)
+		}
+		e.services = append(e.services, svc)
+	}
+	go e.handoffLoop()
+	return e, nil
+}
+
+// closeServices tears down the services started so far (construction
+// failure path).
+func (e *Engine) closeServices() {
+	for _, svc := range e.services {
+		_ = svc.Close()
+	}
+}
+
+// Shards returns the number of decision loops (after capping at the
+// cell count).
+func (e *Engine) Shards() int { return len(e.services) }
+
+// CellLocal reports that every shard controller declared
+// cac.CellLocal, making outcomes shard-count-invariant.
+func (e *Engine) CellLocal() bool { return e.cellLocal }
+
+// ShardOf returns the shard owning cell h, or false for a hex outside
+// the deployment.
+func (e *Engine) ShardOf(h geo.Hex) (int, bool) {
+	s, ok := e.owner[h]
+	return s, ok
+}
+
+// View returns shard s's slice of the network.
+func (e *Engine) View(s int) View { return e.views[s] }
+
+// route resolves the owner shard of a request's station.
+func (e *Engine) route(req cac.Request) (int, error) {
+	if req.Station == nil {
+		return 0, fmt.Errorf("shard: request for call %d has no station", req.Call.ID)
+	}
+	s, ok := e.owner[req.Station.Hex()]
+	if !ok {
+		return 0, fmt.Errorf("shard: station %v is outside the engine's network", req.Station.Hex())
+	}
+	return s, nil
+}
+
+// Submit routes one request to its station's shard and blocks until
+// the decision. Safe for any number of concurrent callers.
+func (e *Engine) Submit(req cac.Request) serve.Response {
+	return <-e.SubmitAsync(req)
+}
+
+// SubmitAsync routes one request to its station's shard and returns a
+// buffered channel carrying exactly one response. An unroutable
+// request is answered immediately with a rejection carrying the error.
+func (e *Engine) SubmitAsync(req cac.Request) <-chan serve.Response {
+	s, err := e.route(req)
+	if err != nil {
+		ch := make(chan serve.Response, 1)
+		ch <- serve.Response{Decision: cac.Reject, Err: err}
+		return ch
+	}
+	return e.services[s].SubmitAsync(req)
+}
+
+// SubmitWave decides a caller-defined batch, returning responses in
+// request order. The wave is split at MaxBatch boundaries in global
+// request order first; each chunk's requests are then routed to their
+// owner shards and decided concurrently, with a barrier before the
+// next chunk. Chunk boundaries — and, for cell-local controllers, all
+// outcomes — are therefore independent of the shard count: the 1-shard
+// engine realises exactly serve.SubmitAll's deterministic wave
+// semantics.
+func (e *Engine) SubmitWave(reqs []cac.Request) ([]serve.Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	out := make([]serve.Response, len(reqs))
+	type route struct {
+		idx  []int
+		reqs []cac.Request
+	}
+	routes := make([]route, len(e.services))
+	errs := make([]error, len(e.services))
+	for lo := 0; lo < len(reqs); lo += e.cfg.MaxBatch {
+		hi := min(lo+e.cfg.MaxBatch, len(reqs))
+		for s := range routes {
+			routes[s].idx = routes[s].idx[:0]
+			routes[s].reqs = routes[s].reqs[:0]
+			errs[s] = nil
+		}
+		for i := lo; i < hi; i++ {
+			s, err := e.route(reqs[i])
+			if err != nil {
+				return nil, err
+			}
+			routes[s].idx = append(routes[s].idx, i)
+			routes[s].reqs = append(routes[s].reqs, reqs[i])
+		}
+		var wg sync.WaitGroup
+		for s := range routes {
+			if len(routes[s].reqs) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				resps, err := e.services[s].SubmitAll(routes[s].reqs)
+				if err != nil {
+					errs[s] = err
+					return
+				}
+				for j := range resps {
+					out[routes[s].idx[j]] = resps[j]
+				}
+			}(s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	e.waves.Add(1)
+	return out, nil
+}
+
+// Tick fans one cac.Ticker.OnTick delivery out to every shard and
+// blocks until all have applied it — a cross-shard barrier: every
+// request enqueued before Tick is decided before it fires, and no
+// request submitted after Tick returns can overtake it on any shard.
+func (e *Engine) Tick(now float64) error {
+	for _, svc := range e.services {
+		if err := svc.Tick(now); err != nil {
+			return err
+		}
+	}
+	return e.Flush()
+}
+
+// Flush blocks until everything enqueued on every shard has been
+// processed.
+func (e *Engine) Flush() error {
+	errs := make([]error, len(e.services))
+	var wg sync.WaitGroup
+	for i, svc := range e.services {
+		wg.Add(1)
+		go func(i int, svc *serve.Service) {
+			defer wg.Done()
+			errs[i] = svc.Flush()
+		}(i, svc)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Do runs fn inside shard s's decision loop, serialized after
+// everything already enqueued there, and blocks until it returns. A
+// globally consistent multi-shard view additionally requires the
+// caller to quiesce submissions (as the closed-loop drivers do between
+// waves).
+func (e *Engine) Do(s int, fn func(ctrl cac.Controller)) error {
+	return e.services[s].Do(fn)
+}
+
+// Release retires a carried call on its station's shard, ordered after
+// everything already enqueued there (see serve.Service.Release).
+func (e *Engine) Release(callID int, station *cell.BaseStation, now float64) error {
+	s, ok := e.owner[station.Hex()]
+	if !ok {
+		return fmt.Errorf("shard: station %v is outside the engine's network", station.Hex())
+	}
+	return e.services[s].Release(callID, station, now)
+}
+
+// UpdateState delivers a fresh kinematic estimate for a carried call to
+// its station's shard (see serve.Service.UpdateState).
+func (e *Engine) UpdateState(callID int, est gps.Estimate, station *cell.BaseStation) error {
+	s, ok := e.owner[station.Hex()]
+	if !ok {
+		return fmt.Errorf("shard: station %v is outside the engine's network", station.Hex())
+	}
+	return e.services[s].UpdateState(callID, est, station)
+}
+
+// HandoffAsync enqueues one handoff on the engine's FIFO protocol
+// queue and returns a buffered channel carrying exactly one result.
+// The single protocol worker processes handoffs strictly in queue
+// order, each to completion: source release (barrier on the source
+// shard), then target admission — so two handoffs never interleave and
+// source-release-before-target-admit holds regardless of shard count.
+func (e *Engine) HandoffAsync(h Handoff) <-chan HandoffResult {
+	reply := make(chan HandoffResult, 1)
+	if !e.cfg.Commit {
+		e.handoffErrs.Add(1)
+		reply <- HandoffResult{Err: fmt.Errorf("shard: handoffs require Commit mode (the engine must own station state)")}
+		return reply
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		e.handoffErrs.Add(1)
+		reply <- HandoffResult{Err: serve.ErrClosed}
+		return reply
+	}
+	e.handoffs <- handoffItem{h: h, reply: reply}
+	return reply
+}
+
+// HandoffCall runs one handoff to completion and returns its result.
+func (e *Engine) HandoffCall(h Handoff) HandoffResult {
+	return <-e.HandoffAsync(h)
+}
+
+// handoffLoop is the protocol worker: one handoff at a time, in FIFO
+// order.
+func (e *Engine) handoffLoop() {
+	defer close(e.handoffDone)
+	for it := range e.handoffs {
+		it.reply <- e.processHandoff(it.h)
+	}
+}
+
+// processHandoff executes the two-phase protocol for one handoff.
+func (e *Engine) processHandoff(h Handoff) HandoffResult {
+	var res HandoffResult
+	if h.From == nil || h.To == nil {
+		e.handoffErrs.Add(1)
+		res.Err = fmt.Errorf("shard: handoff of call %d needs both stations", h.CallID)
+		return res
+	}
+	src, okSrc := e.owner[h.From.Hex()]
+	dst, okDst := e.owner[h.To.Hex()]
+	if !okSrc || !okDst {
+		e.handoffErrs.Add(1)
+		res.Err = fmt.Errorf("shard: handoff of call %d touches a station outside the engine's network", h.CallID)
+		return res
+	}
+	res.CrossShard = src != dst
+
+	// Phase 1: release at the source, serialized inside the source
+	// shard's loop after everything already enqueued there.
+	var call cell.Call
+	var relErr error
+	if err := e.services[src].Do(func(ctrl cac.Controller) {
+		call, relErr = h.From.Release(h.CallID)
+		if relErr != nil {
+			return
+		}
+		if obs, ok := ctrl.(cac.Observer); ok {
+			obs.OnRelease(h.CallID, h.From, h.Now)
+		}
+	}); err != nil {
+		e.handoffErrs.Add(1)
+		res.Err = err
+		return res
+	}
+	if relErr != nil {
+		e.handoffErrs.Add(1)
+		res.Err = relErr
+		return res
+	}
+
+	// Phase 2: admission at the target, with handoff priority. The
+	// single-request wave is its own chunk, so the decision sees every
+	// previously committed call.
+	req := cac.Request{
+		Call:    cell.Call{ID: call.ID, Class: call.Class, BU: call.BU},
+		Station: h.To,
+		Obs:     gps.Observe(h.Est, h.To.Pos()),
+		Est:     h.Est,
+		Handoff: true,
+		Now:     h.Now,
+	}
+	resps, err := e.services[dst].SubmitAll([]cac.Request{req})
+	if err != nil {
+		e.handoffErrs.Add(1)
+		res.Err = err
+		return res
+	}
+	res.Response = resps[0]
+	e.handoffCount.Add(1)
+	if res.CrossShard {
+		e.crossShard.Add(1)
+	}
+	if !res.Response.Committed {
+		e.drops.Add(1)
+	}
+	return res
+}
+
+// Stats snapshots every shard's service counters and aggregates them
+// into engine totals. After Flush (or Close) the snapshot is exact.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Shards:     len(e.services),
+		CellLocal:  e.cellLocal,
+		PerShard:   make([]serve.Stats, len(e.services)),
+		Waves:      e.waves.Load(),
+		Handoffs:   e.handoffCount.Load(),
+		CrossShard: e.crossShard.Load(),
+		Drops:      e.drops.Load(),
+		Errs:       e.handoffErrs.Load(),
+	}
+	var latSum int64
+	for i, svc := range e.services {
+		s := svc.Stats()
+		st.PerShard[i] = s
+		st.Total.Submitted += s.Submitted
+		st.Total.Decided += s.Decided
+		st.Total.Accepted += s.Accepted
+		st.Total.Rejected += s.Rejected
+		st.Total.Committed += s.Committed
+		st.Total.Batches += s.Batches
+		st.Total.Waves += s.Waves
+		st.Total.Ops += s.Ops
+		st.Total.Ticks += s.Ticks
+		st.Total.CommitErrs += s.CommitErrs
+		st.Total.OpErrs += s.OpErrs
+		if s.MaxBatch > st.Total.MaxBatch {
+			st.Total.MaxBatch = s.MaxBatch
+		}
+		if s.MaxLatency > st.Total.MaxLatency {
+			st.Total.MaxLatency = s.MaxLatency
+		}
+		latSum += int64(s.AvgLatency) * s.Decided
+		for b := range s.LatencyHist {
+			st.Total.LatencyHist[b] += s.LatencyHist[b]
+		}
+	}
+	if st.Total.Decided > 0 {
+		st.Total.AvgLatency = time.Duration(latSum / st.Total.Decided)
+	}
+	return st
+}
+
+// Close stops handoff intake, waits for the protocol worker, then
+// drains and stops every shard. Idempotent; submissions racing with
+// Close either complete normally or report serve.ErrClosed.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.handoffs)
+	}
+	e.mu.Unlock()
+	<-e.handoffDone
+	var firstErr error
+	for _, svc := range e.services {
+		if err := svc.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,50 @@
+package facs
+
+import (
+	icac "facs/internal/cac"
+	ishard "facs/internal/shard"
+)
+
+// ShardedEngine is the horizontally sharded admission engine: the
+// network's cells are partitioned across N shards by a deterministic
+// router, each shard runs its own controller behind its own decision
+// loop, waves chunk in global request order with cross-shard barriers,
+// and handoffs travel a serialized two-phase protocol (release on the
+// source shard, admit on the target shard). For cell-local controllers
+// every outcome is byte-identical for every shard count; see
+// internal/shard for the full contract.
+type ShardedEngine = ishard.Engine
+
+// ShardedEngineConfig parameterises a ShardedEngine.
+type ShardedEngineConfig = ishard.Config
+
+// ShardView is the slice of the network one shard owns, handed to the
+// per-shard controller factory.
+type ShardView = ishard.View
+
+// ShardedStats aggregates per-shard service snapshots (summed
+// counters, merged latency percentiles) with the engine's handoff
+// counters.
+type ShardedStats = ishard.Stats
+
+// ShardHandoff describes one call transfer between cells;
+// ShardHandoffResult is its outcome (the call survives only when the
+// target committed).
+type (
+	ShardHandoff       = ishard.Handoff
+	ShardHandoffResult = ishard.HandoffResult
+)
+
+// NewShardedEngine partitions the network and starts one decision loop
+// per shard plus the handoff protocol worker.
+func NewShardedEngine(cfg ShardedEngineConfig) (*ShardedEngine, error) { return ishard.New(cfg) }
+
+// SingleShardView returns the view a 1-shard engine hands its
+// controller factory: the whole network.
+var SingleShardView = ishard.SingleView
+
+// CellLocalController marks controllers whose decisions depend only on
+// the request and its own station's state, making sharded outcomes
+// shard-count-invariant. FACS (exact and compiled) and the classical
+// baselines implement it; the SCC family deliberately does not.
+type CellLocalController = icac.CellLocal
