@@ -56,7 +56,14 @@
 // so a well-behaved client treats it as backpressure and drains
 // responses before retrying. On stream end (or Ctrl-D) the engine
 // drains and a stats summary (including latency p50/p99) is printed to
-// stderr.
+// stderr; for -controller scc it appends the aggregated demand-ledger
+// counters (guard-band fallbacks, rebuilds, ghost-exchange activity).
+//
+// With -controller scc and -shards > 1 the per-shard demand ledgers
+// exchange ghost demand at every tick barrier, restoring the Shadow
+// Cluster baseline's global demand visibility across shards (see
+// internal/scc's package documentation); {"op":"tick"} lines therefore
+// also drive the exchange cadence.
 package main
 
 import (
@@ -75,6 +82,7 @@ import (
 	icell "facs/internal/cell"
 	igeo "facs/internal/geo"
 	igps "facs/internal/gps"
+	iscc "facs/internal/scc"
 	iserve "facs/internal/serve"
 	ishard "facs/internal/shard"
 	itraffic "facs/internal/traffic"
@@ -200,11 +208,45 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err := serveStream(eng, netw, stdin, stdout, o.maxInflight); err != nil {
 		return err
 	}
+	// Controller-side counters (the SCC ledger's guard-band fallbacks
+	// and ghost-exchange activity) are only reachable through the Do
+	// barrier, so snapshot them before Close tears the loops down.
+	ledger, hasLedger := ledgerStats(eng)
 	if err := eng.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintln(stderr, "facs-serve:", eng.Stats())
+	printEngineStats(stderr, eng, ledger, hasLedger)
 	return nil
+}
+
+// ledgerStats aggregates the per-shard SCC ledger snapshots through the
+// engine's Do barrier; ok is false when the controllers are not demand
+// ledgers (or the engine is already closed).
+func ledgerStats(eng *ishard.Engine) (iscc.LedgerStats, bool) {
+	var total iscc.LedgerStats
+	found := false
+	for s := 0; s < eng.Shards(); s++ {
+		if err := eng.Do(s, func(ctrl icac.Controller) {
+			if l, ok := ctrl.(*iscc.Ledger); ok {
+				total = total.Add(l.Snapshot())
+				found = true
+			}
+		}); err != nil {
+			return iscc.LedgerStats{}, false
+		}
+	}
+	return total, found
+}
+
+// printEngineStats writes the end-of-stream summary: the engine's
+// counter line, extended with the ledger's observability counters for
+// SCC runs so served runs can verify the guard band actually fires.
+func printEngineStats(stderr io.Writer, eng *ishard.Engine, ledger iscc.LedgerStats, hasLedger bool) {
+	if hasLedger {
+		fmt.Fprintf(stderr, "facs-serve: %s; %s\n", eng.Stats(), ledger)
+		return
+	}
+	fmt.Fprintln(stderr, "facs-serve:", eng.Stats())
 }
 
 // controllerFactory builds the per-network controller constructor,
@@ -302,6 +344,9 @@ func runLoadgen(o serveOptions, factory func(*facs.Network) (facs.Controller, er
 	fmt.Fprintf(stdout, "latency       avg %s p50 %s p99 %s max %s\n",
 		res.Stats.AvgLatency, res.Stats.P50Latency(), res.Stats.P99Latency(), res.Stats.MaxLatency)
 	fmt.Fprintf(stdout, "service       %s\n", res.Stats)
+	if res.Ledger != nil {
+		fmt.Fprintf(stdout, "controller    %s\n", res.Ledger)
+	}
 	return nil
 }
 
@@ -339,6 +384,9 @@ func runShardedLoadgen(o serveOptions, factory func(*facs.Network) (facs.Control
 	fmt.Fprintf(stdout, "latency       avg %s p50 %s p99 %s max %s\n",
 		total.AvgLatency, total.P50Latency(), total.P99Latency(), total.MaxLatency)
 	fmt.Fprintf(stdout, "engine        %s\n", res.Stats)
+	if len(res.Ledgers) > 0 {
+		fmt.Fprintf(stdout, "controller    %s across %d shard ledgers\n", res.LedgerTotal(), len(res.Ledgers))
+	}
 	return nil
 }
 
@@ -375,7 +423,8 @@ func serveTCP(addr string, eng *ishard.Engine, netw *facs.Network, maxInflight i
 			if err := serveStream(eng, netw, conn, conn, maxInflight); err != nil {
 				fmt.Fprintln(stderr, "facs-serve: connection:", err)
 			}
-			fmt.Fprintln(stderr, "facs-serve:", eng.Stats())
+			ledger, hasLedger := ledgerStats(eng)
+			printEngineStats(stderr, eng, ledger, hasLedger)
 		}()
 	}
 }

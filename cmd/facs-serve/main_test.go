@@ -146,6 +146,43 @@ func TestShardedLoadgenSummary(t *testing.T) {
 	}
 }
 
+// TestSCCServeReportsLedgerStats pins the observability satellite: an
+// SCC stream run's end-of-stream line carries the ledger counter
+// summary (guard-band fallbacks, ghost exchange activity) that is
+// otherwise unreachable behind the engine's decision loops, and a
+// sharded SCC loadgen run reports the aggregated per-shard ledgers.
+func TestSCCServeReportsLedgerStats(t *testing.T) {
+	in := strings.Join([]string{
+		`{"id":1,"class":"voice","station":0,"speed":10,"angle":0,"distance":1}`,
+		`{"id":2,"class":"video","station":1,"speed":20,"angle":0,"distance":1}`,
+		`{"op":"tick","now":5}`,
+		`{"id":3,"class":"text","station":2,"speed":30,"angle":0,"distance":1}`,
+	}, "\n") + "\n"
+	var out, errw bytes.Buffer
+	if err := run([]string{"-controller", "scc", "-shards", "2", "-rings", "2"},
+		strings.NewReader(in), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scc-ledger:", "guard-band fallbacks", "ghost applies"} {
+		if !strings.Contains(errw.String(), want) {
+			t.Fatalf("end-of-stream line missing %q: %q", want, errw.String())
+		}
+	}
+
+	out.Reset()
+	errw.Reset()
+	if err := run([]string{"-loadgen", "200", "-wave", "25", "-shards", "4", "-rings", "2", "-controller", "scc"},
+		strings.NewReader(""), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"scc-ledger:", "across 4 shard ledgers", "exports"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("sharded scc loadgen summary missing %q:\n%s", want, text)
+		}
+	}
+}
+
 // TestShardedStdinStream runs the NDJSON path on a multi-shard engine.
 func TestShardedStdinStream(t *testing.T) {
 	in := strings.Join([]string{

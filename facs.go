@@ -208,6 +208,13 @@ type SCCLedger = iscc.Ledger
 // recompute SCC remains the reference oracle.
 func NewSCCLedger(cfg SCCConfig) (*SCCLedger, error) { return iscc.NewLedger(cfg) }
 
+// SCCLedgerStats is a point-in-time snapshot of an SCCLedger's internal
+// counters — guard-band fallbacks, rebuilds and ghost-exchange activity
+// — taken via SCCLedger.Snapshot from the decision loop that owns the
+// ledger (e.g. a ShardedEngine.Do barrier). Snapshots aggregate with
+// Add; RunSharded and RunStreaming capture them automatically.
+type SCCLedgerStats = iscc.LedgerStats
+
 // CompleteSharing is the simplest baseline: admit whenever the call fits.
 type CompleteSharing = icac.CompleteSharing
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"facs/internal/cell"
+	"facs/internal/geo"
 	"facs/internal/gps"
 )
 
@@ -85,12 +86,64 @@ type Controller interface {
 // outcomes of a CellLocal controller are byte-identical for every shard
 // count. Controllers tracking cross-cell state (e.g. SCC's shadow
 // clusters, which project demand into neighbouring cells) must not
-// declare cell-locality: sharding them partitions demand visibility,
-// which is deterministic per shard count but not shard-count-invariant.
+// declare cell-locality: sharding partitions their demand visibility.
+// Such controllers should implement DemandExchanger instead, which lets
+// the sharded engine restore global visibility at tick barriers.
 type CellLocal interface {
 	Controller
 	// CellLocal is a marker; implementations assert the contract above.
 	CellLocal()
+}
+
+// DemandRow is one (cell, projection-interval) slice of projected
+// bandwidth demand, in BU. A positive Amount adds demand, a negative
+// one retracts demand a previous row added (e.g. after a release).
+type DemandRow struct {
+	// Cell identifies the deployment cell the demand is projected into.
+	Cell geo.Hex
+	// K is the projection interval the demand applies to (0 = now).
+	K int
+	// Amount is the demand change in bandwidth units since the exporter's
+	// previous export.
+	Amount float64
+}
+
+// DemandDelta is one controller's projected-demand change since its
+// previous export: the set of (cell, interval) rows whose aggregate
+// moved, plus a strictly increasing generation counter so receivers can
+// discard replays and out-of-order deliveries.
+type DemandDelta struct {
+	// Gen is the exporter's generation: incremented on every export.
+	Gen uint64
+	// Rows holds the changed (cell, interval) aggregates in a
+	// deterministic (cell, interval) order.
+	Rows []DemandRow
+}
+
+// DemandExchanger is implemented by controllers that track cross-cell
+// projected demand (the SCC family) and can exchange it with sibling
+// instances — the seam that lets a sharded engine restore global demand
+// visibility at tick barriers. ExportDemand returns the instance's own
+// demand change since its previous export; ApplyGhost ingests another
+// instance's delta into a separate ghost aggregate that decisions read
+// alongside local demand. Both methods follow the Controller threading
+// contract: the caller serializes them with decisions (the sharded
+// engine runs the whole exchange inside the Tick barrier, on each
+// instance's own decision loop).
+//
+// A DemandExchanger is the complement of CellLocal: cell-local
+// controllers have no cross-cell state to exchange, exchangers restore
+// the global view that sharding would otherwise partition. No
+// controller should declare both.
+type DemandExchanger interface {
+	Controller
+	// ExportDemand snapshots the demand change since the previous export
+	// and advances the generation counter.
+	ExportDemand() DemandDelta
+	// ApplyGhost ingests a sibling instance's delta. shardID identifies
+	// the source; deltas with a generation not beyond the last applied
+	// one from that source are ignored.
+	ApplyGhost(shardID int, delta DemandDelta)
 }
 
 // Observer is implemented by controllers that maintain per-call state

@@ -28,4 +28,12 @@
 // classical baselines (CompleteSharing, GuardChannel, ThresholdPolicy)
 // live in baselines.go. The streaming front end over this framework is
 // internal/serve.
+//
+// Two marker interfaces describe how a controller behaves under the
+// sharded engine (internal/shard): CellLocal promises decisions that
+// read only the request's own station, making sharded outcomes
+// shard-count-invariant; DemandExchanger is its complement for
+// controllers with cross-cell projected demand (the SCC family), whose
+// instances exchange demand deltas at tick barriers to restore the
+// global view sharding would otherwise partition.
 package cac

@@ -9,6 +9,7 @@ import (
 	"facs/internal/cell"
 	"facs/internal/geo"
 	"facs/internal/gps"
+	"facs/internal/scc"
 	"facs/internal/shard"
 	"facs/internal/sim"
 	"facs/internal/traffic"
@@ -72,6 +73,11 @@ type ShardedConfig struct {
 	SpeedKmh Span
 	// Seed drives all randomness.
 	Seed int64
+	// DisableExchange turns off the engine's tick-barrier ghost-demand
+	// exchange for demand-exchanging controllers (see
+	// shard.Config.DisableExchange) — the pre-exchange partitioned-
+	// visibility model, used by the divergence measurements.
+	DisableExchange bool
 }
 
 func (c ShardedConfig) withDefaults() ShardedConfig {
@@ -173,6 +179,22 @@ type ShardedResult struct {
 	HandoffDecisions []cac.Decision
 	// Stats is the engine-side counter snapshot after drain.
 	Stats shard.Stats
+	// Ledgers holds one scc.LedgerStats per shard when the controllers
+	// are SCC demand ledgers (snapshotted through the engine's Do
+	// barrier before shutdown, in shard order); nil otherwise. It is the
+	// served-run observability surface for the guard-band fallback,
+	// rebuild and ghost-exchange counters.
+	Ledgers []scc.LedgerStats
+}
+
+// LedgerTotal aggregates the per-shard ledger snapshots; the zero value
+// when the run's controllers were not SCC ledgers.
+func (r ShardedResult) LedgerTotal() scc.LedgerStats {
+	var total scc.LedgerStats
+	for _, st := range r.Ledgers {
+		total = total.Add(st)
+	}
+	return total
 }
 
 // AcceptedPct returns 100 * accepted / requested.
@@ -224,12 +246,13 @@ func RunSharded(cfg ShardedConfig) (ShardedResult, error) {
 		return ShardedResult{}, err
 	}
 	engine, err := shard.New(shard.Config{
-		Network:       net,
-		Shards:        cfg.Shards,
-		NewController: cfg.NewController,
-		MaxBatch:      cfg.MaxBatch,
-		MaxDelay:      cfg.MaxDelay,
-		Commit:        true,
+		Network:         net,
+		Shards:          cfg.Shards,
+		NewController:   cfg.NewController,
+		MaxBatch:        cfg.MaxBatch,
+		MaxDelay:        cfg.MaxDelay,
+		Commit:          true,
+		DisableExchange: cfg.DisableExchange,
 	})
 	if err != nil {
 		return ShardedResult{}, err
@@ -355,6 +378,18 @@ func RunSharded(cfg ShardedConfig) (ShardedResult, error) {
 		result.Requested += k
 		result.Waves++
 		now += cfg.WaveIntervalSec
+	}
+	// Snapshot per-shard ledger counters through the Do barrier while
+	// the decision loops are still live (Close would make them
+	// unreachable).
+	for s := 0; s < engine.Shards(); s++ {
+		if err := engine.Do(s, func(ctrl cac.Controller) {
+			if l, ok := ctrl.(*scc.Ledger); ok {
+				result.Ledgers = append(result.Ledgers, l.Snapshot())
+			}
+		}); err != nil {
+			return ShardedResult{}, err
+		}
 	}
 	if err := engine.Close(); err != nil {
 		return ShardedResult{}, err

@@ -6,6 +6,7 @@ import (
 
 	"facs/internal/cac"
 	"facs/internal/cell"
+	"facs/internal/scc"
 	"facs/internal/serve"
 	"facs/internal/sim"
 	"facs/internal/traffic"
@@ -132,6 +133,10 @@ type StreamingResult struct {
 	Decisions []cac.Decision
 	// Stats is the service-side counter snapshot after drain.
 	Stats serve.Stats
+	// Ledger holds the controller's counter snapshot when it is an SCC
+	// demand ledger (taken through the service's Do barrier before
+	// shutdown); nil otherwise.
+	Ledger *scc.LedgerStats
 }
 
 // AcceptedPct returns 100 * accepted / requested.
@@ -262,6 +267,16 @@ func RunStreaming(cfg StreamingConfig) (StreamingResult, error) {
 		result.Requested += k
 		result.Waves++
 		now += cfg.WaveIntervalSec
+	}
+	// Snapshot ledger counters through the Do barrier while the loop is
+	// still live (Close would make the controller unreachable).
+	if err := svc.Do(func(ctrl cac.Controller) {
+		if l, ok := ctrl.(*scc.Ledger); ok {
+			st := l.Snapshot()
+			result.Ledger = &st
+		}
+	}); err != nil {
+		return StreamingResult{}, err
 	}
 	if err := svc.Close(); err != nil {
 		return StreamingResult{}, err

@@ -31,19 +31,40 @@
 // Neither implementation declares cac.CellLocal: an SCC decision reads
 // the demand projected by every tracked call, which is cross-cell
 // state by design. Under the sharded engine (internal/shard) the
-// shard-safe construction is one fresh Controller or Ledger per shard
-// — each instance is confined to its shard's decision loop, so runs
-// are race-free and reproducible for a fixed shard count — but each
-// shard's instance tracks only the calls admitted through its own
-// cells, so shadow pressure from calls homed on other shards is
-// invisible. That is a documented model change with the shard count as
-// a parameter, not a determinism bug; controllers needing
-// shard-count-invariant outcomes must be cell-local.
+// shard-safe construction is one fresh Ledger per shard, each confined
+// to its shard's decision loop, and the Ledger additionally implements
+// cac.DemandExchanger: at every engine tick barrier each shard exports
+// the change of its own demand matrix since the previous barrier
+// (ExportDemand) and ingests every sibling's delta into a separate
+// ghost matrix (ApplyGhost) that Decide sums into its aggregate. Global
+// demand visibility — the survivability test the Shadow Cluster papers
+// define over ALL active mobiles — is therefore restored at tick
+// granularity: after a barrier, every shard's (local + ghost) surface
+// equals the union of all shards' tracked demand.
+//
+// What remains is intra-epoch divergence, and it is bounded: between
+// two barriers a shard cannot see admissions performed on OTHER shards
+// within the same epoch, so only decisions in waves not immediately
+// preceded by a barrier can differ from a sequential single-ledger run
+// — and with tick-aligned waves (every wave followed by a barrier
+// tick, waves no larger than one chunk) sharded decisions are
+// byte-identical to the sequential replay for every shard count
+// (pinned at 1/2/4/8 in internal/experiments/ghost_test.go, which also
+// quantifies the free-running divergence). Guard-band fallbacks
+// re-derive LOCAL rows only; ghost rows are taken as-is, whose
+// residual is receiver-side accumulation rounding (exactly zero in
+// ReservationFull mode, where every aggregate is a whole-BU sum —
+// see ExportDemand and DESIGN.md).
+//
+// The recompute Controller does not exchange; it remains the
+// single-instance oracle.
 //
 // # Entry points
 //
 // New builds the oracle, NewLedger the fast path, both from the same
 // Config (Network, ReservationMode, thresholds, horizon). Both
 // implement cac.Controller, cac.BatchController, cac.Observer,
-// cac.Ticker and cac.StateUpdater.
+// cac.Ticker and cac.StateUpdater; the Ledger additionally implements
+// cac.DemandExchanger and exposes its counters via Snapshot
+// (LedgerStats) for Do-op observability behind serving loops.
 package scc

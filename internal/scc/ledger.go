@@ -1,6 +1,8 @@
 package scc
 
 import (
+	"fmt"
+
 	"facs/internal/cac"
 	"facs/internal/cell"
 	"facs/internal/geo"
@@ -58,23 +60,48 @@ type ledgerTrack struct {
 // periodically re-aggregates the matrix from the cached footprints,
 // resetting accumulated drift to zero.
 //
+// A Ledger additionally implements cac.DemandExchanger: under the
+// sharded engine, sibling ledgers exchange demand deltas at tick
+// barriers (ExportDemand / ApplyGhost), each storing remote demand in a
+// separate ghost matrix that Decide sums into its aggregate — restoring
+// the global demand visibility the shard partition would otherwise
+// remove. See the package documentation's Sharding section.
+//
 // A Ledger implements cac.Controller, cac.BatchController, cac.Observer,
-// cac.StateUpdater and cac.Ticker. It is not safe for concurrent use;
-// the simulation kernel is single-threaded.
+// cac.StateUpdater, cac.Ticker and cac.DemandExchanger. It is not safe
+// for concurrent use; the simulation kernel (or the owning shard's
+// decision loop) is single-threaded.
 type Ledger struct {
 	cfg      Config
 	stations []*cell.BaseStation
 	idx      map[geo.Hex]int
 	limits   []float64 // Threshold x capacity, per dense cell index
 	// demand is the dense matrix: demand[c*(Horizon+1)+k] is the
-	// aggregated projected demand of cell c at interval k.
+	// aggregated projected demand of cell c at interval k, over the calls
+	// THIS instance tracks.
 	demand []float64
+	// ghost mirrors demand for remote instances: ghost[c*(Horizon+1)+k]
+	// accumulates the deltas sibling shards exported via ApplyGhost.
+	// Decide reads demand+ghost; rebuilds and the guard-band fallback
+	// re-derive local rows only — ghost rows are taken as-is (the remote
+	// exporter rebuilt them before exporting, see ExportDemand).
+	ghost  []float64
 	active map[int]*ledgerTrack
 	ids    []int // ascending, mirrors active keys
 	ops    int   // incremental applications since the last rebuild
 
-	fallbacks int64
-	rebuilds  int64
+	// exported snapshots demand at the last ExportDemand (allocated on
+	// first export); exportGen counts exports, ghostGens the last applied
+	// generation per source shard.
+	exported  []float64
+	exportGen uint64
+	ghostGens map[int]uint64
+
+	fallbacks    int64
+	rebuilds     int64
+	exports      int64
+	ghostApplies int64
+	ghostRows    int64
 
 	// Scratch buffers (single-threaded by contract); reqShadow is held
 	// across exactDemand calls, so it must stay distinct from
@@ -90,7 +117,14 @@ var (
 	_ cac.Observer        = (*Ledger)(nil)
 	_ cac.StateUpdater    = (*Ledger)(nil)
 	_ cac.Ticker          = (*Ledger)(nil)
+	_ cac.DemandExchanger = (*Ledger)(nil)
 )
+
+// DemandDelta is the demand-exchange payload (see cac.DemandDelta).
+type DemandDelta = cac.DemandDelta
+
+// DemandRow is one (cell, interval) demand change (see cac.DemandRow).
+type DemandRow = cac.DemandRow
 
 // NewLedger constructs an incrementally maintained shadow-cluster
 // controller.
@@ -101,13 +135,15 @@ func NewLedger(cfg Config) (*Ledger, error) {
 	}
 	stations := cfg.Network.Stations()
 	l := &Ledger{
-		cfg:      cfg,
-		stations: stations,
-		idx:      make(map[geo.Hex]int, len(stations)),
-		limits:   make([]float64, len(stations)),
-		demand:   make([]float64, len(stations)*(cfg.Horizon+1)),
-		active:   make(map[int]*ledgerTrack),
-		weights:  make([]float64, len(stations)),
+		cfg:       cfg,
+		stations:  stations,
+		idx:       make(map[geo.Hex]int, len(stations)),
+		limits:    make([]float64, len(stations)),
+		demand:    make([]float64, len(stations)*(cfg.Horizon+1)),
+		ghost:     make([]float64, len(stations)*(cfg.Horizon+1)),
+		active:    make(map[int]*ledgerTrack),
+		ghostGens: make(map[int]uint64),
+		weights:   make([]float64, len(stations)),
 	}
 	for i, bs := range stations {
 		l.idx[bs.Hex()] = i
@@ -126,9 +162,70 @@ func (l *Ledger) Config() Config { return l.cfg }
 func (l *Ledger) ActiveCalls() int { return len(l.active) }
 
 // Stats reports how many near-threshold decisions fell back to the exact
-// from-scratch summation and how many full matrix rebuilds have run.
+// from-scratch summation and how many full matrix rebuilds have run;
+// see Snapshot for the full counter set.
 func (l *Ledger) Stats() (exactFallbacks, rebuilds int64) {
 	return l.fallbacks, l.rebuilds
+}
+
+// LedgerStats is a point-in-time snapshot of one ledger's internal
+// counters — the observability surface for ledgers running behind a
+// serve.Service or shard.Engine decision loop, where the instance
+// itself is only reachable through a serialized Do op.
+type LedgerStats struct {
+	// ActiveCalls is the number of calls currently projecting shadows.
+	ActiveCalls int
+	// ExactFallbacks counts near-threshold decisions answered by the
+	// exact oracle summation instead of the incrementally maintained
+	// matrix — the guard band actually firing.
+	ExactFallbacks int64
+	// Rebuilds counts full matrix re-aggregations (tick rolls and ops
+	// budget exhaustion).
+	Rebuilds int64
+	// Exports counts ExportDemand calls; Generation is the current
+	// export generation (equal to Exports on a live ledger).
+	Exports    int64
+	Generation uint64
+	// GhostApplies counts accepted ApplyGhost deliveries; GhostRows the
+	// (cell, interval) rows they carried.
+	GhostApplies, GhostRows int64
+}
+
+// Add returns the field-wise aggregation of two snapshots (counters and
+// active calls sum; Generation takes the maximum), used to combine the
+// per-shard ledgers of a sharded engine into one summary.
+func (s LedgerStats) Add(o LedgerStats) LedgerStats {
+	s.ActiveCalls += o.ActiveCalls
+	s.ExactFallbacks += o.ExactFallbacks
+	s.Rebuilds += o.Rebuilds
+	s.Exports += o.Exports
+	s.GhostApplies += o.GhostApplies
+	s.GhostRows += o.GhostRows
+	if o.Generation > s.Generation {
+		s.Generation = o.Generation
+	}
+	return s
+}
+
+// String renders a one-line operator summary.
+func (s LedgerStats) String() string {
+	return fmt.Sprintf("scc-ledger: %d active, %d guard-band fallbacks, %d rebuilds, %d exports, %d ghost applies (%d rows)",
+		s.ActiveCalls, s.ExactFallbacks, s.Rebuilds, s.Exports, s.GhostApplies, s.GhostRows)
+}
+
+// Snapshot returns the current counter set. Call it from the decision
+// loop that owns the ledger (e.g. via serve.Service.Do or
+// shard.Engine.Do); the ledger itself is not concurrency-safe.
+func (l *Ledger) Snapshot() LedgerStats {
+	return LedgerStats{
+		ActiveCalls:    len(l.active),
+		ExactFallbacks: l.fallbacks,
+		Rebuilds:       l.rebuilds,
+		Exports:        l.exports,
+		Generation:     l.exportGen,
+		GhostApplies:   l.ghostApplies,
+		GhostRows:      l.ghostRows,
+	}
 }
 
 // footprint computes the shadow-cluster footprint of one track: its
@@ -204,11 +301,85 @@ func (l *Ledger) OnTick(now float64) {
 	l.Rebuild()
 }
 
+// ExportDemand implements cac.DemandExchanger: it returns the change of
+// this ledger's OWN demand matrix (local tracks only — never the ghost
+// matrix, which would echo other shards' demand back at them) since the
+// previous export, as (cell, interval) rows in deterministic cell-major
+// order, and advances the generation counter.
+//
+// The sharded engine calls it inside the Tick barrier, after OnTick has
+// re-aggregated the matrix from the cached footprints, so exported
+// aggregates carry no incremental floating-point drift. Receivers
+// accumulate the deltas; because consecutive exports telescope
+// (each row is the exact difference of two matrix states), a receiver's
+// accumulated ghost tracks this ledger's matrix up to the rounding of
+// its own additions — orders of magnitude below boundaryGuardBU, and
+// exactly zero in ReservationFull mode where every aggregate is a sum
+// of whole bandwidth units.
+func (l *Ledger) ExportDemand() DemandDelta {
+	if l.exported == nil {
+		l.exported = make([]float64, len(l.demand))
+	}
+	h := l.cfg.Horizon + 1
+	var rows []DemandRow
+	for ci, bs := range l.stations {
+		base := ci * h
+		for k := 0; k < h; k++ {
+			cur := l.demand[base+k]
+			if cur == l.exported[base+k] {
+				continue
+			}
+			rows = append(rows, DemandRow{Cell: bs.Hex(), K: k, Amount: cur - l.exported[base+k]})
+			l.exported[base+k] = cur
+		}
+	}
+	l.exportGen++
+	l.exports++
+	return DemandDelta{Gen: l.exportGen, Rows: rows}
+}
+
+// ApplyGhost implements cac.DemandExchanger: it accumulates a sibling
+// shard's demand delta into the ghost matrix that Decide sums into its
+// aggregate. Deltas whose generation does not advance past the last one
+// applied from the same source are ignored (replay / out-of-order
+// protection); rows naming cells outside this ledger's network or
+// intervals beyond the horizon are skipped.
+func (l *Ledger) ApplyGhost(shardID int, delta DemandDelta) {
+	if last, ok := l.ghostGens[shardID]; ok && delta.Gen <= last {
+		return
+	}
+	l.ghostGens[shardID] = delta.Gen
+	h := l.cfg.Horizon + 1
+	for _, r := range delta.Rows {
+		ci, ok := l.idx[r.Cell]
+		if !ok || r.K < 0 || r.K >= h {
+			continue
+		}
+		l.ghost[ci*h+r.K] += r.Amount
+		l.ghostRows++
+	}
+	l.ghostApplies++
+}
+
+// GhostDemand returns the accumulated remote projected demand in BU for
+// cell j at interval k — the ghost matrix ApplyGhost maintains. It is 0
+// for any cell/interval outside the matrix and on ledgers that never
+// received a ghost delta.
+func (l *Ledger) GhostDemand(j geo.Hex, k int) float64 {
+	ci, ok := l.idx[j]
+	if !ok || k < 0 || k > l.cfg.Horizon {
+		return 0
+	}
+	return l.ghost[ci*(l.cfg.Horizon+1)+k]
+}
+
 // ProjectedDemand returns the aggregated projected demand in BU for cell
-// j at interval k, read from the incrementally maintained matrix for
-// k <= Horizon and recomputed from scratch beyond it. It mirrors the
-// recompute Controller's ExpectedDemand up to floating-point drift
-// (bitwise equal right after a rebuild).
+// j at interval k — local tracks plus accumulated ghost demand — read
+// from the incrementally maintained matrices for k <= Horizon and
+// recomputed from scratch beyond it (ghost deltas never extend past the
+// horizon, so the recompute path stays local-only). On a ledger without
+// ghost input it mirrors the recompute Controller's ExpectedDemand up
+// to floating-point drift (bitwise equal right after a rebuild).
 func (l *Ledger) ProjectedDemand(j geo.Hex, k int) float64 {
 	if k < 0 {
 		k = 0
@@ -220,7 +391,8 @@ func (l *Ledger) ProjectedDemand(j geo.Hex, k int) float64 {
 	if k > l.cfg.Horizon {
 		return l.exactDemand(j, k)
 	}
-	return l.demand[ci*(l.cfg.Horizon+1)+k]
+	mi := ci*(l.cfg.Horizon+1) + k
+	return l.demand[mi] + l.ghost[mi]
 }
 
 // exactDemand is the oracle summation: aggregated demand for cell j at
@@ -273,12 +445,17 @@ func (l *Ledger) Decide(req cac.Request) (cac.Decision, error) {
 		for _, cp := range l.reqShadow {
 			ci := l.idx[cp.Hex]
 			own := reserve(&l.cfg, float64(req.Call.BU), cp.Prob, surv)
-			projected := l.demand[ci*h+k] + own
+			mi := ci*h + k
+			projected := l.demand[mi] + l.ghost[mi] + own
 			limit := l.limits[ci]
 			if d := projected - limit; d <= boundaryGuardBU && d >= -boundaryGuardBU {
 				// Too close to the threshold for matrix drift to be
-				// provably irrelevant: answer from the oracle summation.
-				projected = l.exactDemand(cp.Hex, k) + own
+				// provably irrelevant: re-derive the LOCAL rows from the
+				// oracle summation. Ghost rows are taken as-is — remote
+				// aggregates were rebuilt by their exporter before the
+				// exchange, so the only residual is the receiver-side
+				// accumulation rounding documented on ExportDemand.
+				projected = l.exactDemand(cp.Hex, k) + l.ghost[mi] + own
 				l.fallbacks++
 			}
 			if projected > limit {

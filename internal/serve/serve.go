@@ -147,17 +147,28 @@ func (s Stats) LatencyQuantile(q float64) time.Duration {
 			continue
 		}
 		lo := int64(0)
+		hi := int64(1) // bucket 0: [0, 1) ns
 		if i > 0 {
 			lo = int64(1) << (i - 1)
-		}
-		hi := lo * 2
-		if hi == 0 { // bucket 0: [0, 1) ns
-			hi = 1
+			if i == LatencyBuckets-1 {
+				// The top bucket's upper edge 2^63 overflows int64;
+				// interpolate towards the widest representable latency
+				// instead of wrapping negative (which put the estimate
+				// below the bucket floor).
+				hi = math.MaxInt64
+			} else {
+				hi = lo * 2
+			}
 		}
 		// Interpolate by the rank's position among this bucket's counts,
 		// clamped to the exact maximum (sparse buckets can otherwise
-		// interpolate past it).
-		est := time.Duration(float64(lo) + float64(rank-(seen-n))/float64(n)*float64(hi-lo))
+		// interpolate past it). The float comparison guards the int64
+		// conversion: in the top bucket the interpolant can round up to
+		// 2^63, one past MaxInt64.
+		est := time.Duration(hi)
+		if f := float64(lo) + float64(rank-(seen-n))/float64(n)*float64(hi-lo); f < float64(hi) {
+			est = time.Duration(f)
+		}
 		if s.MaxLatency > 0 && est > s.MaxLatency {
 			est = s.MaxLatency
 		}

@@ -6,6 +6,7 @@ import (
 
 	"facs/internal/cac"
 	"facs/internal/facs"
+	"facs/internal/scc"
 	"facs/internal/serve"
 )
 
@@ -59,4 +60,76 @@ func BenchmarkShardedServe(b *testing.B) {
 			runWaves(b, e.SubmitWave)
 		})
 	}
+}
+
+// BenchmarkShardedSCC measures the ghost-exchanging sharded SCC engine
+// against one sequential demand ledger on the same committed workload:
+// waves of admissions with a barrier tick (and so an exchange round)
+// after each wave — the tick-aligned cadence whose outcomes the golden
+// suite pins byte-identical to the sequential ledger. It tracks both
+// the scaling of the SCC decision path and the overhead of the
+// exchange itself.
+func BenchmarkShardedSCC(b *testing.B) {
+	const wave, maxBatch = 256, 256
+	net := testNetwork(b, 3) // 37 cells
+	reqs := genRequests(b, net, 43, 8192)
+	ledgerFactory := func(v View) (cac.Controller, error) {
+		return scc.NewLedger(scc.Config{Network: net, Reservation: scc.ReservationFull})
+	}
+
+	b.Run("single-ledger", func(b *testing.B) {
+		svc, err := serve.New(serve.Config{Controller: mustLedger(b, ledgerFactory), MaxBatch: maxBatch, Commit: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close()
+		b.ResetTimer()
+		for done := 0; done < b.N; done += wave {
+			off := done % (len(reqs) - wave)
+			if _, err := svc.SubmitAll(reqs[off : off+wave]); err != nil {
+				b.Fatal(err)
+			}
+			if err := svc.Tick(float64(done)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			e, err := New(Config{
+				Network:       net,
+				Shards:        shards,
+				MaxBatch:      maxBatch,
+				Commit:        true,
+				NewController: ledgerFactory,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			if !e.Exchanging() {
+				b.Fatal("sharded SCC bench must run the ghost exchange")
+			}
+			b.ResetTimer()
+			for done := 0; done < b.N; done += wave {
+				off := done % (len(reqs) - wave)
+				if _, err := e.SubmitWave(reqs[off : off+wave]); err != nil {
+					b.Fatal(err)
+				}
+				if err := e.Tick(float64(done)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func mustLedger(b *testing.B, factory func(View) (cac.Controller, error)) cac.Controller {
+	b.Helper()
+	ctrl, err := factory(View{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ctrl
 }

@@ -32,21 +32,37 @@
 // complete sharing, guard channel, multi-priority threshold — this
 // makes every per-request outcome byte-identical to the 1-shard
 // engine and to an inline sequential replay (the pinned oracle in
-// internal/experiments). Controllers with cross-cell state, i.e. the
-// SCC family, stay race-free (each shard's instance is confined to its
-// loop) and reproducible for a fixed shard count, but the partition
-// changes their model: each shard's ledger sees only the demand of
-// calls admitted through its own cells, so shadow-cluster pressure
-// from calls homed on other shards is invisible. Engine.CellLocal
-// reports which regime a configuration is in.
+// internal/experiments). Engine.CellLocal reports whether a
+// configuration is in that regime.
+//
+// # Ghost-demand exchange
+//
+// Controllers with cross-cell state — the SCC demand ledger — are not
+// cell-local: partitioning them would confine each instance to the
+// demand of calls homed on its own cells. When every shard controller
+// is a distinct cac.DemandExchanger instance, the engine therefore
+// runs a ghost-demand exchange inside the Tick barrier: once every
+// shard has applied the tick, each shard's demand delta is collected
+// (a serialized op on its own loop) and the union fanned back out to
+// every other shard, all before Tick returns. Exchange cadence equals
+// tick cadence — deterministic and race-free by construction. Global
+// demand visibility is thus restored at tick granularity; what remains
+// is bounded intra-epoch divergence (admissions on another shard since
+// the last barrier), which vanishes entirely for tick-aligned waves:
+// the ghost suites pin sharded SCC decisions byte-identical at shard
+// counts 1/2/4/8 to a sequential single-ledger replay
+// (internal/experiments/ghost_test.go) and quantify the free-running
+// gap. Config.DisableExchange restores the old partitioned-visibility
+// model; Engine.Exchanging reports the active regime, and Stats counts
+// exchange rounds and fanned-out demand rows.
 //
 // # Entry points
 //
 // New starts the engine; SubmitWave / Submit / SubmitAsync decide
-// traffic; Tick is a cross-shard barrier; Release / UpdateState route
-// to the owner shard; HandoffCall / HandoffAsync run the two-phase
-// cross-shard handoff; Stats aggregates per-shard serve.Stats
-// (including merged latency percentiles) with handoff counters.
-// experiments.RunSharded drives the closed loop; cmd/facs-serve wires
-// the engine behind -shards.
+// traffic; Tick is a cross-shard barrier (hosting the ghost exchange);
+// Release / UpdateState route to the owner shard; HandoffCall /
+// HandoffAsync run the two-phase cross-shard handoff; Stats aggregates
+// per-shard serve.Stats (including merged latency percentiles) with
+// handoff and exchange counters. experiments.RunSharded drives the
+// closed loop; cmd/facs-serve wires the engine behind -shards.
 package shard

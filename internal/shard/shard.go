@@ -85,6 +85,15 @@ type Config struct {
 	// Commit makes each shard the owner of its stations' allocation
 	// state, exactly like serve.Config.Commit. Handoffs require it.
 	Commit bool
+
+	// DisableExchange turns off the tick-barrier ghost-demand exchange
+	// that otherwise runs automatically when every shard controller is a
+	// distinct cac.DemandExchanger instance (the SCC ledger). With the
+	// exchange off, each shard's instance sees only demand projected by
+	// calls homed on its own cells — the pre-exchange partitioned-
+	// visibility model, kept as an escape hatch and for divergence
+	// measurements.
+	DisableExchange bool
 }
 
 // Handoff describes one call transfer between cells: release the call
@@ -155,12 +164,22 @@ type Stats struct {
 	// whose target did not commit; Errs the protocol failures (unknown
 	// call, unroutable station).
 	Handoffs, CrossShard, Drops, Errs int64
+	// Exchanges counts tick-barrier ghost-demand exchange rounds;
+	// GhostRows the (cell, interval) demand rows fanned out to sibling
+	// shards across them (each exported row is applied on every other
+	// shard). Both stay zero for cell-local controllers and when
+	// Config.DisableExchange is set.
+	Exchanges, GhostRows int64
 }
 
 // String renders a one-line operator summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d shards: %s; handoffs %d (%d cross-shard, %d dropped, %d errors)",
+	out := fmt.Sprintf("%d shards: %s; handoffs %d (%d cross-shard, %d dropped, %d errors)",
 		s.Shards, s.Total, s.Handoffs, s.CrossShard, s.Drops, s.Errs)
+	if s.Exchanges > 0 {
+		out += fmt.Sprintf("; ghost exchanges %d (%d rows)", s.Exchanges, s.GhostRows)
+	}
+	return out
 }
 
 // Engine is the horizontally sharded admission engine: the network's
@@ -176,9 +195,12 @@ func (s Stats) String() string {
 // per-request outcome — decision, committed flag, commit error — is
 // therefore byte-identical for every shard count, including the
 // 1-shard engine and an inline sequential replay. Controllers that
-// track cross-cell state (the SCC family) remain race-free and
-// reproducible for a fixed shard count, but partition their demand
-// visibility per shard; see the package documentation.
+// track cross-cell state (the SCC family) implement
+// cac.DemandExchanger instead: the engine restores their global demand
+// visibility through the ghost-demand exchange hosted by the Tick
+// barrier, making tick-aligned runs byte-identical to a sequential
+// single-ledger replay and bounding free-running divergence to
+// intra-epoch admissions; see the package documentation.
 //
 // Handoffs travel a dedicated FIFO queue processed by one protocol
 // worker: release on the source shard (a serialized barrier op), then
@@ -190,6 +212,11 @@ type Engine struct {
 	services  []*serve.Service
 	owner     map[geo.Hex]int
 	cellLocal bool
+	// exchangers holds each shard's controller as a cac.DemandExchanger
+	// when every shard got a distinct exchanger instance (and the
+	// exchange was not disabled); nil otherwise. Index-aligned with
+	// services.
+	exchangers []cac.DemandExchanger
 
 	mu     sync.RWMutex // guards closed against in-flight handoff sends
 	closed bool
@@ -202,6 +229,8 @@ type Engine struct {
 	crossShard   atomic.Int64
 	drops        atomic.Int64
 	handoffErrs  atomic.Int64
+	exchanges    atomic.Int64
+	ghostRows    atomic.Int64
 }
 
 // New validates the configuration, partitions the network, starts one
@@ -251,6 +280,7 @@ func New(cfg Config) (*Engine, error) {
 		e.owner[bs.Hex()] = s
 		e.views[s].stations = append(e.views[s].stations, bs)
 	}
+	ctrls := make([]cac.Controller, 0, cfg.Shards)
 	for i := range e.views {
 		ctrl, err := cfg.NewController(e.views[i])
 		if err != nil {
@@ -260,6 +290,7 @@ func New(cfg Config) (*Engine, error) {
 		if _, ok := ctrl.(cac.CellLocal); !ok {
 			e.cellLocal = false
 		}
+		ctrls = append(ctrls, ctrl)
 		svc, err := serve.New(serve.Config{
 			Controller: ctrl,
 			MaxBatch:   cfg.MaxBatch,
@@ -273,8 +304,32 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.services = append(e.services, svc)
 	}
+	if !cfg.DisableExchange {
+		e.exchangers = demandExchangers(ctrls)
+	}
 	go e.handoffLoop()
 	return e, nil
+}
+
+// demandExchangers returns the controllers as exchange participants if
+// and only if every one is a cac.DemandExchanger and all are distinct
+// instances — a shared instance would ingest its own exports as ghost
+// demand, double-counting every call. Factories for exchanging
+// controllers must therefore build one instance per shard (which the
+// decision-loop confinement contract already requires for any stateful
+// controller).
+func demandExchangers(ctrls []cac.Controller) []cac.DemandExchanger {
+	out := make([]cac.DemandExchanger, len(ctrls))
+	seen := make(map[cac.Controller]bool, len(ctrls))
+	for i, ctrl := range ctrls {
+		ex, ok := ctrl.(cac.DemandExchanger)
+		if !ok || seen[ctrl] {
+			return nil
+		}
+		seen[ctrl] = true
+		out[i] = ex
+	}
+	return out
 }
 
 // closeServices tears down the services started so far (construction
@@ -401,26 +456,82 @@ func (e *Engine) SubmitWave(reqs []cac.Request) ([]serve.Response, error) {
 // blocks until all have applied it — a cross-shard barrier: every
 // request enqueued before Tick is decided before it fires, and no
 // request submitted after Tick returns can overtake it on any shard.
+//
+// For demand-exchanging controllers (see Exchanging) the barrier also
+// hosts the ghost-demand exchange: once every shard has applied the
+// tick (and, for the SCC ledger, re-aggregated its matrix), each
+// shard's demand delta is collected and the union fanned back out, all
+// before Tick returns. The exchange cadence is therefore exactly the
+// tick cadence — deterministic and race-free by construction, since
+// both phases run as serialized ops on each shard's own decision loop.
+// Callers wanting a globally consistent exchange must quiesce
+// submissions across Tick, exactly as the closed-loop drivers do.
 func (e *Engine) Tick(now float64) error {
 	for _, svc := range e.services {
 		if err := svc.Tick(now); err != nil {
 			return err
 		}
 	}
-	return e.Flush()
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	return e.exchangeDemand()
 }
 
-// Flush blocks until everything enqueued on every shard has been
-// processed.
-func (e *Engine) Flush() error {
+// Exchanging reports that the engine runs the ghost-demand exchange at
+// tick barriers: every shard controller is a distinct
+// cac.DemandExchanger instance and Config.DisableExchange is unset.
+func (e *Engine) Exchanging() bool { return e.exchangers != nil }
+
+// exchangeDemand runs one exchange round inside the tick barrier:
+// phase 1 collects every shard's demand delta (a serialized op on each
+// shard's loop), phase 2 applies the union — every delta except a
+// shard's own, in ascending source-shard order — on every shard. Both
+// phases complete before the caller's Tick returns.
+func (e *Engine) exchangeDemand() error {
+	if e.exchangers == nil {
+		return nil
+	}
+	deltas := make([]cac.DemandDelta, len(e.services))
+	collect := func(s int) error {
+		return e.services[s].Do(func(cac.Controller) { deltas[s] = e.exchangers[s].ExportDemand() })
+	}
+	if err := e.eachShard(collect); err != nil {
+		return err
+	}
+	var rows int64
+	for _, d := range deltas {
+		rows += int64(len(d.Rows))
+	}
+	apply := func(s int) error {
+		return e.services[s].Do(func(cac.Controller) {
+			for src := range deltas {
+				if src == s || len(deltas[src].Rows) == 0 {
+					continue
+				}
+				e.exchangers[s].ApplyGhost(src, deltas[src])
+			}
+		})
+	}
+	if err := e.eachShard(apply); err != nil {
+		return err
+	}
+	e.exchanges.Add(1)
+	e.ghostRows.Add(rows * int64(len(e.services)-1))
+	return nil
+}
+
+// eachShard runs fn(s) for every shard concurrently and returns the
+// first error.
+func (e *Engine) eachShard(fn func(s int) error) error {
 	errs := make([]error, len(e.services))
 	var wg sync.WaitGroup
-	for i, svc := range e.services {
+	for s := range e.services {
 		wg.Add(1)
-		go func(i int, svc *serve.Service) {
+		go func(s int) {
 			defer wg.Done()
-			errs[i] = svc.Flush()
-		}(i, svc)
+			errs[s] = fn(s)
+		}(s)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -429,6 +540,12 @@ func (e *Engine) Flush() error {
 		}
 	}
 	return nil
+}
+
+// Flush blocks until everything enqueued on every shard has been
+// processed.
+func (e *Engine) Flush() error {
+	return e.eachShard(func(s int) error { return e.services[s].Flush() })
 }
 
 // Do runs fn inside shard s's decision loop, serialized after
@@ -578,6 +695,8 @@ func (e *Engine) Stats() Stats {
 		CrossShard: e.crossShard.Load(),
 		Drops:      e.drops.Load(),
 		Errs:       e.handoffErrs.Load(),
+		Exchanges:  e.exchanges.Load(),
+		GhostRows:  e.ghostRows.Load(),
 	}
 	var latSum int64
 	for i, svc := range e.services {

@@ -364,6 +364,128 @@ func TestHandoffRequiresCommit(t *testing.T) {
 	}
 }
 
+// fakeExchanger records the exchange protocol: exports hand out one
+// fresh row per call, applies log (source, generation) pairs.
+type fakeExchanger struct {
+	cac.GuardChannel
+	index   int
+	gen     uint64
+	applied []appliedDelta
+}
+
+type appliedDelta struct {
+	src  int
+	gen  uint64
+	rows int
+}
+
+func (f *fakeExchanger) ExportDemand() cac.DemandDelta {
+	f.gen++
+	return cac.DemandDelta{Gen: f.gen, Rows: []cac.DemandRow{{Cell: geo.Hex{Q: f.index}, K: 0, Amount: 1}}}
+}
+
+func (f *fakeExchanger) ApplyGhost(src int, d cac.DemandDelta) {
+	f.applied = append(f.applied, appliedDelta{src: src, gen: d.Gen, rows: len(d.Rows)})
+}
+
+// TestTickBarrierGhostExchange pins the engine side of the exchange:
+// every tick, each shard exports exactly once and receives every other
+// shard's delta in ascending source order, with the engine counters
+// tracking rounds and fanned-out rows.
+func TestTickBarrierGhostExchange(t *testing.T) {
+	net := testNetwork(t, 2)
+	const shards = 4
+	exchangers := map[int]*fakeExchanger{}
+	e, err := New(Config{Network: net, Shards: shards, NewController: func(v View) (cac.Controller, error) {
+		f := &fakeExchanger{index: v.Index()}
+		exchangers[v.Index()] = f
+		return f, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if !e.Exchanging() {
+		t.Fatal("distinct exchanger instances should enable the exchange")
+	}
+	const ticks = 3
+	for i := 0; i < ticks; i++ {
+		if err := e.Tick(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s, f := range exchangers {
+		var gen uint64
+		var applied []appliedDelta
+		if err := e.Do(s, func(cac.Controller) { gen = f.gen; applied = append(applied, f.applied...) }); err != nil {
+			t.Fatal(err)
+		}
+		if gen != ticks {
+			t.Fatalf("shard %d exported %d times, want %d", s, gen, ticks)
+		}
+		if len(applied) != ticks*(shards-1) {
+			t.Fatalf("shard %d received %d deltas, want %d", s, len(applied), ticks*(shards-1))
+		}
+		for i, a := range applied {
+			round, pos := i/(shards-1), i%(shards-1)
+			wantSrc := pos
+			if wantSrc >= s {
+				wantSrc++ // own delta skipped
+			}
+			if a.src != wantSrc || a.gen != uint64(round+1) || a.rows != 1 {
+				t.Fatalf("shard %d delivery %d is %+v, want src %d gen %d rows 1", s, i, a, wantSrc, round+1)
+			}
+		}
+	}
+	st := e.Stats()
+	if st.Exchanges != ticks || st.GhostRows != int64(ticks*shards*(shards-1)) {
+		t.Fatalf("exchange counters: %+v", st)
+	}
+	if !strings.Contains(st.String(), "ghost exchanges 3") {
+		t.Fatalf("stats summary: %s", st)
+	}
+}
+
+// TestExchangeRequiresDistinctInstances covers the two ways the
+// exchange stays off: a shared controller instance (which would ingest
+// its own exports) and the explicit DisableExchange escape hatch.
+func TestExchangeRequiresDistinctInstances(t *testing.T) {
+	net := testNetwork(t, 1)
+	shared := &fakeExchanger{}
+	e, err := New(Config{Network: net, Shards: 3, NewController: func(View) (cac.Controller, error) {
+		return shared, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.Exchanging() {
+		t.Fatal("a shared exchanger instance must not enable the exchange")
+	}
+	if err := e.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Exchanges != 0 || !strings.Contains(st.String(), "handoffs 0") || strings.Contains(st.String(), "ghost") {
+		t.Fatalf("exchange ran on a shared instance: %+v (%s)", st, st)
+	}
+
+	disabled, err := New(Config{Network: net, Shards: 3, DisableExchange: true,
+		NewController: func(v View) (cac.Controller, error) { return &fakeExchanger{index: v.Index()}, nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disabled.Close()
+	if disabled.Exchanging() {
+		t.Fatal("DisableExchange must keep the exchange off")
+	}
+	if err := disabled.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+	if st := disabled.Stats(); st.Exchanges != 0 {
+		t.Fatalf("disabled engine exchanged: %+v", st)
+	}
+}
+
 // tickRecorder counts tick deliveries (cell-local on purpose: it keeps
 // no admission state).
 type tickRecorder struct {

@@ -46,5 +46,25 @@ var SingleShardView = ishard.SingleView
 // CellLocalController marks controllers whose decisions depend only on
 // the request and its own station's state, making sharded outcomes
 // shard-count-invariant. FACS (exact and compiled) and the classical
-// baselines implement it; the SCC family deliberately does not.
+// baselines implement it; the SCC family deliberately does not — its
+// ledgers implement DemandExchangingController instead.
 type CellLocalController = icac.CellLocal
+
+// DemandExchangingController marks controllers with cross-cell
+// projected demand (the SCC ledger) whose per-shard instances exchange
+// demand deltas at the engine's tick barriers, restoring the global
+// demand visibility sharding would otherwise partition. When every
+// shard controller is a distinct exchanger instance the engine runs
+// the exchange automatically (ShardedEngineConfig.DisableExchange
+// opts out); with tick-aligned waves, sharded SCC decisions are then
+// byte-identical to a sequential single-ledger replay for every shard
+// count.
+type DemandExchangingController = icac.DemandExchanger
+
+// DemandDelta is one controller's projected-demand change since its
+// previous export — the ghost-exchange payload; DemandRow is one of its
+// (cell, interval) entries.
+type (
+	DemandDelta = icac.DemandDelta
+	DemandRow   = icac.DemandRow
+)
