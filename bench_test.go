@@ -9,8 +9,12 @@ package facs_test
 // regenerates the artifact shapes and times them.
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
 	"testing"
 
 	"facs"
@@ -504,6 +508,139 @@ func BenchmarkSCCDecide(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// envInt reads an integer env override for bench scaling.
+func envInt(name string, fallback int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil {
+			return v
+		}
+	}
+	return fallback
+}
+
+// metroBenchRun is one BenchmarkMetropolis sub-result as persisted to
+// BENCH_metropolis.json.
+type metroBenchRun struct {
+	Name            string  `json:"name"`
+	Controller      string  `json:"controller"`
+	Mode            string  `json:"mode"`
+	Shards          int     `json:"shards"`
+	Requested       int     `json:"requested"`
+	Accepted        int     `json:"accepted"`
+	Handoffs        int     `json:"handoffs"`
+	HandoffDropped  int     `json:"handoff_dropped"`
+	CrossShard      int     `json:"cross_shard"`
+	PeakConcurrent  int     `json:"peak_concurrent"`
+	Decisions       int     `json:"decisions"`
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	BytesPerCall    float64 `json:"bytes_per_call"`
+	DecisionHash    string  `json:"decision_hash"`
+	ElapsedSec      float64 `json:"elapsed_sec"`
+}
+
+// BenchmarkMetropolis drives the metropolis-scale diurnal scenario
+// through the batch and sharded decision paths and reports sustained
+// decision throughput plus live heap bytes per concurrent call at the
+// population peak. Scale is env-overridable: FACS_METRO_RINGS (hex
+// rings; 18 = 1027 cells) and FACS_METRO_TARGET (peak concurrent-call
+// target) raise the defaults to city scale, and FACS_METRO_JSON=<path>
+// persists the sub-results (this is how the committed
+// BENCH_metropolis.json is produced):
+//
+//	FACS_METRO_RINGS=18 FACS_METRO_TARGET=550000 \
+//	FACS_METRO_JSON=$PWD/BENCH_metropolis.json \
+//	go test -run '^$' -bench BenchmarkMetropolis -benchtime 1x .
+func BenchmarkMetropolis(b *testing.B) {
+	rings := envInt("FACS_METRO_RINGS", 6)
+	target := envInt("FACS_METRO_TARGET", 20000)
+	shards := envInt("FACS_METRO_SHARDS", 4)
+	guard := func(facs.ShardView) (facs.Controller, error) { return facs.NewGuardChannel(8) }
+	cases := []struct {
+		name    string
+		factory func(facs.ShardView) (facs.Controller, error)
+		mode    facs.MetropolisMode
+		shards  int
+	}{
+		{"guard/batch", guard, facs.MetroBatch, 1},
+		{"guard/sharded", guard, facs.MetroSharded, shards},
+		{"facs-compiled/sharded", func(facs.ShardView) (facs.Controller, error) {
+			return facs.DefaultCompiledSystem()
+		}, facs.MetroSharded, shards},
+	}
+	var runs []metroBenchRun
+	var cells, capacityBU, waves int
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var last facs.MetropolisResult
+			for i := 0; i < b.N; i++ {
+				res, err := facs.RunMetropolis(facs.MetropolisConfig{
+					NewController: tc.factory,
+					Mode:          tc.mode,
+					Shards:        tc.shards,
+					Rings:         rings,
+					TargetCalls:   target,
+					Seed:          1,
+					MeasureMem:    true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.DecisionsPerSec(), "decisions/s")
+			b.ReportMetric(last.BytesPerCall, "bytes/call")
+			b.ReportMetric(float64(last.PeakConcurrent), "peak-calls")
+			cells, capacityBU, waves = last.Cells, last.CapacityBU, last.Waves
+			runs = append(runs, metroBenchRun{
+				Name:            tc.name,
+				Controller:      last.ControllerName,
+				Mode:            last.Mode.String(),
+				Shards:          last.Shards,
+				Requested:       last.Requested,
+				Accepted:        last.Accepted,
+				Handoffs:        last.Handoffs,
+				HandoffDropped:  last.HandoffDropped,
+				CrossShard:      last.CrossShard,
+				PeakConcurrent:  last.PeakConcurrent,
+				Decisions:       last.Decisions(),
+				DecisionsPerSec: last.DecisionsPerSec(),
+				BytesPerCall:    last.BytesPerCall,
+				DecisionHash:    fmt.Sprintf("%#016x", last.DecisionHash),
+				ElapsedSec:      last.Elapsed.Seconds(),
+			})
+		})
+	}
+	path := os.Getenv("FACS_METRO_JSON")
+	if path == "" || len(runs) != len(cases) {
+		return
+	}
+	doc := struct {
+		Scenario    string          `json:"scenario"`
+		Rings       int             `json:"rings"`
+		Cells       int             `json:"cells"`
+		CapacityBU  int             `json:"capacity_bu"`
+		TargetCalls int             `json:"target_calls"`
+		Waves       int             `json:"waves"`
+		GOOS        string          `json:"goos"`
+		GOARCH      string          `json:"goarch"`
+		CPUs        int             `json:"cpus"`
+		Runs        []metroBenchRun `json:"runs"`
+	}{
+		Scenario: "metropolis", Rings: rings, Cells: cells,
+		CapacityBU: capacityBU, TargetCalls: target, Waves: waves,
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU(),
+		Runs: runs,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -12,6 +12,8 @@
 //	facs-sim -compiled -surface-cache ~/.cache/facs  # warm restarts skip compiling
 //	facs-sim -n 100 -reps 8 -workers 4       # 8 replications on 4 workers
 //	facs-sim -batch -n 10000 -active 500     # one-shot batch admission sweep
+//	facs-sim -metropolis -controller guard   # city-scale diurnal day, batch path
+//	facs-sim -metropolis -metro-mode sharded -shards 4 -target 500000
 package main
 
 import (
@@ -53,6 +55,13 @@ type simOptions struct {
 	threshold    float64
 	reps         int
 	workers      int
+	metropolis   bool
+	metroMode    string
+	shards       int
+	rings        int
+	target       int
+	waves        int
+	measureMem   bool
 }
 
 func run(args []string) error {
@@ -76,6 +85,13 @@ func run(args []string) error {
 	fs.Float64Var(&o.threshold, "accept-threshold", facs.DefaultAcceptThreshold, "FACS accept threshold")
 	fs.IntVar(&o.reps, "reps", 1, "independent replications with seeds seed..seed+reps-1")
 	fs.IntVar(&o.workers, "workers", 0, "worker pool size for replications (0 = one per CPU)")
+	fs.BoolVar(&o.metropolis, "metropolis", false, "run the metropolis-scale diurnal workload")
+	fs.StringVar(&o.metroMode, "metro-mode", "batch", "metropolis decision path: single, batch, sharded")
+	fs.IntVar(&o.shards, "shards", 1, "decision loops for -metro-mode sharded")
+	fs.IntVar(&o.rings, "rings", 0, "hex rings for -metropolis (0 = default 18: 1027 cells)")
+	fs.IntVar(&o.target, "target", 0, "peak concurrent-call target for -metropolis (0 = default 20000)")
+	fs.IntVar(&o.waves, "waves", 0, "decision waves for -metropolis (0 = one simulated day)")
+	fs.BoolVar(&o.measureMem, "measure-mem", false, "report heap bytes per concurrent call at the population peak (-metropolis)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,6 +115,15 @@ func run(args []string) error {
 	}
 	if o.batch && (o.reps > 1 || o.workers != 0) {
 		return fmt.Errorf("-batch runs a single sweep; -reps/-workers do not apply")
+	}
+	if o.metropolis {
+		if o.batch || o.multicell {
+			return fmt.Errorf("-metropolis is exclusive with -batch and -multicell")
+		}
+		if o.reps > 1 || o.workers != 0 {
+			return fmt.Errorf("-metropolis runs one scenario; -reps/-workers do not apply")
+		}
+		return runMetropolis(o)
 	}
 	if o.batch {
 		return runBatch(o)
@@ -294,6 +319,64 @@ func runBatch(o simOptions) error {
 	fmt.Printf("requested     %d\n", res.Requested)
 	fmt.Printf("accepted      %d (%.1f%%)\n", res.Accepted, res.AcceptedPct())
 	fmt.Printf("throughput    %.0f decisions/s (%.2fs total, incl. setup)\n", perSec, elapsed.Seconds())
+	return nil
+}
+
+// metroModes maps the -metro-mode flag to decision paths.
+var metroModes = map[string]facs.MetropolisMode{
+	"single":  facs.MetroSingle,
+	"batch":   facs.MetroBatch,
+	"sharded": facs.MetroSharded,
+}
+
+// runMetropolis runs the city-scale diurnal scenario through the
+// selected decision path and reports throughput, handoff behaviour and
+// the byte-identity decision digest.
+func runMetropolis(o simOptions) error {
+	mode, ok := metroModes[o.metroMode]
+	if !ok {
+		return fmt.Errorf("unknown -metro-mode %q (single, batch, sharded)", o.metroMode)
+	}
+	if o.shards != 1 && mode != facs.MetroSharded {
+		return fmt.Errorf("-shards applies to -metro-mode sharded")
+	}
+	factory, err := networkFactory(o)
+	if err != nil {
+		return err
+	}
+	res, err := facs.RunMetropolis(facs.MetropolisConfig{
+		NewController: func(v facs.ShardView) (facs.Controller, error) { return factory(v.Network()) },
+		Mode:          mode,
+		Shards:        o.shards,
+		Rings:         o.rings,
+		TargetCalls:   o.target,
+		Waves:         o.waves,
+		Seed:          o.seed,
+		MeasureMem:    o.measureMem,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario      metropolis (%d cells x %d BU, diurnal day)\n", res.Cells, res.CapacityBU)
+	fmt.Printf("controller    %s\n", res.ControllerName)
+	if res.Mode == facs.MetroSharded {
+		fmt.Printf("path          %s x%d\n", res.Mode, res.Shards)
+	} else {
+		fmt.Printf("path          %s\n", res.Mode)
+	}
+	fmt.Printf("waves         %d\n", res.Waves)
+	fmt.Printf("requested     %d\n", res.Requested)
+	fmt.Printf("accepted      %d (%.1f%%)\n", res.Accepted, res.AcceptedPct())
+	fmt.Printf("handoffs      %d attempts, %d drops (%.2f%%), %d cross-shard\n",
+		res.Handoffs, res.HandoffDropped, res.DropPct(), res.CrossShard)
+	fmt.Printf("released      %d\n", res.Released)
+	fmt.Printf("population    peak %d concurrent calls, final %d\n", res.PeakConcurrent, res.FinalActive)
+	fmt.Printf("throughput    %.0f decisions/s (%d decisions in %v)\n",
+		res.DecisionsPerSec(), res.Decisions(), res.Elapsed.Round(time.Millisecond))
+	if o.measureMem {
+		fmt.Printf("memory        %.0f bytes/call at peak\n", res.BytesPerCall)
+	}
+	fmt.Printf("hash          %#016x\n", res.DecisionHash)
 	return nil
 }
 

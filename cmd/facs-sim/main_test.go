@@ -130,6 +130,43 @@ func TestRunBatchCLI(t *testing.T) {
 	}
 }
 
+func TestRunMetropolisCLI(t *testing.T) {
+	small := []string{"-metropolis", "-rings", "2", "-target", "300", "-waves", "12"}
+	for _, ctrl := range []string{"cs", "guard", "threshold", "scc"} {
+		if err := run(append(small, "-controller", ctrl)); err != nil {
+			t.Fatalf("%s: %v", ctrl, err)
+		}
+	}
+	sharded := append(small, "-controller", "guard", "-metro-mode", "sharded", "-shards", "2", "-measure-mem")
+	if err := run(sharded); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(small, "-metro-mode", "single", "-controller", "cs")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMetropolisBadFlags(t *testing.T) {
+	if err := run([]string{"-metropolis", "-metro-mode", "bogus"}); err == nil {
+		t.Fatal("unknown metro mode should fail")
+	}
+	if err := run([]string{"-metropolis", "-shards", "4"}); err == nil {
+		t.Fatal("-shards without sharded mode should fail")
+	}
+	if err := run([]string{"-metropolis", "-batch"}); err == nil {
+		t.Fatal("-metropolis with -batch should fail")
+	}
+	if err := run([]string{"-metropolis", "-multicell"}); err == nil {
+		t.Fatal("-metropolis with -multicell should fail")
+	}
+	if err := run([]string{"-metropolis", "-reps", "3"}); err == nil {
+		t.Fatal("-metropolis with -reps should fail")
+	}
+	if err := run([]string{"-metropolis", "-controller", "bogus"}); err == nil {
+		t.Fatal("unknown controller should fail")
+	}
+}
+
 func TestRunBatchRejectsReplicationFlags(t *testing.T) {
 	if err := run([]string{"-batch", "-n", "10", "-reps", "5"}); err == nil {
 		t.Fatal("-batch with -reps should fail")

@@ -144,6 +144,36 @@ var (
 	RunShardedSweep = iexp.RunShardedSweep
 )
 
+// MetropolisConfig parameterises the metropolis-scale workload: a
+// city-sized hex deployment (a thousand-plus cells by default) under
+// one simulated day of diurnal traffic with rush-hour mobility steered
+// toward hot-spot cells; MetropolisResult aggregates one run, including
+// the DecisionHash byte-identity fingerprint and throughput/memory
+// figures.
+type (
+	MetropolisConfig = iexp.MetropolisConfig
+	MetropolisResult = iexp.MetropolisResult
+)
+
+// MetropolisMode selects the decision path carrying the metropolis
+// workload: the classic one-at-a-time loop, inline batch waves, or a
+// sharded engine. For cell-local controllers all paths produce
+// byte-identical outcomes at matching chunk sizes.
+type MetropolisMode = iexp.MetropolisMode
+
+// Metropolis decision paths.
+const (
+	MetroSingle  = iexp.MetroSingle
+	MetroBatch   = iexp.MetroBatch
+	MetroSharded = iexp.MetroSharded
+)
+
+// RunMetropolis executes the metropolis-scale scenario. Outcomes are
+// deterministic in the config: repeats produce identical DecisionHash
+// values, and for cell-local controllers so do all shard counts and
+// modes (at matching chunk sizes).
+var RunMetropolis = iexp.RunMetropolis
+
 // Series is a labelled (x, y) curve, the unit of figure regeneration.
 type Series = imetrics.Series
 

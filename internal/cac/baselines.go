@@ -162,26 +162,19 @@ func (p ThresholdPolicy) Decide(req Request) (Decision, error) {
 	if !capped {
 		return Accept, nil
 	}
-	var classUsed int
-	for _, c := range req.Station.Calls() {
-		if c.Class == req.Call.Class {
-			classUsed += c.BU
-		}
-	}
-	if classUsed+req.Call.BU <= limit {
+	if req.Station.ClassBU(req.Call.Class)+req.Call.BU <= limit {
 		return Accept, nil
 	}
 	return Reject, nil
 }
 
-// DecideBatch implements BatchController. Decide pays a full
-// Calls() copy-and-sort per request to derive per-class occupancy; the
-// batch path computes the occupancy map once per station run and reuses
-// it, which is the policy's dominant cost on dense cells.
+// DecideBatch implements BatchController: the station's free pool is read
+// once per station run (Decide must not mutate stations, so occupancy is
+// stable for the batch); per-class occupancy comes from the station's
+// O(1) class counters.
 func (p ThresholdPolicy) DecideBatch(reqs []Request) ([]Decision, error) {
 	out := make([]Decision, len(reqs))
 	var station *cell.BaseStation
-	classUsed := make(map[traffic.Class]int, 3)
 	free := 0
 	for i := range reqs {
 		req := &reqs[i]
@@ -191,19 +184,13 @@ func (p ThresholdPolicy) DecideBatch(reqs []Request) ([]Decision, error) {
 		if req.Station != station {
 			station = req.Station
 			free = station.Free()
-			for class := range classUsed {
-				delete(classUsed, class)
-			}
-			for _, c := range station.Calls() {
-				classUsed[c.Class] += c.BU
-			}
 		}
 		if req.Call.BU > free {
 			out[i] = Reject
 			continue
 		}
 		limit, capped := p.MaxBU[req.Call.Class]
-		if !capped || classUsed[req.Call.Class]+req.Call.BU <= limit {
+		if !capped || req.Station.ClassBU(req.Call.Class)+req.Call.BU <= limit {
 			out[i] = Accept
 		} else {
 			out[i] = Reject

@@ -39,15 +39,86 @@ type Call struct {
 	Handoff bool
 }
 
+// callPool is the station's struct-of-arrays call ledger: call records
+// live in a slot-indexed slice, freed slots are recycled through a
+// free-list stack, and the live slots are tracked in a dense array with
+// swap-removal — so admit and release are O(1) and, once the pool has
+// grown to its working-set size, allocation-free. Only the small ID →
+// slot index map remains (Go map buckets are retained across
+// delete/insert at steady size, so it does not allocate per call
+// either); the call records themselves never churn through map buckets.
+type callPool struct {
+	// slots holds the call records; a freed slot's record is zeroed.
+	slots []Call
+	// dense lists the live slots (unordered: releases swap-remove).
+	dense []int32
+	// pos maps slot → index in dense, -1 for free slots.
+	pos []int32
+	// free is the stack of recyclable slots.
+	free []int32
+	// index maps call ID → slot.
+	index map[int]int32
+}
+
+// put inserts a call into a recycled or fresh slot. The caller has
+// already checked the ID is new.
+func (p *callPool) put(c Call) {
+	var slot int32
+	if n := len(p.free); n > 0 {
+		slot = p.free[n-1]
+		p.free = p.free[:n-1]
+		p.slots[slot] = c
+	} else {
+		slot = int32(len(p.slots))
+		p.slots = append(p.slots, c)
+		p.pos = append(p.pos, -1)
+	}
+	p.pos[slot] = int32(len(p.dense))
+	p.dense = append(p.dense, slot)
+	p.index[c.ID] = slot
+}
+
+// take removes and returns the call with the given ID.
+func (p *callPool) take(id int) (Call, bool) {
+	slot, ok := p.index[id]
+	if !ok {
+		return Call{}, false
+	}
+	delete(p.index, id)
+	c := p.slots[slot]
+	// Swap-remove from the dense live list.
+	di := p.pos[slot]
+	last := p.dense[len(p.dense)-1]
+	p.dense[di] = last
+	p.pos[last] = di
+	p.dense = p.dense[:len(p.dense)-1]
+	p.pos[slot] = -1
+	p.slots[slot] = Call{}
+	p.free = append(p.free, slot)
+	return c, true
+}
+
+// get looks up a live call by ID.
+func (p *callPool) get(id int) (Call, bool) {
+	slot, ok := p.index[id]
+	if !ok {
+		return Call{}, false
+	}
+	return p.slots[slot], true
+}
+
 // BaseStation is one cell's radio resource manager. It is not safe for
 // concurrent use; the simulation kernel is single-threaded by design.
 type BaseStation struct {
 	hex      geo.Hex
 	pos      geo.Point
 	capacity int
-	calls    map[int]Call
+	pool     callPool
 	usedRT   int
 	usedNRT  int
+	// classBU tracks occupied BU per service class (indexed by
+	// traffic.Class), so per-class admission policies need no ledger scan.
+	classBU [4]int
 }
 
 // NewBaseStation constructs a station at the given hex/position with the
@@ -60,7 +131,7 @@ func NewBaseStation(hex geo.Hex, pos geo.Point, capacityBU int) (*BaseStation, e
 		hex:      hex,
 		pos:      pos,
 		capacity: capacityBU,
-		calls:    make(map[int]Call),
+		pool:     callPool{index: make(map[int]int32)},
 	}, nil
 }
 
@@ -85,16 +156,28 @@ func (b *BaseStation) RTC() int { return b.usedRT }
 // NRTC returns the paper's Non Real Time Counter: BU held by text.
 func (b *BaseStation) NRTC() int { return b.usedNRT }
 
+// ClassBU returns the BU currently held by calls of the given class.
+// Unknown classes hold nothing.
+func (b *BaseStation) ClassBU(class traffic.Class) int {
+	if !class.Valid() {
+		return 0
+	}
+	return b.classBU[class]
+}
+
 // Occupancy returns Used/Capacity in [0, 1].
 func (b *BaseStation) Occupancy() float64 {
 	return float64(b.Used()) / float64(b.capacity)
 }
 
 // NumCalls returns the number of carried calls.
-func (b *BaseStation) NumCalls() int { return len(b.calls) }
+func (b *BaseStation) NumCalls() int { return len(b.pool.dense) }
 
-// Fits reports whether a call of the given size would fit right now.
-func (b *BaseStation) Fits(bu int) bool { return bu >= 0 && bu <= b.Free() }
+// Fits reports whether a call of the given size would be admissible
+// right now. It agrees with Admit on degenerate sizes: a call must
+// occupy strictly positive bandwidth, so Fits(0) is false exactly as
+// Admit rejects BU <= 0.
+func (b *BaseStation) Fits(bu int) bool { return bu > 0 && bu <= b.Free() }
 
 // Admit adds a call to the ledger, debiting the class counter. The call
 // must fit and its ID must be new, otherwise the ledger is unchanged and
@@ -107,48 +190,50 @@ func (b *BaseStation) Admit(c Call) error {
 	if !c.Class.Valid() {
 		return fmt.Errorf("cell: call %d has invalid class %v", c.ID, c.Class)
 	}
-	if _, dup := b.calls[c.ID]; dup {
+	if _, dup := b.pool.index[c.ID]; dup {
 		return fmt.Errorf("cell: admitting call %d at %v: %w", c.ID, b.hex, ErrDuplicateCall)
 	}
 	if c.BU > b.Free() {
 		return fmt.Errorf("cell: admitting call %d (%d BU) at %v with %d BU free: %w",
 			c.ID, c.BU, b.hex, b.Free(), ErrInsufficientBandwidth)
 	}
-	b.calls[c.ID] = c
+	b.pool.put(c)
 	if c.Class.RealTime() {
 		b.usedRT += c.BU
 	} else {
 		b.usedNRT += c.BU
 	}
+	b.classBU[c.Class] += c.BU
 	return nil
 }
 
 // Release removes a call from the ledger, crediting its bandwidth back.
 func (b *BaseStation) Release(id int) (Call, error) {
-	c, ok := b.calls[id]
+	c, ok := b.pool.take(id)
 	if !ok {
 		return Call{}, fmt.Errorf("cell: releasing call %d at %v: %w", id, b.hex, ErrUnknownCall)
 	}
-	delete(b.calls, id)
 	if c.Class.RealTime() {
 		b.usedRT -= c.BU
 	} else {
 		b.usedNRT -= c.BU
 	}
+	b.classBU[c.Class] -= c.BU
 	return c, nil
 }
 
 // Call looks up a carried call by ID.
 func (b *BaseStation) Call(id int) (Call, bool) {
-	c, ok := b.calls[id]
-	return c, ok
+	return b.pool.get(id)
 }
 
-// Calls returns the carried calls sorted by ID (a defensive copy).
+// Calls returns the carried calls sorted by ID (a defensive copy). The
+// pool's dense order is history-dependent, so the sort keeps every
+// observer deterministic.
 func (b *BaseStation) Calls() []Call {
-	out := make([]Call, 0, len(b.calls))
-	for _, c := range b.calls {
-		out = append(out, c)
+	out := make([]Call, 0, len(b.pool.dense))
+	for _, slot := range b.pool.dense {
+		out = append(out, b.pool.slots[slot])
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out

@@ -108,11 +108,25 @@ func TestReleaseUnknown(t *testing.T) {
 
 func TestFits(t *testing.T) {
 	bs := newBS(t, 10)
-	if !bs.Fits(10) || !bs.Fits(0) {
+	if !bs.Fits(10) || !bs.Fits(1) {
 		t.Fatal("empty station should fit up to capacity")
 	}
 	if bs.Fits(11) || bs.Fits(-1) {
 		t.Fatal("Fits accepted invalid sizes")
+	}
+}
+
+func TestFitsAgreesWithAdmitOnDegenerateBU(t *testing.T) {
+	// Regression: Fits(0) used to return true while Admit rejected BU <= 0,
+	// so pre-checked admissions of degenerate requests still failed.
+	bs := newBS(t, 10)
+	for _, bu := range []int{0, -1, -10} {
+		if bs.Fits(bu) {
+			t.Fatalf("Fits(%d) = true, but Admit rejects BU <= 0", bu)
+		}
+		if err := bs.Admit(Call{ID: 100 + bu, Class: traffic.Text, BU: bu}); err == nil {
+			t.Fatalf("Admit accepted BU %d", bu)
+		}
 	}
 }
 

@@ -14,6 +14,13 @@
 // is single-threaded by design, and the streaming service serializes
 // all mutation in one goroutine (internal/serve).
 //
+// Calls live in a struct-of-arrays pool (a slot arena with a dense
+// iteration list and a free-list stack), so steady-state admit/release
+// cycles are allocation-free and per-class occupancy (ClassBU) is an
+// O(1) counter — the memory model metropolis-scale populations rest on
+// (see pool_test.go for the map-ledger equivalence and allocation
+// gates).
+//
 // # Entry points
 //
 // NewBaseStation builds a standalone station; NewNetwork builds the

@@ -130,11 +130,13 @@ func (n *Network) Stations() []*BaseStation {
 	return out
 }
 
-// TotalUsed returns the sum of occupied BU across all stations.
+// TotalUsed returns the sum of occupied BU across all stations. It
+// walks the deterministic (Q, R) order rather than the station map so
+// measurement sweeps touch stations in a reproducible sequence.
 func (n *Network) TotalUsed() int {
 	var sum int
-	for _, bs := range n.stations {
-		sum += bs.Used()
+	for _, h := range n.order {
+		sum += n.stations[h].Used()
 	}
 	return sum
 }
@@ -142,8 +144,8 @@ func (n *Network) TotalUsed() int {
 // TotalCapacity returns the sum of capacities across all stations.
 func (n *Network) TotalCapacity() int {
 	var sum int
-	for _, bs := range n.stations {
-		sum += bs.Capacity()
+	for _, h := range n.order {
+		sum += n.stations[h].Capacity()
 	}
 	return sum
 }

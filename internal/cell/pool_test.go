@@ -1,0 +1,350 @@
+package cell
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"facs/internal/geo"
+	"facs/internal/traffic"
+)
+
+// refLedger is the pre-pool map-based BaseStation ledger, kept here as
+// the behavioural oracle for the struct-of-arrays pool.
+type refLedger struct {
+	capacity int
+	calls    map[int]Call
+	usedRT   int
+	usedNRT  int
+}
+
+func newRefLedger(capacity int) *refLedger {
+	return &refLedger{capacity: capacity, calls: make(map[int]Call)}
+}
+
+func (r *refLedger) free() int { return r.capacity - r.usedRT - r.usedNRT }
+
+func (r *refLedger) admit(c Call) error {
+	if c.BU <= 0 || !c.Class.Valid() {
+		return errors.New("invalid")
+	}
+	if _, dup := r.calls[c.ID]; dup {
+		return ErrDuplicateCall
+	}
+	if c.BU > r.free() {
+		return ErrInsufficientBandwidth
+	}
+	r.calls[c.ID] = c
+	if c.Class.RealTime() {
+		r.usedRT += c.BU
+	} else {
+		r.usedNRT += c.BU
+	}
+	return nil
+}
+
+func (r *refLedger) release(id int) (Call, error) {
+	c, ok := r.calls[id]
+	if !ok {
+		return Call{}, ErrUnknownCall
+	}
+	delete(r.calls, id)
+	if c.Class.RealTime() {
+		r.usedRT -= c.BU
+	} else {
+		r.usedNRT -= c.BU
+	}
+	return c, nil
+}
+
+func (r *refLedger) sorted() []Call {
+	out := make([]Call, 0, len(r.calls))
+	for _, c := range r.calls {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (r *refLedger) classBU(class traffic.Class) int {
+	var sum int
+	for _, c := range r.calls {
+		if c.Class == class {
+			sum += c.BU
+		}
+	}
+	return sum
+}
+
+// sameOutcome reports whether two ledger errors agree: both nil, or both
+// classifiable as the same sentinel / both "invalid argument".
+func sameOutcome(poolErr, refErr error) bool {
+	if (poolErr == nil) != (refErr == nil) {
+		return false
+	}
+	if poolErr == nil {
+		return true
+	}
+	for _, sentinel := range []error{ErrDuplicateCall, ErrInsufficientBandwidth, ErrUnknownCall} {
+		if errors.Is(refErr, sentinel) {
+			return errors.Is(poolErr, sentinel)
+		}
+	}
+	// Reference rejected the arguments outright; the pool must too, with
+	// a non-sentinel validation error.
+	return !errors.Is(poolErr, ErrDuplicateCall) &&
+		!errors.Is(poolErr, ErrInsufficientBandwidth) &&
+		!errors.Is(poolErr, ErrUnknownCall)
+}
+
+// TestPoolMatchesMapLedger drives the struct-of-arrays BaseStation and
+// the old map-based ledger through the same randomized admit/release
+// stream (including duplicate IDs, unknown releases, overcommit attempts
+// and degenerate BU) and checks they agree on every outcome and on all
+// observable state after every operation.
+func TestPoolMatchesMapLedger(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	bs := newBS(t, 60)
+	ref := newRefLedger(60)
+	classes := []traffic.Class{traffic.Text, traffic.Voice, traffic.Video, traffic.Class(9)}
+
+	live := make([]int, 0, 64)
+	nextID := 0
+	for op := 0; op < 20000; op++ {
+		switch {
+		case rng.Intn(100) < 55: // admit
+			var c Call
+			switch r := rng.Intn(100); {
+			case r < 5 && len(live) > 0: // duplicate ID
+				id := live[rng.Intn(len(live))]
+				c = Call{ID: id, Class: traffic.Voice, BU: 5}
+			case r < 10: // degenerate BU
+				c = Call{ID: nextID, Class: traffic.Text, BU: rng.Intn(3) - 2}
+				nextID++
+			case r < 13: // invalid class
+				c = Call{ID: nextID, Class: classes[3], BU: 1}
+				nextID++
+			default:
+				class := classes[rng.Intn(3)]
+				c = Call{ID: nextID, Class: class, BU: class.BandwidthUnits(),
+					AdmittedAt: float64(op), Handoff: rng.Intn(2) == 0}
+				nextID++
+			}
+			errPool := bs.Admit(c)
+			errRef := ref.admit(c)
+			if !sameOutcome(errPool, errRef) {
+				t.Fatalf("op %d: Admit(%+v) pool=%v ref=%v", op, c, errPool, errRef)
+			}
+			if errPool == nil {
+				live = append(live, c.ID)
+			}
+		default: // release (sometimes unknown)
+			var id int
+			if len(live) == 0 || rng.Intn(100) < 10 {
+				id = 1_000_000 + rng.Intn(100)
+			} else {
+				i := rng.Intn(len(live))
+				id = live[i]
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			cPool, errPool := bs.Release(id)
+			cRef, errRef := ref.release(id)
+			if !sameOutcome(errPool, errRef) {
+				t.Fatalf("op %d: Release(%d) pool=%v ref=%v", op, id, errPool, errRef)
+			}
+			if errPool == nil && cPool != cRef {
+				t.Fatalf("op %d: Release(%d) returned %+v, ref %+v", op, id, cPool, cRef)
+			}
+		}
+
+		if bs.Used() != ref.usedRT+ref.usedNRT || bs.RTC() != ref.usedRT || bs.NRTC() != ref.usedNRT {
+			t.Fatalf("op %d: counters diverged: pool used/RTC/NRTC=%d/%d/%d ref=%d/%d/%d",
+				op, bs.Used(), bs.RTC(), bs.NRTC(), ref.usedRT+ref.usedNRT, ref.usedRT, ref.usedNRT)
+		}
+		if bs.NumCalls() != len(ref.calls) {
+			t.Fatalf("op %d: NumCalls=%d ref=%d", op, bs.NumCalls(), len(ref.calls))
+		}
+	}
+
+	// Deep-compare final observable state.
+	got, want := bs.Calls(), ref.sorted()
+	if len(got) != len(want) {
+		t.Fatalf("Calls(): %d calls, ref %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Calls()[%d] = %+v, ref %+v", i, got[i], want[i])
+		}
+		if c, ok := bs.Call(got[i].ID); !ok || c != got[i] {
+			t.Fatalf("Call(%d) = %+v,%v", got[i].ID, c, ok)
+		}
+	}
+	for _, class := range traffic.Classes() {
+		if bs.ClassBU(class) != ref.classBU(class) {
+			t.Fatalf("ClassBU(%v) = %d, ref %d", class, bs.ClassBU(class), ref.classBU(class))
+		}
+	}
+}
+
+// TestPoolHandoffEquivalence checks Network.Handoff keeps the pool-based
+// ledgers consistent under randomized moves, including drops.
+func TestPoolHandoffEquivalence(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{Rings: 2, CapacityBU: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	stations := net.Stations()
+	type loc struct {
+		hex geo.Hex
+		bu  int
+	}
+	where := make(map[int]loc)
+	nextID := 0
+	for op := 0; op < 5000; op++ {
+		switch {
+		case rng.Intn(100) < 40 || len(where) == 0: // admit somewhere
+			bs := stations[rng.Intn(len(stations))]
+			class := traffic.Classes()[rng.Intn(3)]
+			c := Call{ID: nextID, Class: class, BU: class.BandwidthUnits()}
+			nextID++
+			if err := bs.Admit(c); err == nil {
+				where[c.ID] = loc{hex: bs.Hex(), bu: c.BU}
+			}
+		default: // hand off a random live call to a random neighbour
+			var id int
+			for id = range where { // any element; order does not matter here
+				break
+			}
+			l := where[id]
+			neigh := l.hex.Neighbors()
+			to := neigh[rng.Intn(len(neigh))]
+			err := net.Handoff(id, l.hex, to, float64(op))
+			dst, inside := net.At(to)
+			if !inside {
+				if err == nil {
+					t.Fatalf("op %d: handoff into missing cell %v succeeded", op, to)
+				}
+				continue
+			}
+			if err != nil {
+				// Drop candidate: call must still be at the source.
+				if c, ok := netStation(t, net, l.hex).Call(id); !ok || c.BU != l.bu {
+					t.Fatalf("op %d: failed handoff lost call %d", op, id)
+				}
+				continue
+			}
+			if _, ok := netStation(t, net, l.hex).Call(id); ok {
+				t.Fatalf("op %d: call %d still at source after handoff", op, id)
+			}
+			c, ok := dst.Call(id)
+			if !ok || c.BU != l.bu || !c.Handoff {
+				t.Fatalf("op %d: call %d at target = %+v,%v", op, id, c, ok)
+			}
+			where[id] = loc{hex: to, bu: l.bu}
+		}
+	}
+	// Conservation: per-station Used matches the sum of tracked calls.
+	usedByHex := make(map[geo.Hex]int)
+	for _, l := range where {
+		usedByHex[l.hex] += l.bu
+	}
+	for _, bs := range net.Stations() {
+		if bs.Used() != usedByHex[bs.Hex()] {
+			t.Fatalf("station %v used=%d, tracked %d", bs.Hex(), bs.Used(), usedByHex[bs.Hex()])
+		}
+	}
+	if net.TotalUsed() != sumValues(usedByHex) {
+		t.Fatalf("TotalUsed=%d, tracked %d", net.TotalUsed(), sumValues(usedByHex))
+	}
+}
+
+func netStation(t *testing.T, n *Network, h geo.Hex) *BaseStation {
+	t.Helper()
+	bs, ok := n.At(h)
+	if !ok {
+		t.Fatalf("no station at %v", h)
+	}
+	return bs
+}
+
+func sumValues(m map[geo.Hex]int) int {
+	var s int
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// TestPoolSlotReuse pins the free-list mechanics: released slots are
+// recycled before the backing array grows.
+func TestPoolSlotReuse(t *testing.T) {
+	bs := newBS(t, 1000)
+	for i := 0; i < 50; i++ {
+		if err := bs.Admit(Call{ID: i, Class: traffic.Text, BU: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	baseSlots := len(bs.pool.slots)
+	for round := 0; round < 100; round++ {
+		id := 1000 + round
+		if _, err := bs.Release(round % 50); err != nil && round < 50 {
+			t.Fatal(err)
+		}
+		if round < 50 {
+			if err := bs.Admit(Call{ID: id, Class: traffic.Voice, BU: 5}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(bs.pool.slots) != baseSlots {
+		t.Fatalf("slot array grew from %d to %d despite free-list reuse", baseSlots, len(bs.pool.slots))
+	}
+	// dense/pos invariants hold after churn.
+	for di, slot := range bs.pool.dense {
+		if bs.pool.pos[slot] != int32(di) {
+			t.Fatalf("dense[%d]=%d but pos[%d]=%d", di, slot, slot, bs.pool.pos[slot])
+		}
+	}
+	freeCount := 0
+	for slot, p := range bs.pool.pos {
+		if p == -1 {
+			freeCount++
+			if bs.pool.slots[slot] != (Call{}) {
+				t.Fatalf("free slot %d not zeroed: %+v", slot, bs.pool.slots[slot])
+			}
+		}
+	}
+	if freeCount != len(bs.pool.free) {
+		t.Fatalf("pos reports %d free slots, free list has %d", freeCount, len(bs.pool.free))
+	}
+}
+
+// TestAdmitReleaseSteadyStateZeroAllocs is the allocation-regression
+// gate for the memory overhaul: once the pool has reached its
+// working-set size, admit/release churn must not allocate.
+func TestAdmitReleaseSteadyStateZeroAllocs(t *testing.T) {
+	bs := newBS(t, 100000)
+	// Warm the pool and the ID index to working-set size.
+	const workingSet = 4096
+	for i := 0; i < workingSet; i++ {
+		if err := bs.Admit(Call{ID: i, Class: traffic.Voice, BU: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id := workingSet
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := bs.Release(id - workingSet); err != nil {
+			t.Fatal(err)
+		}
+		if err := bs.Admit(Call{ID: id, Class: traffic.Voice, BU: 5}); err != nil {
+			t.Fatal(err)
+		}
+		id++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state admit/release allocates %.1f allocs/op, want 0", allocs)
+	}
+}

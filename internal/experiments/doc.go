@@ -2,9 +2,12 @@
 // driver per figure of the paper's evaluation section (Figs. 7-10), the
 // ablation studies enumerated in ablations.go, the one-shot batch
 // admission sweep (RunBatchAdmission), the closed-loop streaming load
-// generator (RunStreaming) over the internal/serve service, and the
+// generator (RunStreaming) over the internal/serve service, the
 // closed-loop sharded load generator (RunSharded / RunShardedSweep)
-// over the internal/shard engine.
+// over the internal/shard engine, and the metropolis-scale diurnal
+// workload (RunMetropolis) — a city-sized hex deployment with
+// rush-hour hotspot mobility, runnable through the single, batch and
+// sharded decision paths.
 //
 // # Determinism
 //
@@ -16,9 +19,11 @@
 // regardless of service timing because waves chunk only at MaxBatch
 // boundaries, and RunSharded produces byte-identical decision and
 // handoff streams for every shard count when the controller is
-// cell-local (cac.CellLocal). The determinism suites in
-// parallel_test.go, dispatch_test.go, streaming_test.go and
-// sharded_test.go pin these contracts.
+// cell-local (cac.CellLocal), and RunMetropolis folds every decision
+// into one FNV-1a digest that is identical across repeats, decision
+// paths and shard counts for cell-local controllers. The determinism
+// suites in parallel_test.go, dispatch_test.go, streaming_test.go,
+// sharded_test.go and metropolis_test.go pin these contracts.
 //
 // # Entry points
 //
@@ -29,7 +34,8 @@
 // against a loaded network snapshot; RunStreaming drives the streaming
 // admission service with waves, held calls and controller ticks;
 // RunSharded drives the sharded engine with the same closed loop plus
-// neighbour handoffs (RunShardedSweep repeats it per shard count). The
-// controller factories (FACSFactory, CompiledFACSFactory, SCCFactory,
+// neighbour handoffs (RunShardedSweep repeats it per shard count);
+// RunMetropolis runs the city-scale diurnal day. The controller
+// factories (FACSFactory, CompiledFACSFactory, SCCFactory,
 // SCCRecomputeFactory) build the multi-cell contestants.
 package experiments

@@ -201,16 +201,54 @@ func (r MultiCellResult) DropPct() float64 {
 }
 
 // activeCall is the runtime state of one admitted call in the multi-cell
-// simulation.
+// simulation. Records live in a callArena and are recycled when the call
+// ends, so long runs do not leave one heap object per historical call.
 type activeCall struct {
-	id      int
-	bu      int
-	class   traffic.Class
-	walk    *mobility.TurningWalk
-	hex     geo.Hex
-	endEv   *sim.Event
-	moveEv  *sim.Event
-	dropped bool
+	id       int
+	bu       int
+	class    traffic.Class
+	walk     *mobility.TurningWalk
+	hex      geo.Hex
+	endEv    *sim.Event
+	moveEv   *sim.Event
+	dropped  bool
+	nextFree *activeCall
+}
+
+// arenaChunkLen is the records-per-chunk granularity of callArena.
+const arenaChunkLen = 256
+
+// callArena hands out pointer-stable activeCall records from fixed-size
+// chunks with a free list, so the steady-state call population recycles
+// a bounded set of records instead of allocating one per call. Records
+// are backed by chunks that are only ever appended to within their fixed
+// capacity, so handed-out pointers never move.
+type callArena struct {
+	chunks [][]activeCall
+	free   *activeCall
+}
+
+// alloc returns a zeroed record.
+func (a *callArena) alloc() *activeCall {
+	if c := a.free; c != nil {
+		a.free = c.nextFree
+		*c = activeCall{}
+		return c
+	}
+	if n := len(a.chunks); n == 0 || len(a.chunks[n-1]) == arenaChunkLen {
+		a.chunks = append(a.chunks, make([]activeCall, 0, arenaChunkLen))
+	}
+	last := len(a.chunks) - 1
+	a.chunks[last] = append(a.chunks[last], activeCall{})
+	return &a.chunks[last][len(a.chunks[last])-1]
+}
+
+// release recycles a record. The caller must guarantee no scheduled
+// event still references it: every handler closure capturing the record
+// has either fired or been cancelled.
+func (a *callArena) release(c *activeCall) {
+	*c = activeCall{nextFree: a.free}
+	a.free = c
 }
 
 // RunMultiCell executes the multi-cell scenario.
@@ -299,6 +337,8 @@ type multiCellRun struct {
 	// reqScratch routes every admission question through the batch
 	// pipeline (cac.DecideAll) without a per-decision allocation.
 	reqScratch [1]cac.Request
+	// arena recycles activeCall records across the call population.
+	arena callArena
 }
 
 // decide renders one admission decision through the batch pipeline, so
@@ -417,13 +457,12 @@ func (r *multiCellRun) arrive(s *sim.Scheduler, req traffic.Request) {
 	if r.observer != nil {
 		r.observer.OnAdmit(cacReq)
 	}
-	call := &activeCall{
-		id:    req.ID,
-		bu:    req.BU,
-		class: req.Class,
-		walk:  walk,
-		hex:   bs.Hex(),
-	}
+	call := r.arena.alloc()
+	call.id = req.ID
+	call.bu = req.BU
+	call.class = req.Class
+	call.walk = walk
+	call.hex = bs.Hex()
 	call.endEv, err = s.After(req.HoldingTime, func(s *sim.Scheduler) { r.complete(s, call) })
 	if err != nil {
 		r.err = err
@@ -457,6 +496,8 @@ func (r *multiCellRun) complete(s *sim.Scheduler, call *activeCall) {
 	if r.observer != nil {
 		r.observer.OnRelease(call.id, bs, s.Now())
 	}
+	// Both events are now fired or cancelled, so the record can recycle.
+	r.arena.release(call)
 }
 
 // dropCall force-terminates a call whose handoff was denied.
@@ -479,6 +520,9 @@ func (r *multiCellRun) dropCall(s *sim.Scheduler, call *activeCall) {
 	if r.observer != nil {
 		r.observer.OnRelease(call.id, src, s.Now())
 	}
+	// endEv is cancelled and moveEv is the currently-firing event: no
+	// pending handler references the record any more.
+	r.arena.release(call)
 }
 
 // move advances an active call's user and performs handoffs.

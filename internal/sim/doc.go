@@ -11,7 +11,10 @@
 // perturbs another — the property all replication-determinism suites
 // rest on. The scheduler compacts its heap when cancelled events exceed
 // half of a non-trivial queue, so mobile-heavy runs do not grow it
-// unboundedly.
+// unboundedly. Fired and cancelled event records are recycled through
+// an internal pool (steady-state scheduling is allocation-free), and
+// firing clears an event's handler so captured state never outlives
+// the event — see the reuse contract on Event and Step.
 //
 // Entry points: Scheduler (After/At/Step/Run, with cancellable
 // Events), NewRNG/NewStream/StreamSeed and the distribution helpers

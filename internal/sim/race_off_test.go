@@ -1,0 +1,7 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector instruments this build;
+// finalizer-timing tests skip under it.
+const raceEnabled = false

@@ -12,6 +12,13 @@ type Handler func(s *Scheduler)
 
 // Event is a pending scheduled callback. Obtain events from Scheduler.At or
 // Scheduler.After; Cancel prevents a pending event from firing.
+//
+// Event records are pooled: once an event has fired (or been cancelled
+// and discarded), its record may be reused by a later At/After call.
+// Holding an *Event past its firing is safe only for the duration of the
+// handler that observed the fire (records are recycled one Step later);
+// Cancel must not be called on an event after it has fired, except from
+// within the currently-running handler.
 type Event struct {
 	at       float64
 	seq      uint64
@@ -19,6 +26,7 @@ type Event struct {
 	owner    *Scheduler
 	canceled bool
 	index    int // heap index, -1 once popped
+	poolNext *Event
 }
 
 // Time returns the simulation time at which the event fires.
@@ -27,12 +35,14 @@ func (e *Event) Time() float64 { return e.at }
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op. Cancelled events are deleted
 // lazily: they stay in the queue until popped or until the scheduler
-// compacts it (see Scheduler.compact).
+// compacts it (see Scheduler.compact). The handler closure is dropped
+// immediately so captured state is collectable before the record drains.
 func (e *Event) Cancel() {
 	if e.canceled {
 		return
 	}
 	e.canceled = true
+	e.fn = nil
 	if e.index >= 0 && e.owner != nil {
 		e.owner.canceled++
 		e.owner.maybeCompact()
@@ -54,6 +64,9 @@ type Scheduler struct {
 	executed uint64
 	canceled int // cancelled events still sitting in pq
 	compacts uint64
+	pool     *Event // free list of recycled event records
+	fired    *Event // last fired event, recycled at the next Step
+	pooled   uint64 // events served from the pool instead of the heap allocator
 }
 
 // compactMinLen is the queue size below which compaction is not worth
@@ -75,8 +88,20 @@ func (s *Scheduler) Len() int { return len(s.pq) }
 // Executed returns the number of events fired so far.
 func (s *Scheduler) Executed() uint64 { return s.executed }
 
+// Pooled returns the number of events whose records were recycled from
+// the free list rather than freshly allocated.
+func (s *Scheduler) Pooled() uint64 { return s.pooled }
+
+// recycle clears an event record and pushes it onto the free list. The
+// record must no longer be in the queue.
+func (s *Scheduler) recycle(ev *Event) {
+	*ev = Event{index: -1, poolNext: s.pool}
+	s.pool = ev
+}
+
 // At schedules fn at absolute simulation time t. Scheduling in the past or
-// with a non-finite time is an error.
+// with a non-finite time is an error. The returned *Event may be a
+// recycled record; see the Event reuse contract.
 func (s *Scheduler) At(t float64, fn Handler) (*Event, error) {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		return nil, fmt.Errorf("sim: event time must be finite, got %v", t)
@@ -87,7 +112,15 @@ func (s *Scheduler) At(t float64, fn Handler) (*Event, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("sim: event handler must not be nil")
 	}
-	ev := &Event{at: t, seq: s.seq, fn: fn, owner: s}
+	var ev *Event
+	if s.pool != nil {
+		ev = s.pool
+		s.pool = ev.poolNext
+		*ev = Event{at: t, seq: s.seq, fn: fn, owner: s}
+		s.pooled++
+	} else {
+		ev = &Event{at: t, seq: s.seq, fn: fn, owner: s}
+	}
 	s.seq++
 	heap.Push(&s.pq, ev)
 	return ev, nil
@@ -107,13 +140,13 @@ func (s *Scheduler) maybeCompact() {
 	live := s.pq[:0]
 	for _, ev := range s.pq {
 		if ev.canceled {
-			ev.index = -1
+			s.recycle(ev)
 			continue
 		}
 		ev.index = len(live)
 		live = append(live, ev)
 	}
-	// Zero the abandoned tail so dropped events can be collected.
+	// Zero the abandoned tail so the queue holds no stale pointers.
 	for i := len(live); i < len(s.pq); i++ {
 		s.pq[i] = nil
 	}
@@ -127,7 +160,8 @@ func (s *Scheduler) maybeCompact() {
 // events in bulk.
 func (s *Scheduler) Compactions() uint64 { return s.compacts }
 
-// After schedules fn d seconds from now. Negative delays are errors.
+// After schedules fn d seconds from now. Negative delays are errors. The
+// returned *Event may be a recycled record; see the Event reuse contract.
 func (s *Scheduler) After(d float64, fn Handler) (*Event, error) {
 	if math.IsNaN(d) || d < 0 {
 		return nil, fmt.Errorf("sim: delay must be >= 0, got %v", d)
@@ -137,16 +171,30 @@ func (s *Scheduler) After(d float64, fn Handler) (*Event, error) {
 
 // Step fires the next pending event, if any, and reports whether one fired.
 // Cancelled events are discarded silently without counting as a step.
+//
+// The fired event's handler and owner are cleared before the handler
+// runs, so a popped record keeps no captured call state alive; the
+// record itself is recycled at the following Step, which keeps the
+// event pointer valid for the handler that is observing the fire.
 func (s *Scheduler) Step() bool {
+	if s.fired != nil {
+		s.recycle(s.fired)
+		s.fired = nil
+	}
 	for len(s.pq) > 0 {
 		ev := heap.Pop(&s.pq).(*Event)
 		if ev.canceled {
 			s.canceled--
+			s.recycle(ev)
 			continue
 		}
 		s.now = ev.at
 		s.executed++
-		ev.fn(s)
+		fn := ev.fn
+		ev.fn = nil
+		ev.owner = nil
+		s.fired = ev
+		fn(s)
 		return true
 	}
 	return false
@@ -190,8 +238,9 @@ func (s *Scheduler) RunUntil(t float64) uint64 {
 func (s *Scheduler) peek() *Event {
 	for len(s.pq) > 0 {
 		if s.pq[0].canceled {
-			heap.Pop(&s.pq)
+			ev := heap.Pop(&s.pq).(*Event)
 			s.canceled--
+			s.recycle(ev)
 			continue
 		}
 		return s.pq[0]

@@ -83,6 +83,18 @@ func (m Mix) Validate() error {
 	return nil
 }
 
+// MeanBU returns the expected bandwidth of one call drawn from the mix,
+// in BU. An empty mix yields 0.
+func (m Mix) MeanBU() float64 {
+	total := m.Text + m.Voice + m.Video
+	if total <= 0 {
+		return 0
+	}
+	return (m.Text*float64(Text.BandwidthUnits()) +
+		m.Voice*float64(Voice.BandwidthUnits()) +
+		m.Video*float64(Video.BandwidthUnits())) / total
+}
+
 // Sample draws a class from the mix.
 func (m Mix) Sample(rng *rand.Rand) Class {
 	idx := sim.WeightedChoice(rng, []float64{m.Text, m.Voice, m.Video})

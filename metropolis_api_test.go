@@ -1,0 +1,46 @@
+package facs_test
+
+import (
+	"testing"
+
+	"facs"
+)
+
+// TestPublicMetropolis exercises the metropolis scenario through the
+// root facade: batch and sharded paths must agree byte-for-byte for a
+// cell-local controller.
+func TestPublicMetropolis(t *testing.T) {
+	cfg := facs.MetropolisConfig{
+		NewController: func(facs.ShardView) (facs.Controller, error) {
+			return facs.NewGuardChannel(8)
+		},
+		Rings:       2,
+		TargetCalls: 400,
+		Waves:       12,
+		WavesPerDay: 24,
+		Seed:        3,
+	}
+	batch, err := facs.RunMetropolis(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Mode != facs.MetroBatch {
+		t.Fatalf("default mode = %v, want batch", batch.Mode)
+	}
+	if batch.Requested == 0 || batch.Committed == 0 {
+		t.Fatalf("degenerate run: %+v", batch)
+	}
+	cfg.Mode = facs.MetroSharded
+	cfg.Shards = 2
+	sharded, err := facs.RunMetropolis(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.DecisionHash != batch.DecisionHash {
+		t.Fatalf("sharded hash %#x != batch hash %#x", sharded.DecisionHash, batch.DecisionHash)
+	}
+	if sharded.Requested != batch.Requested || sharded.Committed != batch.Committed ||
+		sharded.Handoffs != batch.Handoffs || sharded.PeakConcurrent != batch.PeakConcurrent {
+		t.Fatalf("sharded counters diverged: %+v vs %+v", sharded, batch)
+	}
+}
