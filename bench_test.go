@@ -615,7 +615,7 @@ func BenchmarkMetropolis(b *testing.B) {
 		})
 	}
 	path := os.Getenv("FACS_METRO_JSON")
-	if path == "" || len(runs) != len(cases) {
+	if path == "" || len(runs) == 0 {
 		return
 	}
 	doc := struct {

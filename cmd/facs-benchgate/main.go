@@ -1,0 +1,173 @@
+// Command facs-benchgate compares a freshly emitted metropolis bench
+// document (FACS_METRO_JSON output of BenchmarkMetropolis) against a
+// committed baseline and fails when memory efficiency regresses. It is
+// the CI teeth for the ROADMAP's bytes-per-call budget: the build goes
+// red if any run's bytes_per_call grows more than -max-growth-pct over
+// the baseline run of the same name.
+//
+// The two documents must describe the same scale (rings, target_calls,
+// waves): bytes-per-call amortises fixed engine overhead across the
+// live population, so cross-scale comparisons are meaningless and are
+// rejected rather than gated. When both documents were produced on the
+// same goos/goarch the gate also requires byte-identical decision
+// hashes per run — the workload is seeded and deterministic, so a hash
+// drift means behaviour changed, not just performance.
+//
+// Usage:
+//
+//	facs-benchgate -baseline BENCH_metropolis_ci.json -candidate /tmp/fresh.json
+//	facs-benchgate -baseline ... -candidate ... -max-growth-pct 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "facs-benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// benchRun mirrors the metroBenchRun fields the gate inspects; unknown
+// fields in the document are ignored.
+type benchRun struct {
+	Name           string  `json:"name"`
+	PeakConcurrent int     `json:"peak_concurrent"`
+	BytesPerCall   float64 `json:"bytes_per_call"`
+	DecisionHash   string  `json:"decision_hash"`
+}
+
+// benchDoc mirrors the BENCH_metropolis.json envelope.
+type benchDoc struct {
+	Scenario    string     `json:"scenario"`
+	Rings       int        `json:"rings"`
+	TargetCalls int        `json:"target_calls"`
+	Waves       int        `json:"waves"`
+	GOOS        string     `json:"goos"`
+	GOARCH      string     `json:"goarch"`
+	Runs        []benchRun `json:"runs"`
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("facs-benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "", "committed baseline bench document (required)")
+	candidatePath := fs.String("candidate", "", "freshly emitted bench document to gate (required)")
+	maxGrowthPct := fs.Float64("max-growth-pct", 10, "max allowed bytes_per_call growth over baseline, percent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baselinePath == "" || *candidatePath == "" {
+		return fmt.Errorf("both -baseline and -candidate are required")
+	}
+	base, err := loadDoc(*baselinePath)
+	if err != nil {
+		return err
+	}
+	cand, err := loadDoc(*candidatePath)
+	if err != nil {
+		return err
+	}
+	verdicts, err := gate(base, cand, *maxGrowthPct)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, v := range verdicts {
+		fmt.Fprintln(stdout, v.String())
+		if !v.ok {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d runs regressed", failed, len(verdicts))
+	}
+	return nil
+}
+
+func loadDoc(path string) (benchDoc, error) {
+	var doc benchDoc
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Runs) == 0 {
+		return doc, fmt.Errorf("%s: no runs", path)
+	}
+	return doc, nil
+}
+
+// verdict is one run's gate outcome.
+type verdict struct {
+	name      string
+	ok        bool
+	baseline  float64
+	candidate float64
+	growthPct float64
+	note      string
+}
+
+func (v verdict) String() string {
+	status := "ok  "
+	if !v.ok {
+		status = "FAIL"
+	}
+	s := fmt.Sprintf("%s %-24s bytes/call %8.2f -> %8.2f (%+.1f%%)",
+		status, v.name, v.baseline, v.candidate, v.growthPct)
+	if v.note != "" {
+		s += " " + v.note
+	}
+	return s
+}
+
+// gate compares the candidate document against the baseline run by run.
+// It errors (rather than failing runs) when the documents are not
+// comparable: different scenario or scale, or a baseline run missing
+// from the candidate.
+func gate(base, cand benchDoc, maxGrowthPct float64) ([]verdict, error) {
+	if base.Scenario != cand.Scenario {
+		return nil, fmt.Errorf("scenario mismatch: baseline %q vs candidate %q", base.Scenario, cand.Scenario)
+	}
+	if base.Rings != cand.Rings || base.TargetCalls != cand.TargetCalls || base.Waves != cand.Waves {
+		return nil, fmt.Errorf("scale mismatch: baseline rings=%d target=%d waves=%d vs candidate rings=%d target=%d waves=%d (bytes/call is only comparable at equal scale)",
+			base.Rings, base.TargetCalls, base.Waves, cand.Rings, cand.TargetCalls, cand.Waves)
+	}
+	byName := make(map[string]benchRun, len(cand.Runs))
+	for _, r := range cand.Runs {
+		byName[r.Name] = r
+	}
+	sameHost := base.GOOS == cand.GOOS && base.GOARCH == cand.GOARCH
+	verdicts := make([]verdict, 0, len(base.Runs))
+	for _, b := range base.Runs {
+		c, ok := byName[b.Name]
+		if !ok {
+			return nil, fmt.Errorf("candidate is missing run %q", b.Name)
+		}
+		v := verdict{name: b.Name, ok: true, baseline: b.BytesPerCall, candidate: c.BytesPerCall}
+		if b.BytesPerCall > 0 {
+			v.growthPct = 100 * (c.BytesPerCall - b.BytesPerCall) / b.BytesPerCall
+		}
+		if v.growthPct > maxGrowthPct {
+			v.ok = false
+			v.note = fmt.Sprintf("(budget %+.1f%%)", maxGrowthPct)
+		}
+		// The workload is seeded and deterministic, so on matching
+		// goos/goarch the decision stream must be byte-identical; a
+		// hash drift is a behaviour change hiding in a perf PR.
+		if sameHost && b.DecisionHash != "" && c.DecisionHash != "" && b.DecisionHash != c.DecisionHash {
+			v.ok = false
+			v.note = fmt.Sprintf("(decision hash drifted: %s -> %s)", b.DecisionHash, c.DecisionHash)
+		}
+		verdicts = append(verdicts, v)
+	}
+	return verdicts, nil
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func doc(bytesPerCall float64, hash string) benchDoc {
+	return benchDoc{
+		Scenario: "metropolis", Rings: 6, TargetCalls: 60000, Waves: 96,
+		GOOS: "linux", GOARCH: "amd64",
+		Runs: []benchRun{{Name: "guard/batch", BytesPerCall: bytesPerCall, DecisionHash: hash}},
+	}
+}
+
+func TestGateWithinBudgetPasses(t *testing.T) {
+	vs, err := gate(doc(150, "0xabc"), doc(160, "0xabc"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !vs[0].ok {
+		t.Fatalf("6.7%% growth within 10%% budget should pass: %+v", vs)
+	}
+}
+
+func TestGateOverBudgetFails(t *testing.T) {
+	vs, err := gate(doc(150, "0xabc"), doc(170, "0xabc"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs[0].ok {
+		t.Fatalf("13%% growth over 10%% budget should fail: %+v", vs)
+	}
+}
+
+func TestGateHashDriftFails(t *testing.T) {
+	vs, err := gate(doc(150, "0xabc"), doc(150, "0xdef"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs[0].ok {
+		t.Fatal("decision hash drift on same goos/goarch should fail")
+	}
+	// On a different architecture float behaviour may legally differ,
+	// so the hash check is skipped there.
+	other := doc(150, "0xdef")
+	other.GOARCH = "arm64"
+	vs, err = gate(doc(150, "0xabc"), other, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vs[0].ok {
+		t.Fatal("hash check should be skipped across architectures")
+	}
+}
+
+func TestGateScaleMismatchErrors(t *testing.T) {
+	other := doc(150, "0xabc")
+	other.Rings = 18
+	if _, err := gate(doc(150, "0xabc"), other, 10); err == nil {
+		t.Fatal("cross-scale comparison should error")
+	}
+	missing := doc(150, "0xabc")
+	missing.Runs[0].Name = "other/run"
+	if _, err := gate(doc(150, "0xabc"), missing, 10); err == nil {
+		t.Fatal("missing run should error")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, d benchDoc) string {
+		path := filepath.Join(dir, name)
+		buf := []byte(`{"scenario":"metropolis","rings":6,"target_calls":60000,"waves":96,"goos":"linux","goarch":"amd64","runs":[{"name":"guard/batch","bytes_per_call":` + name[:1] + `50,"decision_hash":"0xabc"}]}`)
+		_ = d
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("1base.json", benchDoc{})
+	candOK := write("1cand.json", benchDoc{})
+	candBad := write("2bad.json", benchDoc{}) // 250 bytes/call vs 150 baseline
+	var out, errOut strings.Builder
+	if err := run([]string{"-baseline", base, "-candidate", candOK}, &out, &errOut); err != nil {
+		t.Fatalf("identical docs should pass: %v", err)
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Fatalf("expected ok verdict, got %q", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-baseline", base, "-candidate", candBad}, &out, &errOut); err == nil {
+		t.Fatal("66% regression should fail the gate")
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("expected FAIL verdict, got %q", out.String())
+	}
+}

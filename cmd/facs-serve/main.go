@@ -82,6 +82,7 @@ import (
 	icell "facs/internal/cell"
 	igeo "facs/internal/geo"
 	igps "facs/internal/gps"
+	"facs/internal/prof"
 	iscc "facs/internal/scc"
 	iserve "facs/internal/serve"
 	ishard "facs/internal/shard"
@@ -113,6 +114,9 @@ type serveOptions struct {
 	loadgen      int
 	wave         int
 	seed         int64
+	cpuProfile   string
+	memProfile   string
+	traceOut     string
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
@@ -135,6 +139,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs.IntVar(&o.loadgen, "loadgen", 0, "run the closed-loop load generator with N requests instead of serving")
 	fs.IntVar(&o.wave, "wave", 64, "requests per wave for -loadgen")
 	fs.Int64Var(&o.seed, "seed", 1, "random seed for -loadgen")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile (stopped at shutdown) to this file")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a pprof allocs profile (post-GC, at shutdown) to this file")
+	fs.StringVar(&o.traceOut, "trace", "", "write a runtime execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -173,16 +180,30 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(prof.Config{
+		CPUProfile: o.cpuProfile,
+		MemProfile: o.memProfile,
+		Trace:      o.traceOut,
+	})
+	if err != nil {
+		return err
+	}
+	finishProf := func(err error) error {
+		if perr := stopProf(); err == nil {
+			return perr
+		}
+		return err
+	}
 	if o.loadgen > 0 {
 		if o.shards > 1 {
-			return runShardedLoadgen(o, factory, stdout)
+			return finishProf(runShardedLoadgen(o, factory, stdout))
 		}
-		return runLoadgen(o, factory, stdout)
+		return finishProf(runLoadgen(o, factory, stdout))
 	}
 
 	netw, err := facs.NewNetwork(facs.NetworkConfig{Rings: o.rings, CapacityBU: o.capacity})
 	if err != nil {
-		return err
+		return finishProf(err)
 	}
 	// The serving path always runs the sharded engine: at -shards 1 it
 	// is the classic single decision loop (plus the handoff op); above
@@ -198,25 +219,25 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		Commit:   o.commit,
 	})
 	if err != nil {
-		return err
+		return finishProf(err)
 	}
 	defer eng.Close()
 
 	if o.listen != "" {
-		return serveTCP(o.listen, eng, netw, o.maxInflight, stderr)
+		return finishProf(serveTCP(o.listen, eng, netw, o.maxInflight, stderr))
 	}
 	if err := serveStream(eng, netw, stdin, stdout, o.maxInflight); err != nil {
-		return err
+		return finishProf(err)
 	}
 	// Controller-side counters (the SCC ledger's guard-band fallbacks
 	// and ghost-exchange activity) are only reachable through the Do
 	// barrier, so snapshot them before Close tears the loops down.
 	ledger, hasLedger := ledgerStats(eng)
 	if err := eng.Close(); err != nil {
-		return err
+		return finishProf(err)
 	}
 	printEngineStats(stderr, eng, ledger, hasLedger)
-	return nil
+	return finishProf(nil)
 }
 
 // ledgerStats aggregates the per-shard SCC ledger snapshots through the

@@ -24,6 +24,7 @@ import (
 
 	"facs"
 	icell "facs/internal/cell"
+	"facs/internal/prof"
 	iscc "facs/internal/scc"
 	itraffic "facs/internal/traffic"
 )
@@ -62,6 +63,10 @@ type simOptions struct {
 	target       int
 	waves        int
 	measureMem   bool
+	materialize  bool
+	cpuProfile   string
+	memProfile   string
+	traceOut     string
 }
 
 func run(args []string) error {
@@ -92,6 +97,10 @@ func run(args []string) error {
 	fs.IntVar(&o.target, "target", 0, "peak concurrent-call target for -metropolis (0 = default 20000)")
 	fs.IntVar(&o.waves, "waves", 0, "decision waves for -metropolis (0 = one simulated day)")
 	fs.BoolVar(&o.measureMem, "measure-mem", false, "report heap bytes per concurrent call at the population peak (-metropolis)")
+	fs.BoolVar(&o.materialize, "metro-materialize", false, "materialize whole waves instead of streaming MaxBatch chunks (-metropolis A/B check)")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a pprof allocs profile (post-GC) to this file")
+	fs.StringVar(&o.traceOut, "trace", "", "write a runtime execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -123,15 +132,31 @@ func run(args []string) error {
 		if o.reps > 1 || o.workers != 0 {
 			return fmt.Errorf("-metropolis runs one scenario; -reps/-workers do not apply")
 		}
-		return runMetropolis(o)
+	} else if o.materialize {
+		return fmt.Errorf("-metro-materialize applies to -metropolis runs")
 	}
-	if o.batch {
-		return runBatch(o)
+	stopProf, err := prof.Start(prof.Config{
+		CPUProfile: o.cpuProfile,
+		MemProfile: o.memProfile,
+		Trace:      o.traceOut,
+	})
+	if err != nil {
+		return err
 	}
-	if o.multicell {
-		return runMulti(o)
+	scenario := runSingle
+	switch {
+	case o.metropolis:
+		scenario = runMetropolis
+	case o.batch:
+		scenario = runBatch
+	case o.multicell:
+		scenario = runMulti
 	}
-	return runSingle(o)
+	if err := scenario(o); err != nil {
+		_ = stopProf()
+		return err
+	}
+	return stopProf()
 }
 
 // seeds lists the replication seeds seed..seed+reps-1.
@@ -353,6 +378,7 @@ func runMetropolis(o simOptions) error {
 		Waves:         o.waves,
 		Seed:          o.seed,
 		MeasureMem:    o.measureMem,
+		Materialize:   o.materialize,
 	})
 	if err != nil {
 		return err

@@ -43,9 +43,10 @@ type GuardChannel struct {
 }
 
 var (
-	_ Controller      = GuardChannel{}
-	_ BatchController = GuardChannel{}
-	_ CellLocal       = GuardChannel{}
+	_ Controller          = GuardChannel{}
+	_ BatchController     = GuardChannel{}
+	_ BatchIntoController = GuardChannel{}
+	_ CellLocal           = GuardChannel{}
 )
 
 // NewGuardChannel validates and constructs the scheme.
@@ -86,12 +87,21 @@ func (g GuardChannel) Decide(req Request) (Decision, error) {
 // must not mutate stations, so occupancy is stable for the batch).
 func (g GuardChannel) DecideBatch(reqs []Request) ([]Decision, error) {
 	out := make([]Decision, len(reqs))
+	if err := g.DecideBatchInto(reqs, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecideBatchInto implements BatchIntoController: DecideBatch semantics
+// into a caller-provided buffer, with zero allocations.
+func (g GuardChannel) DecideBatchInto(reqs []Request, out []Decision) error {
 	var station *cell.BaseStation
 	free := 0
 	for i := range reqs {
 		req := &reqs[i]
 		if err := req.Validate(); err != nil {
-			return nil, err
+			return err
 		}
 		if req.Station != station {
 			station = req.Station
@@ -107,7 +117,7 @@ func (g GuardChannel) DecideBatch(reqs []Request) ([]Decision, error) {
 			out[i] = Reject
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // ThresholdPolicy is the Multi-Priority Threshold policy shape referenced
@@ -121,9 +131,10 @@ type ThresholdPolicy struct {
 }
 
 var (
-	_ Controller      = ThresholdPolicy{}
-	_ BatchController = ThresholdPolicy{}
-	_ CellLocal       = ThresholdPolicy{}
+	_ Controller          = ThresholdPolicy{}
+	_ BatchController     = ThresholdPolicy{}
+	_ BatchIntoController = ThresholdPolicy{}
+	_ CellLocal           = ThresholdPolicy{}
 )
 
 // NewThresholdPolicy validates and constructs the policy.
@@ -174,12 +185,21 @@ func (p ThresholdPolicy) Decide(req Request) (Decision, error) {
 // O(1) class counters.
 func (p ThresholdPolicy) DecideBatch(reqs []Request) ([]Decision, error) {
 	out := make([]Decision, len(reqs))
+	if err := p.DecideBatchInto(reqs, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecideBatchInto implements BatchIntoController: DecideBatch semantics
+// into a caller-provided buffer, with zero allocations.
+func (p ThresholdPolicy) DecideBatchInto(reqs []Request, out []Decision) error {
 	var station *cell.BaseStation
 	free := 0
 	for i := range reqs {
 		req := &reqs[i]
 		if err := req.Validate(); err != nil {
-			return nil, err
+			return err
 		}
 		if req.Station != station {
 			station = req.Station
@@ -196,5 +216,5 @@ func (p ThresholdPolicy) DecideBatch(reqs []Request) ([]Decision, error) {
 			out[i] = Reject
 		}
 	}
-	return out, nil
+	return nil
 }

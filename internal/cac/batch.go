@@ -1,5 +1,7 @@
 package cac
 
+import "fmt"
+
 // BatchController is implemented by controllers with a native batch
 // decision path: DecideBatch answers many admission questions in one
 // call, amortising per-request work (surface lookups, scratch buffers,
@@ -16,34 +18,86 @@ type BatchController interface {
 	DecideBatch(reqs []Request) ([]Decision, error)
 }
 
-// DecideAll renders decisions for a batch of requests through c's
-// native batch path when it implements BatchController, and falls back
-// to sequential Decide calls otherwise. It is the single entry point
-// callers should use for multi-request admission, so that batch-capable
-// controllers are amortised automatically.
+// BatchIntoController is the allocation-free refinement of
+// BatchController: DecideBatchInto writes decisions into a
+// caller-provided buffer instead of allocating a fresh slice per batch.
+// Long-lived decision loops (serve.Service, the sharded engine, the
+// metropolis wave loop) reuse one buffer across millions of batches, so
+// the steady-state decision path performs zero allocations.
+//
+// Contract: identical outcome semantics to DecideBatch — out[i] must
+// equal Decide(reqs[i]) — and len(out) must be >= len(reqs) (only the
+// first len(reqs) entries are written). Every BatchIntoController in
+// this repository also implements BatchController by delegating to the
+// Into path with a fresh buffer.
+type BatchIntoController interface {
+	Controller
+	// DecideBatchInto writes one decision per request, in request
+	// order, into out[:len(reqs)].
+	DecideBatchInto(reqs []Request, out []Decision) error
+}
+
 // DecideOne renders a single decision through the batch pipeline using
 // caller-provided scratch, so event-driven loops route through the same
-// DecideAll dispatch as real batches without a per-decision allocation.
+// DecideAllInto dispatch as real batches without a per-decision
+// allocation.
 func DecideOne(c Controller, scratch *[1]Request, req Request) (Decision, error) {
 	scratch[0] = req
-	out, err := DecideAll(c, scratch[:])
-	if err != nil {
+	var out [1]Decision
+	if err := DecideAllInto(c, scratch[:], out[:]); err != nil {
 		return Reject, err
 	}
 	return out[0], nil
 }
 
+// DecideAll renders decisions for a batch of requests through c's
+// native batch path when it implements BatchController (or
+// BatchIntoController), and falls back to sequential Decide calls
+// otherwise. It is the single entry point callers should use for
+// multi-request admission when they do not manage an output buffer;
+// hot loops should prefer DecideAllInto with reused scratch.
 func DecideAll(c Controller, reqs []Request) ([]Decision, error) {
-	if bc, ok := c.(BatchController); ok {
-		return bc.DecideBatch(reqs)
-	}
 	out := make([]Decision, len(reqs))
+	if err := DecideAllInto(c, reqs, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecideAllInto renders decisions for a batch of requests into the
+// caller-provided buffer out, which must hold at least len(reqs)
+// entries. Dispatch prefers the allocation-free BatchIntoController
+// path, then BatchController (copying its result), then sequential
+// Decide calls — outcomes are identical on every path; only the
+// allocation behaviour differs. Controllers with native Into support
+// make the whole call allocation-free, which is what the steady-state
+// zero-alloc gates on the metropolis wave loop pin.
+func DecideAllInto(c Controller, reqs []Request, out []Decision) error {
+	if len(out) < len(reqs) {
+		return errShortDecisionBuffer(len(reqs), len(out))
+	}
+	out = out[:len(reqs)]
+	if bi, ok := c.(BatchIntoController); ok {
+		return bi.DecideBatchInto(reqs, out)
+	}
+	if bc, ok := c.(BatchController); ok {
+		decisions, err := bc.DecideBatch(reqs)
+		if err != nil {
+			return err
+		}
+		copy(out, decisions)
+		return nil
+	}
 	for i := range reqs {
 		d, err := c.Decide(reqs[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = d
 	}
-	return out, nil
+	return nil
+}
+
+func errShortDecisionBuffer(reqs, slots int) error {
+	return fmt.Errorf("cac: decision buffer too short: %d requests, %d slots", reqs, slots)
 }

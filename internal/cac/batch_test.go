@@ -170,3 +170,60 @@ func TestDecideOne(t *testing.T) {
 		t.Fatal("invalid request should error")
 	}
 }
+
+// TestDecideAllIntoDispatch pins the Into pipeline: short buffers are
+// rejected, the native Into path is preferred over DecideBatch, and the
+// allocation-free implementations (guard, threshold) render identical
+// outcomes into a reused buffer with zero allocations.
+func TestDecideAllIntoDispatch(t *testing.T) {
+	reqs := batchRequests(t)[:4]
+	if err := DecideAllInto(CompleteSharing{}, reqs, make([]Decision, 3)); err == nil {
+		t.Fatal("short decision buffer should error")
+	}
+	spy := &batchIntoSpy{}
+	out := make([]Decision, len(reqs))
+	if err := DecideAllInto(spy, reqs, out); err != nil {
+		t.Fatal(err)
+	}
+	if !spy.into || spy.batchSpy.batched || spy.decides != 0 {
+		t.Fatalf("dispatch order wrong: into=%v batched=%v decides=%d",
+			spy.into, spy.batchSpy.batched, spy.decides)
+	}
+
+	guard, err := NewGuardChannel(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := batchRequests(t)
+	want, err := DecideAll(guard, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]Decision, len(all))
+	avg := testing.AllocsPerRun(20, func() {
+		if err := DecideAllInto(guard, all, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("guard DecideAllInto allocates: %.2f allocs/batch", avg)
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("request %d: Into %v, DecideAll %v", i, buf[i], want[i])
+		}
+	}
+}
+
+type batchIntoSpy struct {
+	batchSpy
+	into bool
+}
+
+func (s *batchIntoSpy) DecideBatchInto(reqs []Request, out []Decision) error {
+	s.into = true
+	for i := range reqs {
+		out[i] = Accept
+	}
+	return nil
+}

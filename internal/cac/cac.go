@@ -116,7 +116,10 @@ type DemandDelta struct {
 	// Gen is the exporter's generation: incremented on every export.
 	Gen uint64
 	// Rows holds the changed (cell, interval) aggregates in a
-	// deterministic (cell, interval) order.
+	// deterministic (cell, interval) order. Rows may alias a buffer the
+	// exporter reuses: it is valid until the exporter's next
+	// ExportDemand call, so receivers must apply (or copy) a delta
+	// before the next exchange round.
 	Rows []DemandRow
 }
 

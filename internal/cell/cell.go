@@ -107,6 +107,44 @@ func (p *callPool) get(id int) (Call, bool) {
 	return p.slots[slot], true
 }
 
+// reserve materializes storage for up to n concurrent calls: fresh
+// slots are pushed onto the free stack (lowest first, matching the
+// order lazy growth would have assigned them), every backing array gets
+// capacity n, and the ID index is rebuilt with room for n entries.
+// After reserve(n), put and take never allocate while the live
+// population stays at or below n. Slot numbering is unobservable
+// outside the pool, so reserving changes no behaviour — only when the
+// memory is paid for.
+func (p *callPool) reserve(n int) {
+	if n <= len(p.slots) {
+		return
+	}
+	old := len(p.slots)
+	slots := make([]Call, n)
+	copy(slots, p.slots)
+	p.slots = slots
+	pos := make([]int32, n)
+	copy(pos, p.pos)
+	for i := old; i < n; i++ {
+		pos[i] = -1
+	}
+	p.pos = pos
+	free := make([]int32, len(p.free), n)
+	copy(free, p.free)
+	p.free = free
+	for slot := n - 1; slot >= old; slot-- {
+		p.free = append(p.free, int32(slot))
+	}
+	dense := make([]int32, len(p.dense), n)
+	copy(dense, p.dense)
+	p.dense = dense
+	index := make(map[int]int32, n)
+	for id, slot := range p.index {
+		index[id] = slot
+	}
+	p.index = index
+}
+
 // BaseStation is one cell's radio resource manager. It is not safe for
 // concurrent use; the simulation kernel is single-threaded by design.
 type BaseStation struct {
@@ -143,6 +181,15 @@ func (b *BaseStation) Pos() geo.Point { return b.pos }
 
 // Capacity returns the total bandwidth in BU.
 func (b *BaseStation) Capacity() int { return b.capacity }
+
+// Reserve presizes the station's call-pool storage for up to n
+// concurrent calls, so admit/release churn below that population
+// performs no allocation. Every call occupies at least 1 BU, so
+// Reserve(Capacity()) is the hard bound: after it the pool never
+// allocates again. Reserving is purely a memory-layout decision —
+// admission behaviour and outcomes are unchanged. n values not above
+// the already-materialized pool size are no-ops.
+func (b *BaseStation) Reserve(n int) { b.pool.reserve(n) }
 
 // Used returns the occupied bandwidth in BU (RTC + NRTC).
 func (b *BaseStation) Used() int { return b.usedRT + b.usedNRT }

@@ -11,6 +11,7 @@ import (
 	"facs/internal/cell"
 	"facs/internal/geo"
 	"facs/internal/gps"
+	"facs/internal/serve"
 	"facs/internal/shard"
 	"facs/internal/sim"
 	"facs/internal/traffic"
@@ -124,6 +125,16 @@ type MetropolisConfig struct {
 	// forced GC at the predicted population peak (default off: the GC
 	// pass costs wall-clock, never outcomes).
 	MeasureMem bool
+	// Materialize restores the pre-streaming arrival path: each wave's
+	// full request slice is generated up front and handed to the engine
+	// in one call. The default (false) streams arrivals in
+	// MaxBatch-sized chunks from persistent scratch, so a wave's memory
+	// footprint is O(MaxBatch) instead of O(arrivals). The two paths
+	// are byte-identical: engines chunk waves at MaxBatch boundaries
+	// anyway, so feeding pre-chunked waves produces the same decision
+	// stream and DecisionHash. Materialize exists for exactly that
+	// identity check (and for A/B measurement).
+	Materialize bool
 }
 
 func (c MetropolisConfig) withDefaults() MetropolisConfig {
@@ -334,10 +345,13 @@ type inlineMetroEngine struct {
 	ticker   cac.Ticker
 	maxBatch int
 	scratch  [1]cac.Request
+	// dec is the persistent decision buffer DecideAllInto fills: one
+	// slot per chunk position, reused across chunks and waves.
+	dec []cac.Decision
 }
 
 func newInlineMetroEngine(ctrl cac.Controller, maxBatch int) *inlineMetroEngine {
-	e := &inlineMetroEngine{ctrl: ctrl, maxBatch: maxBatch}
+	e := &inlineMetroEngine{ctrl: ctrl, maxBatch: maxBatch, dec: make([]cac.Decision, maxBatch)}
 	e.observer, _ = ctrl.(cac.Observer)
 	e.ticker, _ = ctrl.(cac.Ticker)
 	return e
@@ -369,26 +383,11 @@ func (e *inlineMetroEngine) submitWave(reqs []cac.Request, out []metroOutcome) e
 			hi = len(reqs)
 		}
 		chunk := reqs[lo:hi]
-		var decisions []cac.Decision
-		var err error
-		if len(chunk) == 1 {
-			var d cac.Decision
-			d, err = cac.DecideOne(e.ctrl, &e.scratch, chunk[0])
-			e.scratch[0] = cac.Request{}
-			if err == nil {
-				out[lo] = metroOutcome{accepted: d.Accepted()}
-				if d.Accepted() {
-					out[lo].committed = e.commit(chunk[0])
-				}
-				continue
-			}
-		} else {
-			decisions, err = cac.DecideAll(e.ctrl, chunk)
-		}
-		if err != nil {
+		if err := cac.DecideAllInto(e.ctrl, chunk, e.dec[:len(chunk)]); err != nil {
 			return err
 		}
-		for i, d := range decisions {
+		for i := range chunk {
+			d := e.dec[i]
 			out[lo+i] = metroOutcome{accepted: d.Accepted()}
 			if d.Accepted() {
 				out[lo+i].committed = e.commit(chunk[i])
@@ -417,8 +416,10 @@ func (e *inlineMetroEngine) handoff(id int, class traffic.Class, bu int, from, t
 		e.observer.OnRelease(id, from, now)
 	}
 	// Phase 2: target-side admission with handoff priority, a
-	// single-request chunk exactly like the engine's SubmitAll.
-	req := cac.Request{
+	// single-request chunk exactly like the engine's SubmitAll. The
+	// request and decision ride the engine's persistent scratch so the
+	// two-phase protocol stays allocation-free.
+	e.scratch[0] = cac.Request{
 		Call:    cell.Call{ID: id, Class: class, BU: bu},
 		Station: to,
 		Obs:     gps.Observe(est, to.Pos()),
@@ -426,11 +427,13 @@ func (e *inlineMetroEngine) handoff(id int, class traffic.Class, bu int, from, t
 		Handoff: true,
 		Now:     now,
 	}
-	d, err := cac.DecideOne(e.ctrl, &e.scratch, req)
+	err := cac.DecideAllInto(e.ctrl, e.scratch[:], e.dec[:1])
+	req := e.scratch[0]
 	e.scratch[0] = cac.Request{}
 	if err != nil {
 		return metroOutcome{}, false, err
 	}
+	d := e.dec[0]
 	outcome := metroOutcome{accepted: d.Accepted()}
 	if d.Accepted() {
 		outcome.committed = e.commit(req)
@@ -447,9 +450,12 @@ func (e *inlineMetroEngine) tick(now float64) error {
 
 func (e *inlineMetroEngine) close() error { return nil }
 
-// shardMetroEngine adapts shard.Engine to the wave loop.
+// shardMetroEngine adapts shard.Engine to the wave loop. resp is the
+// persistent response-scatter buffer SubmitWaveTo fills, grown once to
+// the largest wave seen and reused thereafter.
 type shardMetroEngine struct {
 	engine *shard.Engine
+	resp   []serve.Response
 }
 
 func (e *shardMetroEngine) controllerName() (string, error) {
@@ -459,8 +465,11 @@ func (e *shardMetroEngine) controllerName() (string, error) {
 }
 
 func (e *shardMetroEngine) submitWave(reqs []cac.Request, out []metroOutcome) error {
-	resps, err := e.engine.SubmitWave(reqs)
-	if err != nil {
+	if cap(e.resp) < len(reqs) {
+		e.resp = make([]serve.Response, len(reqs))
+	}
+	resps := e.resp[:len(reqs)]
+	if err := e.engine.SubmitWaveTo(reqs, resps); err != nil {
 		return err
 	}
 	for i, resp := range resps {
@@ -569,8 +578,13 @@ type metroWorkload struct {
 	// arrivals is the scheduled arrival count per wave.
 	arrivals []int
 	// cellCum is the per-wave cumulative cell-choice distribution,
-	// rebuilt at each wave from the rush profile (scratch buffer).
+	// rebuilt from the rush profile only when the profile actually
+	// moves (scratch buffer; see ensureCellCum).
 	cellCum []float64
+	// cellCumSkew is the hotspot skew cellCum was last built for;
+	// cellCumOK reports whether cellCum holds any build at all.
+	cellCumSkew float64
+	cellCumOK   bool
 	// mix is the cumulative class distribution.
 	mixCum [3]float64
 	// inradiusM bounds the position jitter inside a chosen cell.
@@ -671,15 +685,24 @@ func (w *metroWorkload) peakWave() int {
 	return best
 }
 
-// buildCellCum rebuilds the cumulative cell-choice weights for a wave:
-// uniform base plus rush-scaled hotspot proximity.
-func (w *metroWorkload) buildCellCum(wave int) {
+// ensureCellCum makes the cumulative cell-choice weights current for a
+// wave: uniform base plus rush-scaled hotspot proximity. The weights
+// depend on the wave only through the hotspot skew, so the rebuild is
+// skipped whenever the skew repeats — every wave of a multi-day run
+// after the first day (the diurnal clock wraps), and every wave when
+// hotspots are disabled.
+func (w *metroWorkload) ensureCellCum(wave int) {
 	skew := w.cfg.RushBias * rushFactor(w.hourOf(wave))
+	if w.cellCumOK && skew == w.cellCumSkew {
+		return
+	}
 	cum := 0.0
 	for i := range w.cellCum {
 		cum += 1 + skew*w.prox[i]
 		w.cellCum[i] = cum
 	}
+	w.cellCumSkew = skew
+	w.cellCumOK = true
 }
 
 // sampleCell draws a station index from the wave's distribution.
@@ -767,9 +790,51 @@ func (w *metroWorkload) sampleHandoffTarget(rng *rand.Rand, si int, wave int) (i
 // demand ledger are reproducible per shard count but legitimately
 // diverge between shard counts.
 func RunMetropolis(cfg MetropolisConfig) (MetropolisResult, error) {
+	r, err := newMetroRun(cfg)
+	if err != nil {
+		return MetropolisResult{}, err
+	}
+	defer r.engine.close()
+	start := time.Now()
+	for r.wave < r.cfg.Waves {
+		if err := r.runWave(); err != nil {
+			return MetropolisResult{}, err
+		}
+	}
+	r.result.Elapsed = time.Since(start)
+	return r.finish()
+}
+
+// metroRun is the wave loop's live state, split out of RunMetropolis so
+// tests can step individual waves (warm the scratch buffers through the
+// population ramp, then gate steady-state allocations per wave).
+type metroRun struct {
+	cfg        MetropolisConfig
+	engine     metroEngine
+	workload   *metroWorkload
+	callRNG    *rand.Rand
+	handoffRNG *rand.Rand
+	result     MetropolisResult
+	hash       fnv1a
+	ledger     metroLedger
+	// Wave scratch, reused across waves: the streaming path sizes it at
+	// one MaxBatch chunk; the materialized path grows it once to the
+	// largest scheduled wave.
+	reqs  []cac.Request
+	outs  []metroOutcome
+	holds []int
+	cells []int
+
+	nextID   int
+	wave     int
+	baseHeap uint64
+	peakWave int
+}
+
+func newMetroRun(cfg MetropolisConfig) (*metroRun, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
-		return MetropolisResult{}, err
+		return nil, err
 	}
 	net, err := cell.NewNetwork(cell.NetworkConfig{
 		Rings:       cfg.Rings,
@@ -777,7 +842,7 @@ func RunMetropolis(cfg MetropolisConfig) (MetropolisResult, error) {
 		CapacityBU:  cfg.CapacityBU,
 	})
 	if err != nil {
-		return MetropolisResult{}, err
+		return nil, err
 	}
 
 	var engine metroEngine
@@ -791,13 +856,13 @@ func RunMetropolis(cfg MetropolisConfig) (MetropolisResult, error) {
 			Commit:        true,
 		})
 		if err != nil {
-			return MetropolisResult{}, err
+			return nil, err
 		}
 		engine = &shardMetroEngine{engine: eng}
 	default:
 		ctrl, err := cfg.NewController(shard.SingleView(net))
 		if err != nil {
-			return MetropolisResult{}, err
+			return nil, err
 		}
 		maxBatch := cfg.MaxBatch
 		if cfg.Mode == MetroSingle {
@@ -805,175 +870,205 @@ func RunMetropolis(cfg MetropolisConfig) (MetropolisResult, error) {
 		}
 		engine = newInlineMetroEngine(ctrl, maxBatch)
 	}
-	defer engine.close()
 
-	workload := newMetroWorkload(cfg, net)
-	callRNG := sim.NewStream(cfg.Seed, "metro-calls")
-	handoffRNG := sim.NewStream(cfg.Seed, "metro-handoff")
-
-	result := MetropolisResult{
+	r := &metroRun{
+		cfg:        cfg,
+		engine:     engine,
+		workload:   newMetroWorkload(cfg, net),
+		callRNG:    sim.NewStream(cfg.Seed, "metro-calls"),
+		handoffRNG: sim.NewStream(cfg.Seed, "metro-handoff"),
+		hash:       fnv1a(fnvOffset64),
+		nextID:     1,
+		peakWave:   -1,
+	}
+	r.result = MetropolisResult{
 		Mode:       cfg.Mode,
 		Cells:      net.NumCells(),
 		CapacityBU: cfg.CapacityBU,
 		Shards:     1,
 	}
 	if cfg.Mode == MetroSharded {
-		result.Shards = engine.(*shardMetroEngine).engine.Shards()
+		r.result.Shards = engine.(*shardMetroEngine).engine.Shards()
 	}
-	if result.ControllerName, err = engine.controllerName(); err != nil {
-		return MetropolisResult{}, err
+	if r.result.ControllerName, err = engine.controllerName(); err != nil {
+		_ = engine.close()
+		return nil, err
 	}
 
-	var baseHeap uint64
-	peakWave := -1
+	// Size the wave scratch once: a streaming run never holds more than
+	// one MaxBatch chunk; a materialized run holds the largest wave.
+	scratch := cfg.MaxBatch
+	if cfg.Materialize {
+		for _, n := range r.workload.arrivals {
+			if n > scratch {
+				scratch = n
+			}
+		}
+	}
+	r.reqs = make([]cac.Request, 0, scratch)
+	r.outs = make([]metroOutcome, scratch)
+	r.holds = make([]int, 0, scratch)
+	r.cells = make([]int, 0, scratch)
+
 	if cfg.MeasureMem {
-		peakWave = workload.peakWave()
+		r.peakWave = r.workload.peakWave()
 		var ms runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&ms)
-		baseHeap = ms.HeapAlloc
+		r.baseHeap = ms.HeapAlloc
+	}
+	return r, nil
+}
+
+// runWave advances the scenario by one wave: releases, the tick
+// barrier, the handoff round, then the wave's arrivals.
+func (r *metroRun) runWave() error {
+	cfg, workload, engine := r.cfg, r.workload, r.engine
+	wave := r.wave
+	now := float64(wave) * cfg.WaveIntervalSec
+
+	// Retire calls due this wave, strictly before handoffs and new
+	// admissions; stable in-place compaction keeps admission order.
+	keep := 0
+	for i := 0; i < r.ledger.len(); i++ {
+		if r.ledger.release[i] <= int32(wave) {
+			if err := engine.release(int(r.ledger.id[i]), workload.stations[r.ledger.station[i]], now); err != nil {
+				return err
+			}
+			r.result.Released++
+			continue
+		}
+		if keep != i {
+			r.ledger.set(keep, i)
+		}
+		keep++
+	}
+	r.ledger.truncate(keep)
+
+	if wave > 0 && wave%cfg.TickEveryWaves == 0 {
+		if err := engine.tick(now); err != nil {
+			return err
+		}
 	}
 
-	hash := fnv1a(fnvOffset64)
-	var ledger metroLedger
-	var reqs []cac.Request
-	var outs []metroOutcome
-	var holds, cells []int
-	nextID := 1
-	start := time.Now()
-	for wave := 0; wave < cfg.Waves; wave++ {
-		now := float64(wave) * cfg.WaveIntervalSec
-
-		// Retire calls due this wave, strictly before handoffs and new
-		// admissions; stable in-place compaction keeps admission order.
-		keep := 0
-		for i := 0; i < ledger.len(); i++ {
-			if ledger.release[i] <= int32(wave) {
-				if err := engine.release(int(ledger.id[i]), workload.stations[ledger.station[i]], now); err != nil {
-					return MetropolisResult{}, err
+	// Handoff round: a seeded subset of the survivors moves along the
+	// rush-hour gradient through the two-phase protocol.
+	if wave > 0 && wave%cfg.HandoffEveryWaves == 0 {
+		keep = 0
+		for i := 0; i < r.ledger.len(); i++ {
+			if r.handoffRNG.Float64() >= cfg.HandoffFraction {
+				if keep != i {
+					r.ledger.set(keep, i)
 				}
-				result.Released++
+				keep++
 				continue
 			}
+			si := int(r.ledger.station[i])
+			ti, ok := workload.sampleHandoffTarget(r.handoffRNG, si, wave)
+			if !ok {
+				if keep != i {
+					r.ledger.set(keep, i)
+				}
+				keep++
+				continue
+			}
+			est := workload.sampleEstimate(r.handoffRNG, ti, now)
+			outcome, crossShard, err := engine.handoff(
+				int(r.ledger.id[i]), r.ledger.class[i], int(r.ledger.bu[i]),
+				workload.stations[si], workload.stations[ti], est, now)
+			if err != nil {
+				return err
+			}
+			r.result.Handoffs++
+			if crossShard {
+				r.result.CrossShard++
+			}
+			r.hash.writeOutcome('H', int(r.ledger.id[i]), outcome)
+			if !outcome.committed {
+				r.result.HandoffDropped++
+				continue // the call is lost; the source released it
+			}
+			r.ledger.station[i] = int32(ti)
 			if keep != i {
-				ledger.set(keep, i)
+				r.ledger.set(keep, i)
 			}
 			keep++
 		}
-		ledger.truncate(keep)
+		r.ledger.truncate(keep)
+	}
 
-		if wave > 0 && wave%cfg.TickEveryWaves == 0 {
-			if err := engine.tick(now); err != nil {
-				return MetropolisResult{}, err
-			}
+	// Arrivals: the wave's scheduled draw from the diurnal curve,
+	// streamed through the engine seam one MaxBatch chunk at a time
+	// (Materialize hands the whole wave over in one call instead).
+	// Engines re-chunk waves at MaxBatch boundaries, so the chunk
+	// cadence changes no decision and no hash — only the footprint.
+	n := workload.arrivals[wave]
+	workload.ensureCellCum(wave)
+	step := n
+	if !cfg.Materialize && cfg.MaxBatch < n {
+		step = cfg.MaxBatch
+	}
+	for lo := 0; lo < n; lo += step {
+		m := step
+		if lo+m > n {
+			m = n - lo
 		}
-
-		// Handoff round: a seeded subset of the survivors moves along the
-		// rush-hour gradient through the two-phase protocol.
-		if wave > 0 && wave%cfg.HandoffEveryWaves == 0 {
-			keep = 0
-			for i := 0; i < ledger.len(); i++ {
-				if handoffRNG.Float64() >= cfg.HandoffFraction {
-					if keep != i {
-						ledger.set(keep, i)
-					}
-					keep++
-					continue
-				}
-				si := int(ledger.station[i])
-				ti, ok := workload.sampleHandoffTarget(handoffRNG, si, wave)
-				if !ok {
-					if keep != i {
-						ledger.set(keep, i)
-					}
-					keep++
-					continue
-				}
-				est := workload.sampleEstimate(handoffRNG, ti, now)
-				outcome, crossShard, err := engine.handoff(
-					int(ledger.id[i]), ledger.class[i], int(ledger.bu[i]),
-					workload.stations[si], workload.stations[ti], est, now)
-				if err != nil {
-					return MetropolisResult{}, err
-				}
-				result.Handoffs++
-				if crossShard {
-					result.CrossShard++
-				}
-				hash.writeOutcome('H', int(ledger.id[i]), outcome)
-				if !outcome.committed {
-					result.HandoffDropped++
-					continue // the call is lost; the source released it
-				}
-				ledger.station[i] = int32(ti)
-				if keep != i {
-					ledger.set(keep, i)
-				}
-				keep++
-			}
-			ledger.truncate(keep)
-		}
-
-		// Arrivals: the wave's scheduled draw from the diurnal curve.
-		n := workload.arrivals[wave]
-		workload.buildCellCum(wave)
-		if cap(reqs) < n {
-			reqs = make([]cac.Request, 0, n)
-			outs = make([]metroOutcome, n)
-			holds = make([]int, 0, n)
-			cells = make([]int, 0, n)
-		}
-		reqs, holds, cells = reqs[:0], holds[:0], cells[:0]
-		for i := 0; i < n; i++ {
-			si := workload.sampleCell(callRNG)
-			class := workload.sampleClass(callRNG)
-			est := workload.sampleEstimate(callRNG, si, now)
+		reqs, holds, cells := r.reqs[:0], r.holds[:0], r.cells[:0]
+		for i := 0; i < m; i++ {
+			si := workload.sampleCell(r.callRNG)
+			class := workload.sampleClass(r.callRNG)
+			est := workload.sampleEstimate(r.callRNG, si, now)
 			bs := workload.stations[si]
 			reqs = append(reqs, cac.Request{
-				Call:    cell.Call{ID: nextID, Class: class, BU: class.BandwidthUnits()},
+				Call:    cell.Call{ID: r.nextID, Class: class, BU: class.BandwidthUnits()},
 				Station: bs,
 				Obs:     gps.Observe(est, bs.Pos()),
 				Est:     est,
 				Now:     now,
 			})
-			holds = append(holds, cfg.HoldWavesMin+callRNG.Intn(cfg.HoldWavesMax-cfg.HoldWavesMin+1))
+			holds = append(holds, cfg.HoldWavesMin+r.callRNG.Intn(cfg.HoldWavesMax-cfg.HoldWavesMin+1))
 			cells = append(cells, si)
-			nextID++
+			r.nextID++
 		}
-		if err := engine.submitWave(reqs, outs[:len(reqs)]); err != nil {
-			return MetropolisResult{}, err
+		if err := engine.submitWave(reqs, r.outs[:m]); err != nil {
+			return err
 		}
 		for i := range reqs {
-			o := outs[i]
-			hash.writeOutcome('A', reqs[i].Call.ID, o)
-			result.Requested++
+			o := r.outs[i]
+			r.hash.writeOutcome('A', reqs[i].Call.ID, o)
+			r.result.Requested++
 			if o.accepted {
-				result.Accepted++
+				r.result.Accepted++
 			}
 			if o.committed {
-				result.Committed++
-				ledger.push(reqs[i].Call.ID, reqs[i].Call.Class, reqs[i].Call.BU,
+				r.result.Committed++
+				r.ledger.push(reqs[i].Call.ID, reqs[i].Call.Class, reqs[i].Call.BU,
 					cells[i], wave+holds[i])
 			}
 		}
-		result.Waves++
-		if ledger.len() > result.PeakConcurrent {
-			result.PeakConcurrent = ledger.len()
-		}
-		if wave == peakWave && ledger.len() > 0 {
-			var ms runtime.MemStats
-			runtime.GC()
-			runtime.ReadMemStats(&ms)
-			if ms.HeapAlloc > baseHeap {
-				result.BytesPerCall = float64(ms.HeapAlloc-baseHeap) / float64(ledger.len())
-			}
+	}
+	r.result.Waves++
+	if r.ledger.len() > r.result.PeakConcurrent {
+		r.result.PeakConcurrent = r.ledger.len()
+	}
+	if wave == r.peakWave && r.ledger.len() > 0 {
+		var ms runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > r.baseHeap {
+			r.result.BytesPerCall = float64(ms.HeapAlloc-r.baseHeap) / float64(r.ledger.len())
 		}
 	}
-	result.Elapsed = time.Since(start)
-	result.FinalActive = ledger.len()
-	result.DecisionHash = uint64(hash)
-	if err := engine.close(); err != nil {
+	r.wave++
+	return nil
+}
+
+// finish closes the engine and returns the accumulated result.
+func (r *metroRun) finish() (MetropolisResult, error) {
+	r.result.FinalActive = r.ledger.len()
+	r.result.DecisionHash = uint64(r.hash)
+	if err := r.engine.close(); err != nil {
 		return MetropolisResult{}, err
 	}
-	return result, nil
+	return r.result, nil
 }

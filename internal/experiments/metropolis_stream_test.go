@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestMetropolisStreamingIdentity pins the tentpole contract: the
+// streaming arrival generator (the default) and the materialized path
+// produce byte-identical DecisionHash values — across all three modes
+// and shard counts 1/2/4 — because engines chunk waves at MaxBatch
+// boundaries regardless of how the wave is delivered.
+func TestMetropolisStreamingIdentity(t *testing.T) {
+	variants := []struct {
+		name   string
+		mutate func(*MetropolisConfig)
+	}{
+		{"single", func(c *MetropolisConfig) { c.Mode = MetroSingle }},
+		{"batch", func(c *MetropolisConfig) { c.Mode = MetroBatch }},
+		{"sharded-1", func(c *MetropolisConfig) { c.Mode = MetroSharded; c.Shards = 1 }},
+		{"sharded-2", func(c *MetropolisConfig) { c.Mode = MetroSharded; c.Shards = 2 }},
+		{"sharded-4", func(c *MetropolisConfig) { c.Mode = MetroSharded; c.Shards = 4 }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			stream := metroTestConfig(shardGuardFactory)
+			v.mutate(&stream)
+			materialized := stream
+			materialized.Materialize = true
+			a, err := RunMetropolis(stream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunMetropolis(materialized)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameMetroOutcome(t, v.name, a, b)
+			if a.Requested == 0 || a.Committed == 0 {
+				t.Fatalf("degenerate run: %+v", a)
+			}
+		})
+	}
+}
+
+// TestMetropolisStreamingIdentitySCC extends the pin to the
+// non-cell-local SCC ledger at a fixed shard count: per shard count the
+// decision stream must not depend on how arrivals are delivered.
+func TestMetropolisStreamingIdentitySCC(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		stream := metroTestConfig(shardLedgerFactory)
+		stream.Mode = MetroSharded
+		stream.Shards = shards
+		materialized := stream
+		materialized.Materialize = true
+		a, err := RunMetropolis(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunMetropolis(materialized)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameMetroOutcome(t, "scc-sharded", a, b)
+	}
+}
+
+// TestMetropolisSteadyStateAllocs is the allocation gate on the
+// streaming wave loop: once the run has warmed through a full diurnal
+// day (population high-water reached, every scratch buffer at final
+// size), additional waves on the inline paths must allocate nothing —
+// zero allocations per decision, not merely few. Station pools are
+// reserved to their capacity bound up front, so the only allocator the
+// loop otherwise retains (per-station population high-water growth,
+// bounded by CapacityBU) is paid before measurement.
+func TestMetropolisSteadyStateAllocs(t *testing.T) {
+	for _, mode := range []MetropolisMode{MetroSingle, MetroBatch} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := metroTestConfig(shardGuardFactory)
+			cfg.Mode = mode
+			cfg.Waves = 3 * cfg.WavesPerDay
+			r, err := newMetroRun(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.engine.close()
+			for _, bs := range r.workload.stations {
+				bs.Reserve(bs.Capacity())
+			}
+			// Warm-up: one full day, reaching the ledger and scratch
+			// high-water marks.
+			warm := cfg.WavesPerDay
+			for r.wave < warm {
+				if err := r.runWave(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			const measured = 12
+			decisionsBefore := r.result.Requested + r.result.Handoffs
+			avg := testing.AllocsPerRun(measured, func() {
+				if err := r.runWave(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			decisions := r.result.Requested + r.result.Handoffs - decisionsBefore
+			if decisions == 0 {
+				t.Fatal("steady-state waves rendered no decisions")
+			}
+			if avg != 0 {
+				t.Errorf("steady-state wave allocates: %.2f allocs/wave over %d decisions (want 0)",
+					avg, decisions)
+			}
+		})
+	}
+}

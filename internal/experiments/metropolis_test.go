@@ -217,12 +217,12 @@ func TestMetropolisHotspotSkew(t *testing.T) {
 	w := newMetroWorkload(cfg.withDefaults(), net)
 	// At 08:30 (rush) the hotspot-weighted mass must exceed the uniform
 	// share; at 03:00 it must be nearly uniform.
-	w.buildCellCum(findWaveAtHour(t, w, 8.5))
+	w.ensureCellCum(findWaveAtHour(t, w, 8.5))
 	rushTotal := w.cellCum[len(w.cellCum)-1]
 	if rushTotal <= float64(len(w.cellCum))*1.05 {
 		t.Fatalf("rush-hour weights %.1f not skewed above uniform %d", rushTotal, len(w.cellCum))
 	}
-	w.buildCellCum(findWaveAtHour(t, w, 3))
+	w.ensureCellCum(findWaveAtHour(t, w, 3))
 	nightTotal := w.cellCum[len(w.cellCum)-1]
 	if nightTotal >= float64(len(w.cellCum))*1.05 {
 		t.Fatalf("night weights %.1f should be near-uniform %d", nightTotal, len(w.cellCum))

@@ -289,12 +289,22 @@ func (c *CompiledController) Evaluate(obs gps.Observation, requestBU, usedBU int
 // that already dominate the cost.
 func (c *CompiledController) DecideBatch(reqs []cac.Request) ([]cac.Decision, error) {
 	out := make([]cac.Decision, len(reqs))
+	if err := c.DecideBatchInto(reqs, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecideBatchInto implements cac.BatchIntoController: DecideBatch
+// semantics into a caller-provided buffer. Surface lookups allocate
+// nothing, so the fast path (no guard-band fallback) is allocation-free.
+func (c *CompiledController) DecideBatchInto(reqs []cac.Request, out []cac.Decision) error {
 	var station *cell.BaseStation
 	used, free := 0, 0
 	for i := range reqs {
 		req := &reqs[i]
 		if err := req.Validate(); err != nil {
-			return nil, err
+			return err
 		}
 		// Decide must not mutate stations, so occupancy is stable for
 		// the whole batch and one read serves every consecutive request
@@ -310,7 +320,7 @@ func (c *CompiledController) DecideBatch(reqs []cac.Request) ([]cac.Decision, er
 		}
 		ev, err := c.Evaluate(req.Obs, req.Call.BU, used, req.Handoff)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if ev.Accepted {
 			out[i] = cac.Accept
@@ -318,7 +328,7 @@ func (c *CompiledController) DecideBatch(reqs []cac.Request) ([]cac.Decision, er
 			out[i] = cac.Reject
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // Decide implements cac.Controller with the same semantics as

@@ -235,14 +235,24 @@ func (s *System) Evaluate(obs gps.Observation, requestBU, usedBU int, handoff bo
 // batch capability so the pipeline treats every FACS variant uniformly.
 func (s *System) DecideBatch(reqs []cac.Request) ([]cac.Decision, error) {
 	out := make([]cac.Decision, len(reqs))
+	if err := s.DecideBatchInto(reqs, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecideBatchInto implements cac.BatchIntoController: DecideBatch
+// semantics into a caller-provided buffer (the Mamdani inference still
+// allocates internally; the buffer only removes the per-batch slice).
+func (s *System) DecideBatchInto(reqs []cac.Request, out []cac.Decision) error {
 	for i := range reqs {
 		d, err := s.Decide(reqs[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = d
 	}
-	return out, nil
+	return nil
 }
 
 // Decide implements cac.Controller: the request is admitted when the

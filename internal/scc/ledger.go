@@ -2,6 +2,7 @@ package scc
 
 import (
 	"fmt"
+	"sort"
 
 	"facs/internal/cac"
 	"facs/internal/cell"
@@ -97,6 +98,23 @@ type Ledger struct {
 	exportGen uint64
 	ghostGens map[int]uint64
 
+	// Dirty-index tracking makes ExportDemand scale with the entries
+	// touched since the last export rather than the matrix size. Every
+	// demand write (apply, or a value Rebuild shifted while cancelling
+	// drift) marks its dense index: dirtyStamp[i] == dirtyEpoch means i
+	// is already queued in dirtyIdx for the next export. ExportDemand
+	// drains the queue in ascending index order (== cell-major row
+	// order) and bumps the epoch, which clears every stamp at once.
+	dirtyStamp []uint64
+	dirtyIdx   []int
+	dirtyEpoch uint64
+	// rowsBuf backs the exported DemandDelta.Rows; see ExportDemand for
+	// the aliasing contract.
+	rowsBuf []DemandRow
+	// rebuildOld snapshots the matrix across a Rebuild so shifted
+	// entries can be diff-marked dirty.
+	rebuildOld []float64
+
 	fallbacks    int64
 	rebuilds     int64
 	exports      int64
@@ -112,12 +130,13 @@ type Ledger struct {
 }
 
 var (
-	_ cac.Controller      = (*Ledger)(nil)
-	_ cac.BatchController = (*Ledger)(nil)
-	_ cac.Observer        = (*Ledger)(nil)
-	_ cac.StateUpdater    = (*Ledger)(nil)
-	_ cac.Ticker          = (*Ledger)(nil)
-	_ cac.DemandExchanger = (*Ledger)(nil)
+	_ cac.Controller          = (*Ledger)(nil)
+	_ cac.BatchController     = (*Ledger)(nil)
+	_ cac.BatchIntoController = (*Ledger)(nil)
+	_ cac.Observer            = (*Ledger)(nil)
+	_ cac.StateUpdater        = (*Ledger)(nil)
+	_ cac.Ticker              = (*Ledger)(nil)
+	_ cac.DemandExchanger     = (*Ledger)(nil)
 )
 
 // DemandDelta is the demand-exchange payload (see cac.DemandDelta).
@@ -145,6 +164,8 @@ func NewLedger(cfg Config) (*Ledger, error) {
 		ghostGens: make(map[int]uint64),
 		weights:   make([]float64, len(stations)),
 	}
+	l.dirtyStamp = make([]uint64, len(l.demand))
+	l.dirtyEpoch = 1
 	for i, bs := range stations {
 		l.idx[bs.Hex()] = i
 		l.limits[i] = cfg.Threshold * float64(bs.Capacity())
@@ -256,9 +277,21 @@ func (l *Ledger) footprint(dst []footCell, tr track) []footCell {
 func (l *Ledger) apply(foot []footCell, sign float64) {
 	h := l.cfg.Horizon + 1
 	for _, fc := range foot {
-		l.demand[int(fc.cell)*h+int(fc.k)] += sign * fc.amount
+		mi := int(fc.cell)*h + int(fc.k)
+		l.demand[mi] += sign * fc.amount
+		l.markDirty(mi)
 	}
 	l.ops += len(foot)
+}
+
+// markDirty queues dense matrix index mi for the next ExportDemand
+// scan; already-queued indices (stamp == current epoch) are skipped, so
+// the queue holds each touched entry once.
+func (l *Ledger) markDirty(mi int) {
+	if l.dirtyStamp[mi] != l.dirtyEpoch {
+		l.dirtyStamp[mi] = l.dirtyEpoch
+		l.dirtyIdx = append(l.dirtyIdx, mi)
+	}
 }
 
 // maybeRebuild resets floating-point drift once the incremental ops
@@ -273,6 +306,11 @@ func (l *Ledger) maybeRebuild() {
 // ascending call-ID order — the same summation order the recompute
 // Controller uses — resetting accumulated floating-point drift to zero.
 func (l *Ledger) Rebuild() {
+	if cap(l.rebuildOld) < len(l.demand) {
+		l.rebuildOld = make([]float64, len(l.demand))
+	}
+	old := l.rebuildOld[:len(l.demand)]
+	copy(old, l.demand)
 	for i := range l.demand {
 		l.demand[i] = 0
 	}
@@ -280,6 +318,14 @@ func (l *Ledger) Rebuild() {
 	for _, id := range l.ids {
 		for _, fc := range l.active[id].foot {
 			l.demand[int(fc.cell)*h+int(fc.k)] += fc.amount
+		}
+	}
+	// Drift cancellation can shift entries whose footprints never went
+	// through apply since the last export; diff-mark those so the sparse
+	// export still sees every change.
+	for i := range l.demand {
+		if l.demand[i] != old[i] {
+			l.markDirty(i)
 		}
 	}
 	l.ops = 0
@@ -316,23 +362,33 @@ func (l *Ledger) OnTick(now float64) {
 // its own additions — orders of magnitude below boundaryGuardBU, and
 // exactly zero in ReservationFull mode where every aggregate is a sum
 // of whole bandwidth units.
+//
+// The scan is sparse: only entries touched since the previous export
+// (tracked by apply and Rebuild) are visited, so an export costs
+// O(touched rows), not O(stations x horizon). The returned Rows slice
+// aliases a buffer the ledger reuses — it is valid until the next
+// ExportDemand call, matching the exchange barrier's lifecycle (every
+// receiver applies the delta before the next tick's export).
 func (l *Ledger) ExportDemand() DemandDelta {
 	if l.exported == nil {
 		l.exported = make([]float64, len(l.demand))
 	}
 	h := l.cfg.Horizon + 1
-	var rows []DemandRow
-	for ci, bs := range l.stations {
-		base := ci * h
-		for k := 0; k < h; k++ {
-			cur := l.demand[base+k]
-			if cur == l.exported[base+k] {
-				continue
-			}
-			rows = append(rows, DemandRow{Cell: bs.Hex(), K: k, Amount: cur - l.exported[base+k]})
-			l.exported[base+k] = cur
+	// Ascending dense index == cell-major (cell, interval) order, the
+	// same deterministic row order a full-matrix scan produced.
+	sort.Ints(l.dirtyIdx)
+	rows := l.rowsBuf[:0]
+	for _, mi := range l.dirtyIdx {
+		cur := l.demand[mi]
+		if cur == l.exported[mi] {
+			continue
 		}
+		rows = append(rows, DemandRow{Cell: l.stations[mi/h].Hex(), K: mi % h, Amount: cur - l.exported[mi]})
+		l.exported[mi] = cur
 	}
+	l.rowsBuf = rows
+	l.dirtyIdx = l.dirtyIdx[:0]
+	l.dirtyEpoch++
 	l.exportGen++
 	l.exports++
 	return DemandDelta{Gen: l.exportGen, Rows: rows}
@@ -473,14 +529,24 @@ func (l *Ledger) Decide(req cac.Request) (cac.Decision, error) {
 // to add amortisation beyond what Decide carries.
 func (l *Ledger) DecideBatch(reqs []cac.Request) ([]cac.Decision, error) {
 	out := make([]cac.Decision, len(reqs))
+	if err := l.DecideBatchInto(reqs, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecideBatchInto implements cac.BatchIntoController: DecideBatch
+// semantics into a caller-provided buffer, allocation-free (the decision
+// path reads the matrix through controller-resident scratch).
+func (l *Ledger) DecideBatchInto(reqs []cac.Request, out []cac.Decision) error {
 	for i := range reqs {
 		d, err := l.Decide(reqs[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = d
 	}
-	return out, nil
+	return nil
 }
 
 // OnAdmit implements cac.Observer: cache the call's footprint and apply

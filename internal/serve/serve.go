@@ -213,10 +213,13 @@ type pending struct {
 	reply chan Response
 }
 
-// wave is one SubmitAll call: a caller-defined batch that is decided as
-// a unit, split only at deterministic MaxBatch boundaries.
+// wave is one SubmitAll / SubmitAllInto call: a caller-defined batch
+// that is decided as a unit, split only at deterministic MaxBatch
+// boundaries. out is the response buffer the loop fills (caller-owned
+// for SubmitAllInto, allocated by SubmitAll).
 type wave struct {
 	reqs  []cac.Request
+	out   []Response
 	enq   time.Time
 	reply chan []Response
 }
@@ -254,6 +257,7 @@ type Service struct {
 	// Loop-local scratch, reused across micro-batches.
 	reqScratch  []cac.Request
 	pendScratch []*pending
+	decScratch  []cac.Decision
 
 	submitted  atomic.Int64
 	decided    atomic.Int64
@@ -299,6 +303,7 @@ func New(cfg Config) (*Service, error) {
 		done:        make(chan struct{}),
 		reqScratch:  make([]cac.Request, 0, cfg.MaxBatch),
 		pendScratch: make([]*pending, 0, cfg.MaxBatch),
+		decScratch:  make([]cac.Decision, cfg.MaxBatch),
 	}
 	go s.loop()
 	return s, nil
@@ -357,13 +362,35 @@ func (s *Service) SubmitAll(reqs []cac.Request) ([]Response, error) {
 	if len(reqs) == 0 {
 		return nil, nil
 	}
-	w := &wave{reqs: reqs, enq: time.Now(), reply: make(chan []Response, 1)}
+	out := make([]Response, len(reqs))
+	if err := s.SubmitAllInto(reqs, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SubmitAllInto is SubmitAll with a caller-owned response buffer: the
+// wave's responses are written into out[:len(reqs)] instead of a fresh
+// slice, so closed-loop drivers (the sharded engine's scatter path, the
+// metropolis wave loop) reuse one buffer across millions of waves. out
+// must hold at least len(reqs) entries; outcomes are identical to
+// SubmitAll in every respect. The buffer must not be read until
+// SubmitAllInto returns, and is safe to reuse immediately afterwards.
+func (s *Service) SubmitAllInto(reqs []cac.Request, out []Response) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if len(out) < len(reqs) {
+		return fmt.Errorf("serve: response buffer too short: %d requests, %d slots", len(reqs), len(out))
+	}
+	w := &wave{reqs: reqs, out: out[:len(reqs)], enq: time.Now(), reply: make(chan []Response, 1)}
 	s.submitted.Add(int64(len(reqs)))
 	if err := s.send(item{wave: w}); err != nil {
 		s.submitted.Add(int64(-len(reqs)))
-		return nil, err
+		return err
 	}
-	return <-w.reply, nil
+	<-w.reply
+	return nil
 }
 
 // Do runs fn inside the decision loop, after every previously enqueued
@@ -554,14 +581,14 @@ func (s *Service) coalesce(first *pending) *item {
 	for _, p := range batch {
 		reqs = append(reqs, p.req)
 	}
-	decisions, err := cac.DecideAll(s.cfg.Controller, reqs)
+	err := cac.DecideAllInto(s.cfg.Controller, reqs, s.decScratch)
 	s.noteBatch(len(batch))
 	for i, p := range batch {
 		var resp Response
 		if err != nil {
 			resp = s.finishErr(err, len(batch))
 		} else {
-			resp = s.finish(p.req, decisions[i], len(batch))
+			resp = s.finish(p.req, s.decScratch[i], len(batch))
 		}
 		resp.Latency = s.noteLatency(p.enq, 1)
 		p.reply <- resp
@@ -573,7 +600,7 @@ func (s *Service) coalesce(first *pending) *item {
 // chunks. A chunk's decision error fails the rest of the wave.
 func (s *Service) decideWave(w *wave) {
 	s.waves.Add(1)
-	out := make([]Response, len(w.reqs))
+	out := w.out
 	var failed error
 	for lo := 0; lo < len(w.reqs); lo += s.cfg.MaxBatch {
 		hi := lo + s.cfg.MaxBatch
@@ -582,13 +609,13 @@ func (s *Service) decideWave(w *wave) {
 		}
 		chunk := w.reqs[lo:hi]
 		if failed == nil {
-			decisions, err := cac.DecideAll(s.cfg.Controller, chunk)
+			err := cac.DecideAllInto(s.cfg.Controller, chunk, s.decScratch)
 			s.noteBatch(len(chunk))
 			if err != nil {
 				failed = err
 			} else {
 				for i := range chunk {
-					out[lo+i] = s.finish(chunk[i], decisions[i], len(chunk))
+					out[lo+i] = s.finish(chunk[i], s.decScratch[i], len(chunk))
 				}
 			}
 		}

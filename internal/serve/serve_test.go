@@ -619,3 +619,54 @@ func TestLatencyQuantiles(t *testing.T) {
 		t.Fatalf("summary misses percentiles: %s", got)
 	}
 }
+
+// TestSubmitAllIntoMatchesSubmitAll pins the buffer-reuse wave path:
+// SubmitAllInto fills a caller-provided response buffer with exactly
+// the responses SubmitAll would have allocated, rejects short buffers,
+// and leaves slots beyond len(reqs) untouched.
+func TestSubmitAllIntoMatchesSubmitAll(t *testing.T) {
+	guard, err := cac.NewGuardChannel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netA := testNetwork(t, 5)
+	netB := testNetwork(t, 5)
+	a, err := New(Config{Controller: guard, MaxBatch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(Config{Controller: guard, MaxBatch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	reqsA := genRequests(t, netA, 77, 100)
+	reqsB := genRequests(t, netB, 77, 100)
+	want, err := a.SubmitAll(reqsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]Response, len(reqsB)+8)
+	sentinel := Response{Batch: -99}
+	buf[len(reqsB)] = sentinel
+	if err := b.SubmitAllInto(reqsB, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i].Decision != buf[i].Decision || want[i].Committed != buf[i].Committed ||
+			want[i].Batch != buf[i].Batch {
+			t.Fatalf("response %d: SubmitAll %+v, SubmitAllInto %+v", i, want[i], buf[i])
+		}
+	}
+	if buf[len(reqsB)] != sentinel {
+		t.Fatal("SubmitAllInto wrote past len(reqs)")
+	}
+	if err := b.SubmitAllInto(reqsB, make([]Response, len(reqsB)-1)); err == nil {
+		t.Fatal("short response buffer should error")
+	}
+	if err := b.SubmitAllInto(nil, nil); err != nil {
+		t.Fatalf("empty wave: %v", err)
+	}
+}

@@ -142,6 +142,17 @@ type handoffItem struct {
 	reply chan HandoffResult
 }
 
+// waveRoute is one shard's persistent wave-scatter state: the chunk
+// positions routed to the shard, the gathered requests, and the
+// response buffer its service fills. One chunk holds at most MaxBatch
+// requests, so the buffers are sized once at construction and never
+// grow in steady state.
+type waveRoute struct {
+	idx  []int
+	reqs []cac.Request
+	out  []serve.Response
+}
+
 // Stats aggregates engine counters with the per-shard service
 // snapshots.
 type Stats struct {
@@ -217,6 +228,15 @@ type Engine struct {
 	// exchange was not disabled); nil otherwise. Index-aligned with
 	// services.
 	exchangers []cac.DemandExchanger
+
+	// waveMu serializes SubmitWave/SubmitWaveTo so the per-shard routing
+	// and response-scatter buffers below are reused across waves instead
+	// of rebuilt per call. Waves from concurrent callers queue on the
+	// mutex — their relative order was already scheduling-dependent, so
+	// serializing them changes no determinism contract.
+	waveMu     sync.Mutex
+	waveRoutes []waveRoute
+	waveErrs   []error
 
 	mu     sync.RWMutex // guards closed against in-flight handoff sends
 	closed bool
@@ -307,6 +327,15 @@ func New(cfg Config) (*Engine, error) {
 	if !cfg.DisableExchange {
 		e.exchangers = demandExchangers(ctrls)
 	}
+	e.waveRoutes = make([]waveRoute, len(e.services))
+	for s := range e.waveRoutes {
+		e.waveRoutes[s] = waveRoute{
+			idx:  make([]int, 0, cfg.MaxBatch),
+			reqs: make([]cac.Request, 0, cfg.MaxBatch),
+			out:  make([]serve.Response, cfg.MaxBatch),
+		}
+	}
+	e.waveErrs = make([]error, len(e.services))
 	go e.handoffLoop()
 	return e, nil
 }
@@ -402,12 +431,27 @@ func (e *Engine) SubmitWave(reqs []cac.Request) ([]serve.Response, error) {
 		return nil, nil
 	}
 	out := make([]serve.Response, len(reqs))
-	type route struct {
-		idx  []int
-		reqs []cac.Request
+	if err := e.SubmitWaveTo(reqs, out); err != nil {
+		return nil, err
 	}
-	routes := make([]route, len(e.services))
-	errs := make([]error, len(e.services))
+	return out, nil
+}
+
+// SubmitWaveTo is SubmitWave into a caller-provided response buffer:
+// out[i] receives the response for reqs[i]. The routing and scatter
+// state lives on the engine and is reused across waves, so a steady
+// caller that also reuses out allocates nothing per wave. out must
+// hold at least len(reqs) slots.
+func (e *Engine) SubmitWaveTo(reqs []cac.Request, out []serve.Response) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if len(out) < len(reqs) {
+		return fmt.Errorf("shard: response buffer too short: %d requests, %d slots", len(reqs), len(out))
+	}
+	e.waveMu.Lock()
+	defer e.waveMu.Unlock()
+	routes, errs := e.waveRoutes, e.waveErrs
 	for lo := 0; lo < len(reqs); lo += e.cfg.MaxBatch {
 		hi := min(lo+e.cfg.MaxBatch, len(reqs))
 		for s := range routes {
@@ -418,7 +462,7 @@ func (e *Engine) SubmitWave(reqs []cac.Request) ([]serve.Response, error) {
 		for i := lo; i < hi; i++ {
 			s, err := e.route(reqs[i])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			routes[s].idx = append(routes[s].idx, i)
 			routes[s].reqs = append(routes[s].reqs, reqs[i])
@@ -431,25 +475,25 @@ func (e *Engine) SubmitWave(reqs []cac.Request) ([]serve.Response, error) {
 			wg.Add(1)
 			go func(s int) {
 				defer wg.Done()
-				resps, err := e.services[s].SubmitAll(routes[s].reqs)
-				if err != nil {
+				n := len(routes[s].reqs)
+				if err := e.services[s].SubmitAllInto(routes[s].reqs, routes[s].out[:n]); err != nil {
 					errs[s] = err
 					return
 				}
-				for j := range resps {
-					out[routes[s].idx[j]] = resps[j]
+				for j := 0; j < n; j++ {
+					out[routes[s].idx[j]] = routes[s].out[j]
 				}
 			}(s)
 		}
 		wg.Wait()
 		for _, err := range errs {
 			if err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
 	e.waves.Add(1)
-	return out, nil
+	return nil
 }
 
 // Tick fans one cac.Ticker.OnTick delivery out to every shard and

@@ -9,6 +9,7 @@ import (
 	"facs/internal/facs"
 	"facs/internal/geo"
 	"facs/internal/gps"
+	"facs/internal/serve"
 	"facs/internal/sim"
 	"facs/internal/traffic"
 )
@@ -619,5 +620,51 @@ func TestUnroutableRequests(t *testing.T) {
 	}
 	if err := e.UpdateState(1, gps.Estimate{}, foreign); err == nil {
 		t.Fatal("foreign update should fail")
+	}
+}
+
+// TestSubmitWaveToMatchesSubmitWave pins the zero-churn scatter path:
+// SubmitWaveTo fills a caller-provided buffer with exactly the
+// responses SubmitWave returns, reusing the engine's routing buffers
+// across waves, and rejects short buffers.
+func TestSubmitWaveToMatchesSubmitWave(t *testing.T) {
+	netA := testNetwork(t, 2)
+	netB := testNetwork(t, 2)
+	sys := facs.Must()
+	factory := func(View) (cac.Controller, error) { return sys, nil }
+	a, err := New(Config{Network: netA, Shards: 4, MaxBatch: 32, NewController: factory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(Config{Network: netB, Shards: 4, MaxBatch: 32, NewController: factory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	out := make([]serve.Response, 300)
+	for wave := 0; wave < 3; wave++ {
+		reqsA := genRequests(t, netA, int64(40+wave), 300)
+		reqsB := genRequests(t, netB, int64(40+wave), 300)
+		want, err := a.SubmitWave(reqsA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SubmitWaveTo(reqsB, out); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if want[i].Decision != out[i].Decision || want[i].Committed != out[i].Committed {
+				t.Fatalf("wave %d response %d: SubmitWave %+v, SubmitWaveTo %+v",
+					wave, i, want[i], out[i])
+			}
+		}
+	}
+	if err := b.SubmitWaveTo(genRequests(t, netB, 9, 10), make([]serve.Response, 9)); err == nil {
+		t.Fatal("short response buffer should error")
+	}
+	if err := b.SubmitWaveTo(nil, nil); err != nil {
+		t.Fatalf("empty wave: %v", err)
 	}
 }
