@@ -644,6 +644,55 @@ func BenchmarkMetropolis(b *testing.B) {
 	}
 }
 
+// BenchmarkRebalance compares the static blocks partition against
+// elastic hot-cell rebalancing (an epoch planned at every tick
+// barrier) on the diurnal hotspot metropolis, at shard counts 1, 2, 4
+// and 8. Decisions are byte-identical between the two variants for the
+// cell-local guard controller — the benchmark isolates the cost (plan
+// + migrate inside the tick barrier) and the reported migration
+// volume. Scale with FACS_REBAL_RINGS / FACS_REBAL_TARGET.
+func BenchmarkRebalance(b *testing.B) {
+	rings := envInt("FACS_REBAL_RINGS", 4)
+	target := envInt("FACS_REBAL_TARGET", 8000)
+	guard := func(facs.ShardView) (facs.Controller, error) { return facs.NewGuardChannel(8) }
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, elastic := range []bool{false, true} {
+			variant := "static"
+			if elastic {
+				variant = "elastic"
+			}
+			b.Run(fmt.Sprintf("shards-%d/%s", shards, variant), func(b *testing.B) {
+				cfg := facs.MetropolisConfig{
+					NewController: guard,
+					Mode:          facs.MetroSharded,
+					Shards:        shards,
+					Rings:         rings,
+					TargetCalls:   target,
+					Seed:          1,
+					Partition:     facs.PartitionBlocks,
+				}
+				if elastic {
+					cfg.RebalanceEveryTicks = 1
+					cfg.Rebalance = facs.ShardPlannerConfig{MaxMoves: 4, Tolerance: 0.01}
+				}
+				var last facs.MetropolisResult
+				for i := 0; i < b.N; i++ {
+					res, err := facs.RunMetropolis(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(last.DecisionsPerSec(), "decisions/s")
+				if elastic {
+					b.ReportMetric(float64(last.Rebalances), "epochs")
+					b.ReportMetric(float64(last.MigratedCalls), "calls-moved")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkBatchDecide times a full 512-request batch through the batch
 // pipeline (cac.DecideAll) for each batch-capable controller, against
 // the same requests decided one by one. One benchmark op is the whole

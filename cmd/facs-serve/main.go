@@ -104,6 +104,10 @@ type serveOptions struct {
 	surfaceCache string
 	grid         int
 	shards       int
+	partition    string
+	rebalTicks   int
+	rebalMoves   int
+	noScope      bool
 	batch        int
 	maxDelay     time.Duration
 	commit       bool
@@ -128,7 +132,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs.BoolVar(&o.compiled, "compiled", false, "use the lookup-table FACS fast path (controller facs only)")
 	fs.StringVar(&o.surfaceCache, "surface-cache", "", "directory for persisted compiled surfaces (implies -compiled)")
 	fs.IntVar(&o.grid, "grid", 0, "per-axis surface resolution for -compiled (0 = default)")
-	fs.IntVar(&o.shards, "shards", 1, "decision loops to shard the network's cells across (capped at the cell count)")
+	fs.IntVar(&o.shards, "shards", 1, "decision loops to shard the network's cells across (at most the cell count)")
+	fs.StringVar(&o.partition, "partition", "roundrobin", "initial shard layout: roundrobin, blocks")
+	fs.IntVar(&o.rebalTicks, "rebalance-ticks", 0, "rebalance shard ownership every N tick barriers (0 = static)")
+	fs.IntVar(&o.rebalMoves, "rebalance-max-moves", 0, "cap cell migrations per rebalance epoch (0 = planner default)")
+	fs.BoolVar(&o.noScope, "no-interest-scope", false, "keep the all-to-all ghost fan-out even when the exchange could be interest-scoped")
 	fs.IntVar(&o.batch, "batch", iserve.DefaultMaxBatch, "micro-batch size cap (the sharded engine's chunk size)")
 	fs.DurationVar(&o.maxDelay, "max-delay", iserve.DefaultMaxDelay, "max time a request waits for its batch to fill (negative = never wait)")
 	fs.BoolVar(&o.commit, "commit", true, "allocate accepted calls on their stations")
@@ -156,6 +164,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	if o.shards < 1 {
 		return fmt.Errorf("-shards must be >= 1, got %d", o.shards)
+	}
+	if cells := 1 + 3*o.rings*(o.rings+1); o.rings >= 1 && o.shards > cells {
+		return fmt.Errorf("-shards %d exceeds the deployment's %d cells (an empty shard could never receive traffic)", o.shards, cells)
+	}
+	if _, ok := shardPartitions[o.partition]; !ok {
+		return fmt.Errorf("unknown -partition %q (roundrobin, blocks)", o.partition)
+	}
+	if o.rebalTicks < 0 {
+		return fmt.Errorf("-rebalance-ticks must be >= 0, got %d", o.rebalTicks)
 	}
 	if o.batch < 1 {
 		return fmt.Errorf("-batch must be >= 1, got %d", o.batch)
@@ -214,9 +231,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		NewController: func(v ishard.View) (icac.Controller, error) {
 			return factory(v.Network())
 		},
-		MaxBatch: o.batch,
-		MaxDelay: o.maxDelay,
-		Commit:   o.commit,
+		MaxBatch:             o.batch,
+		MaxDelay:             o.maxDelay,
+		Commit:               o.commit,
+		Partition:            shardPartitions[o.partition],
+		RebalanceEveryTicks:  o.rebalTicks,
+		Rebalance:            ishard.PlannerConfig{MaxMoves: o.rebalMoves},
+		DisableInterestScope: o.noScope,
 	})
 	if err != nil {
 		return finishProf(err)
@@ -371,6 +392,12 @@ func runLoadgen(o serveOptions, factory func(*facs.Network) (facs.Controller, er
 	return nil
 }
 
+// shardPartitions maps the -partition flag to layouts.
+var shardPartitions = map[string]facs.ShardPartition{
+	"roundrobin": facs.PartitionRoundRobin,
+	"blocks":     facs.PartitionBlocks,
+}
+
 // runShardedLoadgen drives the sharded closed-loop generator (with
 // cross-shard handoffs) and prints a summary.
 func runShardedLoadgen(o serveOptions, factory func(*facs.Network) (facs.Controller, error), stdout io.Writer) error {
@@ -379,14 +406,18 @@ func runShardedLoadgen(o serveOptions, factory func(*facs.Network) (facs.Control
 		NewController: func(v facs.ShardView) (facs.Controller, error) {
 			return factory(v.Network())
 		},
-		Shards:     o.shards,
-		Rings:      o.rings,
-		CapacityBU: o.capacity,
-		Requests:   o.loadgen,
-		Wave:       o.wave,
-		MaxBatch:   o.batch,
-		MaxDelay:   o.maxDelay,
-		Seed:       o.seed,
+		Shards:               o.shards,
+		Rings:                o.rings,
+		CapacityBU:           o.capacity,
+		Requests:             o.loadgen,
+		Wave:                 o.wave,
+		MaxBatch:             o.batch,
+		MaxDelay:             o.maxDelay,
+		Seed:                 o.seed,
+		Partition:            shardPartitions[o.partition],
+		RebalanceEveryTicks:  o.rebalTicks,
+		Rebalance:            facs.ShardPlannerConfig{MaxMoves: o.rebalMoves},
+		DisableInterestScope: o.noScope,
 	})
 	if err != nil {
 		return err

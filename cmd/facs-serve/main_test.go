@@ -117,6 +117,37 @@ func TestFlagValidation(t *testing.T) {
 	}
 }
 
+func TestShardsBoundedByCells(t *testing.T) {
+	var out, errw bytes.Buffer
+	// A rings-2 deployment has 19 cells: a 20th shard could never own one.
+	err := run([]string{"-rings", "2", "-shards", "20"}, strings.NewReader(""), &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "exceeds the deployment's 19 cells") {
+		t.Fatalf("-shards above the cell count should fail clearly, got %v", err)
+	}
+	if err := run([]string{"-rings", "2", "-shards", "19", "-controller", "cs"},
+		strings.NewReader(""), &out, &errw); err != nil {
+		t.Fatalf("-shards equal to the cell count must stay valid: %v", err)
+	}
+}
+
+func TestElasticShardingFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-partition", "bogus"}, strings.NewReader(""), &out, &errw); err == nil {
+		t.Fatal("unknown -partition should fail")
+	}
+	if err := run([]string{"-rebalance-ticks", "-1"}, strings.NewReader(""), &out, &errw); err == nil {
+		t.Fatal("negative -rebalance-ticks should fail")
+	}
+	if err := run([]string{"-loadgen", "200", "-wave", "25", "-shards", "4", "-rings", "2",
+		"-controller", "guard", "-partition", "blocks", "-rebalance-ticks", "1"},
+		strings.NewReader(""), &out, &errw); err != nil {
+		t.Fatalf("elastic sharded loadgen: %v", err)
+	}
+	if text := out.String(); !strings.Contains(text, "closed-loop sharded") {
+		t.Fatalf("loadgen summary missing sharded header:\n%s", text)
+	}
+}
+
 func TestLoadgenSummary(t *testing.T) {
 	var out, errw bytes.Buffer
 	if err := run([]string{"-loadgen", "300", "-wave", "32", "-controller", "guard"},

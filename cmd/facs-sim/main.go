@@ -59,6 +59,10 @@ type simOptions struct {
 	metropolis   bool
 	metroMode    string
 	shards       int
+	partition    string
+	rebalTicks   int
+	rebalMoves   int
+	noScope      bool
 	rings        int
 	target       int
 	waves        int
@@ -93,6 +97,10 @@ func run(args []string) error {
 	fs.BoolVar(&o.metropolis, "metropolis", false, "run the metropolis-scale diurnal workload")
 	fs.StringVar(&o.metroMode, "metro-mode", "batch", "metropolis decision path: single, batch, sharded")
 	fs.IntVar(&o.shards, "shards", 1, "decision loops for -metro-mode sharded")
+	fs.StringVar(&o.partition, "partition", "roundrobin", "initial shard layout for -metro-mode sharded: roundrobin, blocks")
+	fs.IntVar(&o.rebalTicks, "rebalance-ticks", 0, "rebalance shard ownership every N tick barriers (-metro-mode sharded; 0 = static)")
+	fs.IntVar(&o.rebalMoves, "rebalance-max-moves", 0, "cap cell migrations per rebalance epoch (0 = planner default)")
+	fs.BoolVar(&o.noScope, "no-interest-scope", false, "keep the all-to-all ghost fan-out even when the exchange could be interest-scoped")
 	fs.IntVar(&o.rings, "rings", 0, "hex rings for -metropolis (0 = default 18: 1027 cells)")
 	fs.IntVar(&o.target, "target", 0, "peak concurrent-call target for -metropolis (0 = default 20000)")
 	fs.IntVar(&o.waves, "waves", 0, "decision waves for -metropolis (0 = one simulated day)")
@@ -365,20 +373,40 @@ func runMetropolis(o simOptions) error {
 	if o.shards != 1 && mode != facs.MetroSharded {
 		return fmt.Errorf("-shards applies to -metro-mode sharded")
 	}
+	if o.shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", o.shards)
+	}
+	if cells := ringCells(o.rings, 18); o.shards > cells {
+		return fmt.Errorf("-shards %d exceeds the deployment's %d cells (an empty shard could never receive traffic)", o.shards, cells)
+	}
+	partition, ok := shardPartitions[o.partition]
+	if !ok {
+		return fmt.Errorf("unknown -partition %q (roundrobin, blocks)", o.partition)
+	}
+	if (o.partition != "roundrobin" || o.rebalTicks != 0 || o.rebalMoves != 0 || o.noScope) && mode != facs.MetroSharded {
+		return fmt.Errorf("-partition/-rebalance-ticks/-rebalance-max-moves/-no-interest-scope apply to -metro-mode sharded")
+	}
+	if o.rebalTicks < 0 {
+		return fmt.Errorf("-rebalance-ticks must be >= 0, got %d", o.rebalTicks)
+	}
 	factory, err := networkFactory(o)
 	if err != nil {
 		return err
 	}
 	res, err := facs.RunMetropolis(facs.MetropolisConfig{
-		NewController: func(v facs.ShardView) (facs.Controller, error) { return factory(v.Network()) },
-		Mode:          mode,
-		Shards:        o.shards,
-		Rings:         o.rings,
-		TargetCalls:   o.target,
-		Waves:         o.waves,
-		Seed:          o.seed,
-		MeasureMem:    o.measureMem,
-		Materialize:   o.materialize,
+		NewController:        func(v facs.ShardView) (facs.Controller, error) { return factory(v.Network()) },
+		Mode:                 mode,
+		Shards:               o.shards,
+		Partition:            partition,
+		RebalanceEveryTicks:  o.rebalTicks,
+		Rebalance:            facs.ShardPlannerConfig{MaxMoves: o.rebalMoves},
+		DisableInterestScope: o.noScope,
+		Rings:                o.rings,
+		TargetCalls:          o.target,
+		Waves:                o.waves,
+		Seed:                 o.seed,
+		MeasureMem:           o.measureMem,
+		Materialize:          o.materialize,
 	})
 	if err != nil {
 		return err
@@ -399,11 +427,33 @@ func runMetropolis(o simOptions) error {
 	fmt.Printf("population    peak %d concurrent calls, final %d\n", res.PeakConcurrent, res.FinalActive)
 	fmt.Printf("throughput    %.0f decisions/s (%d decisions in %v)\n",
 		res.DecisionsPerSec(), res.Decisions(), res.Elapsed.Round(time.Millisecond))
+	if res.Rebalances > 0 {
+		fmt.Printf("rebalances    %d epochs (%d cells, %d calls moved)\n",
+			res.Rebalances, res.Migrations, res.MigratedCalls)
+	}
+	if res.InterestScoped {
+		fmt.Printf("ghost rows    %d fanned of %d all-to-all\n", res.GhostRows, res.GhostRowsAllToAll)
+	}
 	if o.measureMem {
 		fmt.Printf("memory        %.0f bytes/call at peak\n", res.BytesPerCall)
 	}
 	fmt.Printf("hash          %#016x\n", res.DecisionHash)
 	return nil
+}
+
+// shardPartitions maps the -partition flag to layouts.
+var shardPartitions = map[string]facs.ShardPartition{
+	"roundrobin": facs.PartitionRoundRobin,
+	"blocks":     facs.PartitionBlocks,
+}
+
+// ringCells returns the cell count of a hex deployment with the given
+// ring count (def when rings is 0): 1 + 3r(r+1).
+func ringCells(rings, def int) int {
+	if rings == 0 {
+		rings = def
+	}
+	return 1 + 3*rings*(rings+1)
 }
 
 func runMulti(o simOptions) error {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	ifacs "facs/internal/facs"
@@ -164,6 +165,41 @@ func TestRunMetropolisBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-metropolis", "-controller", "bogus"}); err == nil {
 		t.Fatal("unknown controller should fail")
+	}
+}
+
+func TestRunShardsBoundedByCells(t *testing.T) {
+	sharded := []string{"-metropolis", "-rings", "2", "-target", "200", "-waves", "8",
+		"-controller", "guard", "-metro-mode", "sharded"}
+	// A rings-2 deployment has 19 cells: a 20th shard could never own one.
+	if err := run(append(sharded, "-shards", "20")); err == nil ||
+		!strings.Contains(err.Error(), "exceeds the deployment's 19 cells") {
+		t.Fatalf("-shards above the cell count should fail clearly, got %v", err)
+	}
+	if err := run(append(sharded, "-shards", "0")); err == nil {
+		t.Fatal("-shards below 1 should fail")
+	}
+	if err := run(append(sharded, "-shards", "19")); err != nil {
+		t.Fatalf("-shards equal to the cell count must stay valid: %v", err)
+	}
+}
+
+func TestRunElasticShardingFlags(t *testing.T) {
+	sharded := []string{"-metropolis", "-rings", "2", "-target", "200", "-waves", "8",
+		"-controller", "guard", "-metro-mode", "sharded", "-shards", "2"}
+	if err := run(append(sharded, "-partition", "bogus")); err == nil {
+		t.Fatal("unknown -partition should fail")
+	}
+	if err := run(append(sharded, "-rebalance-ticks", "-1")); err == nil {
+		t.Fatal("negative -rebalance-ticks should fail")
+	}
+	if err := run([]string{"-metropolis", "-rings", "2", "-target", "200", "-waves", "8",
+		"-controller", "guard", "-partition", "blocks"}); err == nil {
+		t.Fatal("-partition without sharded mode should fail")
+	}
+	if err := run(append(sharded, "-partition", "blocks", "-rebalance-ticks", "1",
+		"-rebalance-max-moves", "2")); err != nil {
+		t.Fatalf("elastic sharded metropolis: %v", err)
 	}
 }
 

@@ -149,6 +149,79 @@ type DemandExchanger interface {
 	ApplyGhost(shardID int, delta DemandDelta)
 }
 
+// MigratedCall is one tracked call's projection source as it moves
+// between sibling controller instances during an elastic-sharding cell
+// migration: everything the receiving instance needs to recreate the
+// call's cross-cell state bit-identically. Speed travels in m/s (the
+// unit trackers store internally) so a migrated track re-derives the
+// exact same footprint the source instance held — no unit round-trip.
+type MigratedCall struct {
+	// ID identifies the call.
+	ID int
+	// BU is the call's occupied bandwidth.
+	BU int
+	// Pos / HeadingDeg / SpeedMps are the last observed kinematics the
+	// projection is anchored to.
+	Pos        geo.Point
+	HeadingDeg float64
+	SpeedMps   float64
+	// Home is the cell the call is carried in (the migrating cell).
+	Home geo.Hex
+}
+
+// CellMigrator is implemented by stateful controllers that can hand a
+// cell's per-call state to a sibling instance — the seam the sharded
+// engine's elastic rebalancer uses to move scc.Ledger rows between
+// shards inside a tick barrier. MigrateOut removes every tracked call
+// homed in cell h (in ascending call-ID order, appended to dst) and
+// retracts its projected demand; MigrateIn recreates the tracks and
+// re-applies their demand. Both follow the Controller threading
+// contract: the engine serializes them with decisions via the Do-op
+// seam, source first, then target, so at every instant each call is
+// tracked by exactly one instance. A controller that is CellLocal has
+// no cross-cell state and needs no migrator: re-routing its cell is
+// already outcome-preserving.
+type CellMigrator interface {
+	Controller
+	// MigrateOut extracts and removes every tracked call homed in h,
+	// appending to dst in ascending call-ID order.
+	MigrateOut(h geo.Hex, dst []MigratedCall) []MigratedCall
+	// MigrateIn recreates the given tracks and applies their demand.
+	MigrateIn(rows []MigratedCall)
+}
+
+// InterestScoped is implemented by demand exchangers that can bound how
+// far (in hex rings) their decisions read demand from a request's home
+// cell — the seam behind interest-scoped ghost fan-out. A shard engine
+// whose exchangers all declare a non-negative radius routes each
+// exported demand row only to shards owning a cell within that radius
+// of the row's cell, instead of all-to-all; decisions are unchanged
+// because rows outside the radius are provably never read by any
+// decision the receiver renders. A negative radius declares "unbounded"
+// (the exchanger cannot bound its read set) and keeps the all-to-all
+// fan-out.
+type InterestScoped interface {
+	DemandExchanger
+	// InterestRadiusCells returns the maximum hex distance from a cell
+	// this instance owns to any cell one of its decisions may read, or
+	// a negative value when no bound can be declared.
+	InterestRadiusCells() int
+}
+
+// ExchangeResetter is implemented by demand exchangers whose exchange
+// state can be re-seeded: ResetExchange clears the accumulated ghost
+// demand and arranges for the next ExportDemand to carry the full
+// absolute demand matrix instead of a delta. The sharded engine calls
+// it on every exchanger after a rebalance epoch — ownership and
+// interest sets just changed, so differential deltas no longer
+// telescope against what each receiver has accumulated — and then runs
+// a full exchange round before any further decision.
+type ExchangeResetter interface {
+	// ResetExchange clears ghost demand and forces the next export to be
+	// absolute. Generation counters keep rising monotonically.
+	ResetExchange()
+}
+
 // Observer is implemented by controllers that maintain per-call state
 // (e.g. SCC's shadow clusters). The simulation invokes these callbacks
 // after the corresponding ledger operation succeeded.

@@ -269,6 +269,47 @@ func (b *BaseStation) Release(id int) (Call, error) {
 	return c, nil
 }
 
+// DetachCalls removes every carried call from the ledger in ascending
+// call-ID order, appending the records to dst and returning it. After
+// DetachCalls the station carries nothing: counters are zero and the
+// pool slots are free. Together with AttachCalls it is the
+// cell-migration seam of the sharded engine: the old owner shard
+// detaches the station's slots inside its decision loop, the new owner
+// re-attaches them inside its own, making the ownership handover an
+// explicit pair of writes that conservation checks (and the race
+// detector) can observe. The pair is behaviour-preserving: records are
+// moved verbatim, and every externally observable order (Calls) is
+// ID-sorted anyway.
+func (b *BaseStation) DetachCalls(dst []Call) []Call {
+	start := len(dst)
+	for _, slot := range b.pool.dense {
+		dst = append(dst, b.pool.slots[slot])
+	}
+	moved := dst[start:]
+	sort.Slice(moved, func(i, j int) bool { return moved[i].ID < moved[j].ID })
+	for _, c := range moved {
+		b.pool.take(c.ID)
+	}
+	b.usedRT, b.usedNRT = 0, 0
+	b.classBU = [4]int{}
+	return dst
+}
+
+// AttachCalls re-admits previously detached call records verbatim,
+// preserving AdmittedAt and Handoff. It fails (leaving any calls
+// admitted so far in place) if a record does not fit or duplicates a
+// carried ID — impossible when the input is a DetachCalls result from
+// the same station with no interleaved traffic, which is the migration
+// protocol's contract.
+func (b *BaseStation) AttachCalls(calls []Call) error {
+	for _, c := range calls {
+		if err := b.Admit(c); err != nil {
+			return fmt.Errorf("cell: attaching migrated call %d at %v: %w", c.ID, b.hex, err)
+		}
+	}
+	return nil
+}
+
 // Call looks up a carried call by ID.
 func (b *BaseStation) Call(id int) (Call, bool) {
 	return b.pool.get(id)

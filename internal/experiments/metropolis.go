@@ -64,6 +64,18 @@ type MetropolisConfig struct {
 	// Shards is the engine's decision-loop count for MetroSharded
 	// (default 1).
 	Shards int
+	// Partition selects the initial station-to-shard layout for
+	// MetroSharded (see shard.Config.Partition; default round-robin).
+	Partition shard.Partition
+	// RebalanceEveryTicks enables elastic rebalancing every so many
+	// tick barriers for MetroSharded (see
+	// shard.Config.RebalanceEveryTicks; default 0 = static partition).
+	RebalanceEveryTicks int
+	// Rebalance bounds the planner when rebalancing is enabled.
+	Rebalance shard.PlannerConfig
+	// DisableInterestScope keeps the all-to-all ghost fan-out for
+	// MetroSharded (see shard.Config.DisableInterestScope).
+	DisableInterestScope bool
 	// Rings is the network size (default 18: 1027 cells).
 	Rings int
 	// CellRadiusM is the hex cell radius (default 500 m: urban
@@ -280,6 +292,16 @@ type MetropolisResult struct {
 	// outcome in stream order — the byte-identity fingerprint across
 	// repeats, modes and shard counts.
 	DecisionHash uint64
+	// Epoch is the final ownership version; Rebalances / Migrations /
+	// MigratedCalls count elastic-rebalance activity (all zero for
+	// inline modes and static partitions).
+	Epoch                                 uint64
+	Rebalances, Migrations, MigratedCalls int64
+	// GhostRows counts exchange rows actually fanned to sibling shards;
+	// GhostRowsAllToAll what an unscoped fan-out would have applied;
+	// InterestScoped whether the exchange was scoped.
+	GhostRows, GhostRowsAllToAll int64
+	InterestScoped               bool
 	// BytesPerCall is live heap bytes per concurrent call measured at
 	// the predicted population peak (0 unless MeasureMem).
 	BytesPerCall float64
@@ -849,11 +871,15 @@ func newMetroRun(cfg MetropolisConfig) (*metroRun, error) {
 	switch cfg.Mode {
 	case MetroSharded:
 		eng, err := shard.New(shard.Config{
-			Network:       net,
-			Shards:        cfg.Shards,
-			NewController: cfg.NewController,
-			MaxBatch:      cfg.MaxBatch,
-			Commit:        true,
+			Network:              net,
+			Shards:               cfg.Shards,
+			NewController:        cfg.NewController,
+			MaxBatch:             cfg.MaxBatch,
+			Commit:               true,
+			Partition:            cfg.Partition,
+			RebalanceEveryTicks:  cfg.RebalanceEveryTicks,
+			Rebalance:            cfg.Rebalance,
+			DisableInterestScope: cfg.DisableInterestScope,
 		})
 		if err != nil {
 			return nil, err
@@ -1067,6 +1093,16 @@ func (r *metroRun) runWave() error {
 func (r *metroRun) finish() (MetropolisResult, error) {
 	r.result.FinalActive = r.ledger.len()
 	r.result.DecisionHash = uint64(r.hash)
+	if sme, ok := r.engine.(*shardMetroEngine); ok {
+		st := sme.engine.Stats()
+		r.result.Epoch = st.Epoch
+		r.result.Rebalances = st.Rebalances
+		r.result.Migrations = st.Migrations
+		r.result.MigratedCalls = st.MigratedCalls
+		r.result.GhostRows = st.GhostRows
+		r.result.GhostRowsAllToAll = st.GhostRowsAllToAll
+		r.result.InterestScoped = st.InterestScoped
+	}
 	if err := r.engine.close(); err != nil {
 		return MetropolisResult{}, err
 	}

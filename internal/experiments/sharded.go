@@ -78,6 +78,18 @@ type ShardedConfig struct {
 	// shard.Config.DisableExchange) — the pre-exchange partitioned-
 	// visibility model, used by the divergence measurements.
 	DisableExchange bool
+	// Partition selects the initial station-to-shard layout (see
+	// shard.Config.Partition; default round-robin).
+	Partition shard.Partition
+	// RebalanceEveryTicks enables elastic rebalancing every so many
+	// tick barriers (see shard.Config.RebalanceEveryTicks; default 0 =
+	// static partition).
+	RebalanceEveryTicks int
+	// Rebalance bounds the planner when rebalancing is enabled.
+	Rebalance shard.PlannerConfig
+	// DisableInterestScope keeps the all-to-all ghost fan-out (see
+	// shard.Config.DisableInterestScope).
+	DisableInterestScope bool
 }
 
 func (c ShardedConfig) withDefaults() ShardedConfig {
@@ -246,13 +258,17 @@ func RunSharded(cfg ShardedConfig) (ShardedResult, error) {
 		return ShardedResult{}, err
 	}
 	engine, err := shard.New(shard.Config{
-		Network:         net,
-		Shards:          cfg.Shards,
-		NewController:   cfg.NewController,
-		MaxBatch:        cfg.MaxBatch,
-		MaxDelay:        cfg.MaxDelay,
-		Commit:          true,
-		DisableExchange: cfg.DisableExchange,
+		Network:              net,
+		Shards:               cfg.Shards,
+		NewController:        cfg.NewController,
+		MaxBatch:             cfg.MaxBatch,
+		MaxDelay:             cfg.MaxDelay,
+		Commit:               true,
+		DisableExchange:      cfg.DisableExchange,
+		Partition:            cfg.Partition,
+		RebalanceEveryTicks:  cfg.RebalanceEveryTicks,
+		Rebalance:            cfg.Rebalance,
+		DisableInterestScope: cfg.DisableInterestScope,
 	})
 	if err != nil {
 		return ShardedResult{}, err

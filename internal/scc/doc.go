@@ -59,12 +59,37 @@
 // The recompute Controller does not exchange; it remains the
 // single-instance oracle.
 //
+// # Migration and interest scoping
+//
+// The Ledger also rides the sharded engine's elastic-rebalancing seam.
+// MigrateOut extracts every track homed on a cell (ID-ascending, each
+// row carrying the admission-time state needed to rebuild it) while
+// retracting its footprint from the demand matrix; MigrateIn ingests
+// the rows on the destination shard, recomputing footprints under the
+// identical config so the per-entry split sums to the original matrix
+// exactly (migrate_test.go pins conservation). ResetExchange clears
+// the ghost and exported matrices after an ownership epoch — delta
+// telescoping breaks when cells move — so the next ExportDemand
+// carries the absolute matrix and receivers reconstruct the global
+// view from zero; generation counters keep rising across the reset.
+//
+// InterestRadiusCells bounds how far (in hex rings) any
+// contract-compliant track's footprint can reach from its home cell:
+// worst-case drift plus cluster spread at Config.MaxSpeedKmh over the
+// projection horizon. The sharded engine dilates each shard's owned
+// cells by this radius into interest sets and fans demand rows only to
+// interested shards; -1 (no speed bound) keeps the all-to-all
+// fan-out. Soundness — every footprint cell within the radius — is
+// pinned in migrate_test.go.
+//
 // # Entry points
 //
 // New builds the oracle, NewLedger the fast path, both from the same
 // Config (Network, ReservationMode, thresholds, horizon). Both
 // implement cac.Controller, cac.BatchController, cac.Observer,
 // cac.Ticker and cac.StateUpdater; the Ledger additionally implements
-// cac.DemandExchanger and exposes its counters via Snapshot
-// (LedgerStats) for Do-op observability behind serving loops.
+// cac.DemandExchanger, cac.CellMigrator, cac.InterestScoped and
+// cac.ExchangeResetter, and exposes its counters (including migration
+// totals) via Snapshot (LedgerStats) for Do-op observability behind
+// serving loops.
 package scc

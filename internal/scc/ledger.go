@@ -2,6 +2,7 @@ package scc
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"facs/internal/cac"
@@ -120,6 +121,8 @@ type Ledger struct {
 	exports      int64
 	ghostApplies int64
 	ghostRows    int64
+	migratedOut  int64
+	migratedIn   int64
 
 	// Scratch buffers (single-threaded by contract); reqShadow is held
 	// across exactDemand calls, so it must stay distinct from
@@ -137,6 +140,9 @@ var (
 	_ cac.StateUpdater        = (*Ledger)(nil)
 	_ cac.Ticker              = (*Ledger)(nil)
 	_ cac.DemandExchanger     = (*Ledger)(nil)
+	_ cac.CellMigrator        = (*Ledger)(nil)
+	_ cac.InterestScoped      = (*Ledger)(nil)
+	_ cac.ExchangeResetter    = (*Ledger)(nil)
 )
 
 // DemandDelta is the demand-exchange payload (see cac.DemandDelta).
@@ -210,6 +216,9 @@ type LedgerStats struct {
 	// GhostApplies counts accepted ApplyGhost deliveries; GhostRows the
 	// (cell, interval) rows they carried.
 	GhostApplies, GhostRows int64
+	// MigratedOut / MigratedIn count tracked calls handed to / received
+	// from sibling ledgers through the elastic-sharding migration seam.
+	MigratedOut, MigratedIn int64
 }
 
 // Add returns the field-wise aggregation of two snapshots (counters and
@@ -222,6 +231,8 @@ func (s LedgerStats) Add(o LedgerStats) LedgerStats {
 	s.Exports += o.Exports
 	s.GhostApplies += o.GhostApplies
 	s.GhostRows += o.GhostRows
+	s.MigratedOut += o.MigratedOut
+	s.MigratedIn += o.MigratedIn
 	if o.Generation > s.Generation {
 		s.Generation = o.Generation
 	}
@@ -246,6 +257,8 @@ func (l *Ledger) Snapshot() LedgerStats {
 		Generation:     l.exportGen,
 		GhostApplies:   l.ghostApplies,
 		GhostRows:      l.ghostRows,
+		MigratedOut:    l.migratedOut,
+		MigratedIn:     l.migratedIn,
 	}
 }
 
@@ -427,6 +440,119 @@ func (l *Ledger) GhostDemand(j geo.Hex, k int) float64 {
 		return 0
 	}
 	return l.ghost[ci*(l.cfg.Horizon+1)+k]
+}
+
+// MigrateOut implements cac.CellMigrator: it extracts every tracked
+// call homed in cell h — in ascending call-ID order, appended to dst —
+// retracting each call's projected demand from the matrix and dropping
+// its track. The receiving sibling recreates the footprints from the
+// same configuration and kinematics, so demand moves bit-identically:
+// MigrateIn applies exactly the amounts MigrateOut retracted.
+func (l *Ledger) MigrateOut(h geo.Hex, dst []cac.MigratedCall) []cac.MigratedCall {
+	for i := 0; i < len(l.ids); {
+		id := l.ids[i]
+		lt := l.active[id]
+		if lt.home != h {
+			i++
+			continue
+		}
+		l.apply(lt.foot, -1)
+		dst = append(dst, cac.MigratedCall{
+			ID:         id,
+			BU:         lt.bu,
+			Pos:        lt.pos,
+			HeadingDeg: lt.headingDeg,
+			SpeedMps:   lt.speedMps,
+			Home:       lt.home,
+		})
+		delete(l.active, id)
+		l.ids = removeID(l.ids, id)
+		l.migratedOut++
+	}
+	l.maybeRebuild()
+	return dst
+}
+
+// MigrateIn implements cac.CellMigrator: it recreates the given tracks
+// (computing each footprint from this ledger's configuration — bitwise
+// the same amounts the source retracted, both instances sharing one
+// Config and network) and applies their demand. A row whose ID is
+// already tracked replaces the existing projection source, mirroring
+// OnAdmit's re-admission semantics.
+func (l *Ledger) MigrateIn(rows []cac.MigratedCall) {
+	for _, r := range rows {
+		if old, ok := l.active[r.ID]; ok {
+			l.apply(old.foot, -1)
+		}
+		tr := track{
+			bu:         r.BU,
+			pos:        r.Pos,
+			headingDeg: r.HeadingDeg,
+			speedMps:   r.SpeedMps,
+			home:       r.Home,
+		}
+		lt := &ledgerTrack{track: tr}
+		lt.foot = l.footprint(nil, tr)
+		l.active[r.ID] = lt
+		l.ids = insertID(l.ids, r.ID)
+		l.apply(lt.foot, +1)
+		l.migratedIn++
+	}
+	l.maybeRebuild()
+}
+
+// ResetExchange implements cac.ExchangeResetter: it zeroes the ghost
+// matrix and rewinds the export snapshot so the next ExportDemand
+// carries the full absolute local demand matrix instead of a delta.
+// The sharded engine calls it on every shard after a rebalance epoch —
+// migrations moved demand between instances and interest sets may have
+// changed, so the differential telescoping no longer matches what each
+// receiver accumulated — and immediately runs a full exchange round
+// inside the same tick barrier, rebuilding every ghost from absolute
+// rows before any decision runs. Generation counters keep rising, so
+// receivers' replay guards stay valid across the reset.
+func (l *Ledger) ResetExchange() {
+	for i := range l.ghost {
+		l.ghost[i] = 0
+	}
+	for i := range l.demand {
+		if l.exported != nil {
+			l.exported[i] = 0
+		}
+		if l.demand[i] != 0 {
+			l.markDirty(i)
+		}
+	}
+}
+
+// InterestRadiusCells implements cac.InterestScoped: the maximum hex
+// distance from a decision's home cell to any cell that decision reads,
+// derived from the configuration under Config.MaxSpeedKmh's workload
+// promise (positions within one cell radius of the home centre, speeds
+// bounded). It returns -1 when MaxSpeedKmh is 0 — no promise, no bound.
+//
+// Derivation (all distances from the home station's centre): a request
+// or track position sits within rcell; the dead-reckoned projection at
+// interval k travels at most vmax*Horizon*DeltaT further, so the
+// projected point q is within drift = rcell + travel. The home centre
+// is itself a station, so the nearest station to q is within drift too;
+// a cell enters the shadow only with normalized mass >= MinProb, which
+// forces its distance d from q to satisfy d^2 <= drift^2 +
+// 2*sigma^2*ln(1/MinProb) with sigma = SigmaPosM + SpreadAlpha*travel
+// (the out-of-coverage collapse case lands on the nearest station,
+// also within that bound). Cells at hex distance n are at least
+// 1.5*rcell*n apart centre-to-centre, so the hex radius covering
+// drift + d rings every readable cell.
+func (l *Ledger) InterestRadiusCells() int {
+	if l.cfg.MaxSpeedKmh <= 0 {
+		return -1
+	}
+	rcell := l.cfg.Network.Layout().CellRadius
+	travel := geo.KmhToMps(l.cfg.MaxSpeedKmh) * float64(l.cfg.Horizon) * l.cfg.DeltaT
+	sigma := l.cfg.SigmaPosM + l.cfg.SpreadAlpha*travel
+	drift := rcell + travel
+	reach := drift + math.Sqrt(drift*drift+2*sigma*sigma*math.Log(1/l.cfg.MinProb))
+	return int(math.Ceil(reach / (1.5 * rcell)))
 }
 
 // ProjectedDemand returns the aggregated projected demand in BU for cell

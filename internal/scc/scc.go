@@ -40,6 +40,18 @@ type Config struct {
 	// InclusionProb is the probability mass above which ReservationFull
 	// reserves a call's full bandwidth in a cell. Default 0.15.
 	InclusionProb float64
+	// MaxSpeedKmh declares a workload bound the caller promises to
+	// respect: every admission request's (and every tracked call's)
+	// position lies within one cell radius of its home station's centre,
+	// and no speed exceeds MaxSpeedKmh. Under that promise the Ledger
+	// can bound how far from a home cell a decision ever reads demand
+	// (InterestRadiusCells), which lets the sharded engine scope ghost
+	// fan-out to interested shards only. Zero (the default) declares no
+	// bound: InterestRadiusCells reports unbounded and the engine keeps
+	// the all-to-all exchange. The bound affects routing of exchanged
+	// rows only, never the demand math itself — a declared bound that
+	// the workload honours leaves every decision byte-identical.
+	MaxSpeedKmh float64
 	// RequireClusterCoverage, when set, denies calls whose dead-reckoned
 	// trajectory leaves network coverage within the projection horizon:
 	// the shadow cluster cannot be established because no base station
@@ -133,6 +145,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("scc: unknown reservation mode %v", c.Reservation)
 	case math.IsNaN(c.InclusionProb) || c.InclusionProb <= 0 || c.InclusionProb >= 1:
 		return fmt.Errorf("scc: inclusion probability must be in (0, 1), got %v", c.InclusionProb)
+	case math.IsNaN(c.MaxSpeedKmh) || c.MaxSpeedKmh < 0:
+		return fmt.Errorf("scc: max speed must be >= 0, got %v", c.MaxSpeedKmh)
 	}
 	return nil
 }

@@ -115,6 +115,39 @@ type Stats struct {
 	LatencyHist [LatencyBuckets]int64
 }
 
+// Merge returns the field-wise aggregation of two snapshots, the merge
+// the sharded engine applies across its per-shard services: counters
+// sum, MaxBatch/MaxLatency take the maximum, AvgLatency is weighted by
+// decided requests, and the latency histograms add bucket-wise (so the
+// merged LatencyQuantile estimates hold engine-wide).
+func (s Stats) Merge(o Stats) Stats {
+	latSum := int64(s.AvgLatency)*s.Decided + int64(o.AvgLatency)*o.Decided
+	s.Submitted += o.Submitted
+	s.Decided += o.Decided
+	s.Accepted += o.Accepted
+	s.Rejected += o.Rejected
+	s.Committed += o.Committed
+	s.Batches += o.Batches
+	s.Waves += o.Waves
+	s.Ops += o.Ops
+	s.Ticks += o.Ticks
+	s.CommitErrs += o.CommitErrs
+	s.OpErrs += o.OpErrs
+	if o.MaxBatch > s.MaxBatch {
+		s.MaxBatch = o.MaxBatch
+	}
+	if o.MaxLatency > s.MaxLatency {
+		s.MaxLatency = o.MaxLatency
+	}
+	if s.Decided > 0 {
+		s.AvgLatency = time.Duration(latSum / s.Decided)
+	}
+	for b := range o.LatencyHist {
+		s.LatencyHist[b] += o.LatencyHist[b]
+	}
+	return s
+}
+
 // LatencyQuantile returns the latency at quantile q in [0, 1],
 // estimated from the power-of-two histogram by linear interpolation
 // inside the covering bucket (so the estimate is within 2x of the true

@@ -7,11 +7,14 @@
 // engine removes the ceiling along the seam the CAC literature
 // identifies: admission state is naturally cell-local, with explicit
 // cross-cell transfer only at handoff. Cells are partitioned across N
-// shards by a deterministic router (station i of the network's (Q, R)
-// order belongs to shard i mod N), each shard runs its own controller
-// behind its own serve.Service decision loop, and every station's
-// traffic — decisions, releases, state updates — is serialized by
-// exactly one shard.
+// shards by a deterministic router (PartitionRoundRobin spreads
+// station i of the network's (Q, R) order to shard i mod N;
+// PartitionBlocks assigns contiguous runs), each shard runs its own
+// controller behind its own serve.Service decision loop, and every
+// station's traffic — decisions, releases, state updates — is
+// serialized by exactly one shard. The cell-to-shard map is an
+// immutable epoch value swapped whole at rebalances, so routing never
+// observes a half-applied layout.
 //
 // # Determinism
 //
@@ -56,13 +59,43 @@
 // model; Engine.Exchanging reports the active regime, and Stats counts
 // exchange rounds and fanned-out demand rows.
 //
+// # Elastic rebalancing
+//
+// A static partition wastes capacity under skew. With
+// Config.RebalanceEveryTicks > 0 the engine counts per-cell routed
+// work, and every Nth Tick barrier plans a new ownership epoch with
+// PlanRebalance — a pure greedy bin-packing function (identical load
+// snapshots give identical plans on every replay) — then migrates the
+// planned cells inside the barrier: the source shard detaches the
+// cell's call slots and, for cac.CellMigrator controllers, its
+// per-cell controller rows; the destination attaches both; the epoch
+// pointer swaps; and every exchanger is reset (cac.ExchangeResetter)
+// so the next export republishes the absolute demand matrix under the
+// new layout. Construction refuses the cadence unless every controller
+// is cac.CellLocal or a CellMigrator. Cell-local byte-identity at
+// shard counts 1/2/4/8 survives mid-run epochs (the randomized soak in
+// rebalance_test.go pins decisions, commits, handoffs and final
+// occupancy), and tick-aligned SCC keeps the exchange identity because
+// the post-epoch absolute re-export restores exact global visibility.
+//
+// When every exchanger declares a bounded interest radius
+// (cac.InterestScoped, e.g. scc.Ledger with MaxSpeedKmh configured),
+// the exchange fans each demand row only to shards whose dilated
+// ownership — owned cells plus the radius — contains the row's cell.
+// A dropped row is one the receiver could never read, so outcomes are
+// unchanged while Stats.GhostRows falls below Stats.GhostRowsAllToAll
+// on skewed workloads; Config.DisableInterestScope restores the full
+// fan-out.
+//
 // # Entry points
 //
 // New starts the engine; SubmitWave / Submit / SubmitAsync decide
 // traffic; Tick is a cross-shard barrier (hosting the ghost exchange);
 // Release / UpdateState route to the owner shard; HandoffCall /
-// HandoffAsync run the two-phase cross-shard handoff; Stats aggregates
-// per-shard serve.Stats (including merged latency percentiles) with
-// handoff and exchange counters. experiments.RunSharded drives the
-// closed loop; cmd/facs-serve wires the engine behind -shards.
+// HandoffAsync run the two-phase cross-shard handoff; ForceRebalance
+// applies an epoch on demand; Epoch, ShardOf and View read the current
+// ownership; Stats aggregates per-shard serve.Stats (including merged
+// latency percentiles) with handoff, exchange and rebalance counters.
+// experiments.RunSharded drives the closed loop; cmd/facs-serve wires
+// the engine behind -shards / -partition / -rebalance-ticks.
 package shard

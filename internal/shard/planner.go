@@ -1,0 +1,111 @@
+package shard
+
+// Migration is one planned ownership move: cell (a dense station index
+// in the network's (Q, R) order) leaves shard From for shard To.
+type Migration struct {
+	Cell, From, To int
+}
+
+// PlannerConfig bounds the greedy rebalancing planner.
+type PlannerConfig struct {
+	// MaxMoves caps the migrations emitted per epoch (default
+	// DefaultMaxMoves). Bounding the plan bounds the work done inside
+	// the tick barrier; residual imbalance is picked up next epoch.
+	MaxMoves int
+	// Tolerance is the accepted relative overload: planning stops once
+	// the hottest shard's load is within (1 + Tolerance) of the mean
+	// (default DefaultTolerance). It damps oscillation — without slack
+	// a single hot cell would bounce between shards every epoch.
+	Tolerance float64
+}
+
+// Planner defaults.
+const (
+	DefaultMaxMoves  = 8
+	DefaultTolerance = 0.05
+)
+
+func (c PlannerConfig) withDefaults() PlannerConfig {
+	if c.MaxMoves == 0 {
+		c.MaxMoves = DefaultMaxMoves
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = DefaultTolerance
+	}
+	return c
+}
+
+// PlanRebalance is the deterministic greedy bin-packing planner behind
+// elastic sharding: given the per-cell load counters accumulated since
+// the last epoch and the current ownership map, it emits the migrations
+// that move the hottest cells off the most loaded shard onto the least
+// loaded one. It is a pure function of its arguments — no clocks, no
+// randomness, ties broken by lowest index — so identical counter
+// snapshots produce identical plans on every run and every replay.
+//
+// Invariants the plan preserves (the property suite pins them):
+// ownership stays a partition (each cell moves whole, exactly once per
+// plan), no shard is emptied, at most MaxMoves migrations are emitted,
+// and every move strictly reduces the spread between the most and least
+// loaded shard (so applying the plan never increases imbalance).
+func PlanRebalance(load []float64, owner []int32, shards int, cfg PlannerConfig) []Migration {
+	cfg = cfg.withDefaults()
+	if shards < 2 || len(load) != len(owner) || len(load) == 0 {
+		return nil
+	}
+	shardLoad := make([]float64, shards)
+	count := make([]int, shards)
+	cur := make([]int32, len(owner))
+	copy(cur, owner)
+	var total float64
+	for c, s := range cur {
+		if int(s) < 0 || int(s) >= shards {
+			return nil // corrupt ownership: refuse to plan
+		}
+		shardLoad[s] += load[c]
+		count[s]++
+		total += load[c]
+	}
+	mean := total / float64(shards)
+
+	var plan []Migration
+	moved := make(map[int]bool, cfg.MaxMoves)
+	for len(plan) < cfg.MaxMoves {
+		hi, lo := 0, 0
+		for s := 1; s < shards; s++ {
+			if shardLoad[s] > shardLoad[hi] {
+				hi = s
+			}
+			if shardLoad[s] < shardLoad[lo] {
+				lo = s
+			}
+		}
+		if hi == lo || shardLoad[hi] <= mean*(1+cfg.Tolerance) {
+			break
+		}
+		// Hottest cell on hi that still fits: moving it must strictly
+		// shrink the hi-lo spread (load[c] < spread), and hi must keep at
+		// least one cell. Largest load first, lowest cell index on ties.
+		spread := shardLoad[hi] - shardLoad[lo]
+		best := -1
+		for c, s := range cur {
+			if int(s) != hi || moved[c] || load[c] >= spread {
+				continue
+			}
+			if best < 0 || load[c] > load[best] {
+				best = c
+			}
+		}
+		if best < 0 || count[hi] <= 1 {
+			break
+		}
+		plan = append(plan, Migration{Cell: best, From: hi, To: lo})
+		moved[best] = true
+		cur[best] = int32(lo)
+		shardLoad[hi] -= load[best]
+		shardLoad[lo] += load[best]
+		count[hi]--
+		count[lo]++
+	}
+	return plan
+}

@@ -1,0 +1,154 @@
+package shard
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomPlannerInput samples a load vector and a valid ownership map.
+func randomPlannerInput(rng *rand.Rand, cells, shards int) ([]float64, []int32) {
+	load := make([]float64, cells)
+	owner := make([]int32, cells)
+	for i := range load {
+		load[i] = float64(rng.Intn(200))
+		if rng.Intn(4) == 0 {
+			load[i] *= 10 // occasional hot cell
+		}
+		owner[i] = int32(rng.Intn(shards))
+	}
+	// Ensure no shard starts empty (New never builds one, and the
+	// planner's no-emptying invariant presumes a real partition).
+	for s := 0; s < shards; s++ {
+		owner[s%cells] = int32(s)
+	}
+	return load, owner
+}
+
+// TestPlanRebalanceDeterministicAndPure pins the replay contract: the
+// planner is a pure function — identical inputs give identical plans,
+// and the inputs come back untouched.
+func TestPlanRebalanceDeterministicAndPure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		shards := 2 + rng.Intn(7)
+		cells := shards + rng.Intn(60)
+		load, owner := randomPlannerInput(rng, cells, shards)
+		loadCopy := append([]float64(nil), load...)
+		ownerCopy := append([]int32(nil), owner...)
+		a := PlanRebalance(load, owner, shards, PlannerConfig{})
+		b := PlanRebalance(load, owner, shards, PlannerConfig{})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: identical inputs planned differently:\n%v\n%v", trial, a, b)
+		}
+		if !reflect.DeepEqual(load, loadCopy) || !reflect.DeepEqual(owner, ownerCopy) {
+			t.Fatalf("trial %d: planner mutated its inputs", trial)
+		}
+	}
+}
+
+// TestPlanRebalanceInvariants pins the plan's structural guarantees on
+// randomized inputs: every migration names a cell currently on From
+// with To distinct; no cell moves twice; no shard is emptied; the plan
+// respects MaxMoves; and applying the whole plan never increases the
+// max-min shard-load spread.
+func TestPlanRebalanceInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		shards := 2 + rng.Intn(7)
+		cells := shards + rng.Intn(80)
+		load, owner := randomPlannerInput(rng, cells, shards)
+		cfg := PlannerConfig{MaxMoves: 1 + rng.Intn(12)}
+		plan := PlanRebalance(load, owner, shards, cfg)
+		if len(plan) > cfg.MaxMoves {
+			t.Fatalf("trial %d: %d moves exceed MaxMoves %d", trial, len(plan), cfg.MaxMoves)
+		}
+
+		spread := func(own []int32) float64 {
+			sl := make([]float64, shards)
+			for c, s := range own {
+				sl[s] += load[c]
+			}
+			hi, lo := sl[0], sl[0]
+			for _, v := range sl[1:] {
+				hi, lo = max(hi, v), min(lo, v)
+			}
+			return hi - lo
+		}
+
+		cur := append([]int32(nil), owner...)
+		count := make([]int, shards)
+		for _, s := range cur {
+			count[s]++
+		}
+		before := spread(cur)
+		seen := make(map[int]bool)
+		for i, m := range plan {
+			if m.Cell < 0 || m.Cell >= cells || m.From == m.To {
+				t.Fatalf("trial %d: malformed migration %+v", trial, m)
+			}
+			if seen[m.Cell] {
+				t.Fatalf("trial %d: cell %d moves twice", trial, m.Cell)
+			}
+			seen[m.Cell] = true
+			if int(cur[m.Cell]) != m.From {
+				t.Fatalf("trial %d move %d: cell %d is on shard %d, plan says From %d", trial, i, m.Cell, cur[m.Cell], m.From)
+			}
+			cur[m.Cell] = int32(m.To)
+			count[m.From]--
+			count[m.To]++
+			if count[m.From] < 1 {
+				t.Fatalf("trial %d: move %d empties shard %d", trial, i, m.From)
+			}
+		}
+		// Still a partition: every cell owned by a valid shard.
+		for c, s := range cur {
+			if int(s) < 0 || int(s) >= shards {
+				t.Fatalf("trial %d: cell %d ends on invalid shard %d", trial, c, s)
+			}
+		}
+		if after := spread(cur); after > before {
+			t.Fatalf("trial %d: plan grew the load spread from %g to %g", trial, before, after)
+		}
+	}
+}
+
+// TestPlanRebalanceMovesHotCells pins the planner's purpose on a
+// concrete hotspot: one shard carrying nearly all load sheds cells
+// toward the idle one, and a balanced input plans nothing.
+func TestPlanRebalanceMovesHotCells(t *testing.T) {
+	load := []float64{100, 90, 80, 1, 1, 1}
+	owner := []int32{0, 0, 0, 0, 1, 1}
+	plan := PlanRebalance(load, owner, 2, PlannerConfig{})
+	if len(plan) == 0 {
+		t.Fatal("hotspot input planned no migrations")
+	}
+	for _, m := range plan {
+		if m.From != 0 || m.To != 1 {
+			t.Fatalf("migration %+v does not drain the hot shard", m)
+		}
+	}
+
+	balanced := PlanRebalance([]float64{10, 10, 10, 10}, []int32{0, 1, 0, 1}, 2, PlannerConfig{})
+	if len(balanced) != 0 {
+		t.Fatalf("balanced input planned %v", balanced)
+	}
+}
+
+// TestPlanRebalanceDegenerateInputs pins the refuse-to-plan cases:
+// fewer than two shards, mismatched slices, and corrupt ownership all
+// yield an empty plan instead of a panic or a bogus migration.
+func TestPlanRebalanceDegenerateInputs(t *testing.T) {
+	if p := PlanRebalance([]float64{5, 1}, []int32{0, 0}, 1, PlannerConfig{}); p != nil {
+		t.Fatalf("single shard planned %v", p)
+	}
+	if p := PlanRebalance([]float64{5, 1, 2}, []int32{0, 1}, 2, PlannerConfig{}); p != nil {
+		t.Fatalf("mismatched inputs planned %v", p)
+	}
+	if p := PlanRebalance(nil, nil, 2, PlannerConfig{}); p != nil {
+		t.Fatalf("empty inputs planned %v", p)
+	}
+	if p := PlanRebalance([]float64{5, 1}, []int32{0, 7}, 2, PlannerConfig{}); p != nil {
+		t.Fatalf("corrupt ownership planned %v", p)
+	}
+}

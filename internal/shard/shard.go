@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -18,7 +19,11 @@ import (
 // admission, release and state-update traffic this shard's decision
 // loop serializes. It is handed to Config.NewController so factories
 // can build per-shard controller instances (or return one shared,
-// concurrency-safe instance).
+// concurrency-safe instance). Under elastic rebalancing the owned set
+// changes at epoch boundaries; Engine.View always reports the current
+// epoch's slice, while the view a factory received describes epoch 0
+// (factories that need per-station state should size it off
+// View.Network, which is epoch-invariant).
 type View struct {
 	index    int
 	network  *cell.Network
@@ -46,6 +51,25 @@ func (v View) NumCells() int { return len(v.stations) }
 func SingleView(net *cell.Network) View {
 	return View{index: 0, network: net, stations: net.Stations()}
 }
+
+// Partition selects the deterministic initial station-to-shard
+// assignment over the network's (Q, R) station order.
+type Partition int
+
+const (
+	// PartitionRoundRobin assigns station i to shard i mod N — the
+	// historical default. Interleaving neighbouring cells across shards
+	// balances spatially concentrated load, at the price of every shard
+	// being interested in most of the map (interest-scoped fan-out
+	// degenerates toward all-to-all).
+	PartitionRoundRobin Partition = iota
+	// PartitionBlocks assigns contiguous ranges of the station order
+	// (station i to shard i*N/cells): each shard owns a spatially
+	// coherent band of the deployment, which is what makes
+	// interest-scoped ghost fan-out sparse — a shard's cluster
+	// neighbourhood stays mostly within its own band.
+	PartitionBlocks
+)
 
 // Config parameterises an Engine.
 type Config struct {
@@ -94,6 +118,33 @@ type Config struct {
 	// visibility model, kept as an escape hatch and for divergence
 	// measurements.
 	DisableExchange bool
+
+	// Partition selects the initial ownership layout (default
+	// PartitionRoundRobin, the historical assignment).
+	Partition Partition
+
+	// RebalanceEveryTicks enables elastic shard rebalancing: every N
+	// Tick barriers the engine snapshots its per-cell load counters
+	// (decisions routed since the last epoch plus current occupancy),
+	// runs the deterministic PlanRebalance planner, migrates the
+	// planned cells — station call slots and controller state move
+	// between shards through the serialized Do-op seam, inside the
+	// barrier — and publishes a new ownership epoch. 0 (the default)
+	// keeps the static partition. Rebalancing requires every controller
+	// to be cac.CellLocal or a cac.CellMigrator; exchanging controllers
+	// must additionally implement cac.ExchangeResetter so their ghost
+	// state can be re-seeded under the new ownership.
+	RebalanceEveryTicks int
+
+	// Rebalance bounds the planner (moves per epoch, imbalance
+	// tolerance); see PlannerConfig.
+	Rebalance PlannerConfig
+
+	// DisableInterestScope keeps the all-to-all ghost fan-out even when
+	// every exchanger declares an interest radius (cac.InterestScoped).
+	// Scoping never changes outcomes — it drops only rows the receiver
+	// provably never reads — so this is a measurement escape hatch.
+	DisableInterestScope bool
 }
 
 // Handoff describes one call transfer between cells: release the call
@@ -153,6 +204,36 @@ type waveRoute struct {
 	out  []serve.Response
 }
 
+// bitset is a dense cell-index set (interest sets).
+type bitset []uint64
+
+func newBitset(n int) bitset    { return make(bitset, (n+63)/64) }
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (b bitset) count() (n int) {
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ownership is one immutable epoch of the cell-to-shard assignment.
+// The engine swaps a fresh snapshot atomically at each rebalance, so
+// routers (which may run concurrently with the barrier in free-running
+// mode) always read a consistent map without locks.
+type ownership struct {
+	// epoch counts applied rebalances; 0 is the initial partition.
+	epoch uint64
+	// owner maps dense station index (network (Q, R) order) to shard.
+	owner []int32
+	// views are the per-shard owned-station slices for this epoch.
+	views []View
+	// interest[s] is the set of dense cell indices shard s's decisions
+	// may read (its owned cells dilated by the exchangers' interest
+	// radius); nil when the exchange is unscoped (all-to-all).
+	interest []bitset
+}
+
 // Stats aggregates engine counters with the per-shard service
 // snapshots.
 type Stats struct {
@@ -164,7 +245,7 @@ type Stats struct {
 	// Total is the field-wise aggregation of PerShard: counters sum,
 	// MaxBatch/MaxLatency take the maximum, AvgLatency is weighted by
 	// decided requests and the latency histogram (and so the
-	// percentiles) merges.
+	// percentiles) merges (serve.Stats.Merge).
 	Total serve.Stats
 	// PerShard holds one service snapshot per shard.
 	PerShard []serve.Stats
@@ -176,11 +257,22 @@ type Stats struct {
 	// call, unroutable station).
 	Handoffs, CrossShard, Drops, Errs int64
 	// Exchanges counts tick-barrier ghost-demand exchange rounds;
-	// GhostRows the (cell, interval) demand rows fanned out to sibling
-	// shards across them (each exported row is applied on every other
-	// shard). Both stay zero for cell-local controllers and when
-	// Config.DisableExchange is set.
-	Exchanges, GhostRows int64
+	// GhostRows the (cell, interval) demand rows actually applied on
+	// sibling shards across them. GhostRowsAllToAll is what an
+	// unscoped fan-out would have applied (every exported row on every
+	// other shard): with interest scoping active GhostRows <=
+	// GhostRowsAllToAll, without it they are equal. All stay zero for
+	// cell-local controllers and when Config.DisableExchange is set.
+	Exchanges, GhostRows, GhostRowsAllToAll int64
+	// InterestScoped reports that exchange rows route by interest sets
+	// instead of all-to-all.
+	InterestScoped bool
+	// Epoch is the current ownership version (applied rebalances since
+	// construction); Rebalances counts epochs that actually migrated at
+	// least one cell, Migrations the cells moved, MigratedCalls the
+	// carried calls that moved with them.
+	Epoch                                 uint64
+	Rebalances, Migrations, MigratedCalls int64
 }
 
 // String renders a one-line operator summary.
@@ -188,7 +280,15 @@ func (s Stats) String() string {
 	out := fmt.Sprintf("%d shards: %s; handoffs %d (%d cross-shard, %d dropped, %d errors)",
 		s.Shards, s.Total, s.Handoffs, s.CrossShard, s.Drops, s.Errs)
 	if s.Exchanges > 0 {
-		out += fmt.Sprintf("; ghost exchanges %d (%d rows)", s.Exchanges, s.GhostRows)
+		out += fmt.Sprintf("; ghost exchanges %d (%d rows", s.Exchanges, s.GhostRows)
+		if s.InterestScoped {
+			out += fmt.Sprintf(" of %d all-to-all", s.GhostRowsAllToAll)
+		}
+		out += ")"
+	}
+	if s.Rebalances > 0 {
+		out += fmt.Sprintf("; rebalances %d (epoch %d, %d cells, %d calls moved)",
+			s.Rebalances, s.Epoch, s.Migrations, s.MigratedCalls)
 	}
 	return out
 }
@@ -213,21 +313,50 @@ func (s Stats) String() string {
 // single-ledger replay and bounding free-running divergence to
 // intra-epoch admissions; see the package documentation.
 //
+// Elastic ownership: the cell-to-shard map is an immutable epoch
+// snapshot behind an atomic pointer. With RebalanceEveryTicks set, the
+// Tick barrier periodically plans (PlanRebalance, a pure function of
+// the per-cell load counters) and applies cell migrations — station
+// call slots detach on the old owner's loop and attach on the new
+// owner's, controller state moves through cac.CellMigrator, ghost
+// state re-seeds through cac.ExchangeResetter — then publishes the
+// next epoch. Every step runs inside the barrier on serialized Do ops,
+// so the replay contracts above survive rebalancing unchanged: for
+// cell-local controllers a migration changes only which loop
+// serializes a station's (unchanged) request stream.
+//
 // Handoffs travel a dedicated FIFO queue processed by one protocol
 // worker: release on the source shard (a serialized barrier op), then
 // admit on the target shard, so source-release-before-target-admit
 // ordering holds for every shard count and interleaving.
 type Engine struct {
 	cfg       Config
-	views     []View
+	stations  []*cell.BaseStation
+	hexes     []geo.Hex
+	cellIdx   map[geo.Hex]int32
 	services  []*serve.Service
-	owner     map[geo.Hex]int
 	cellLocal bool
+	// own is the current ownership epoch, swapped whole at rebalances.
+	own atomic.Pointer[ownership]
 	// exchangers holds each shard's controller as a cac.DemandExchanger
 	// when every shard got a distinct exchanger instance (and the
 	// exchange was not disabled); nil otherwise. Index-aligned with
 	// services.
 	exchangers []cac.DemandExchanger
+	// interestRadius is the hex-ring dilation of a shard's owned cells
+	// that covers every cell its decisions may read; -1 keeps the
+	// all-to-all fan-out.
+	interestRadius int
+	// rebalanceErr is nil when the controller set supports rebalancing
+	// (every controller CellLocal or CellMigrator, exchangers also
+	// ExchangeResetter); otherwise it names the first offender.
+	rebalanceErr error
+
+	// cellLoad counts decisions routed per dense cell index since the
+	// last epoch (accessed atomically: wave scatter, singles and the
+	// handoff worker all count concurrently).
+	cellLoad []int64
+	loadBuf  []float64
 
 	// waveMu serializes SubmitWave/SubmitWaveTo so the per-shard routing
 	// and response-scatter buffers below are reused across waves instead
@@ -238,19 +367,32 @@ type Engine struct {
 	waveRoutes []waveRoute
 	waveErrs   []error
 
+	// Migration scratch, touched only inside rebalance (barrier-
+	// serialized with everything else by the Tick caller's contract).
+	migCalls []cell.Call
+	migRows  []cac.MigratedCall
+	// scoped[s] is shard s's receive buffer for interest-filtered
+	// exchange rows (each shard's apply op writes only its own slot).
+	scoped [][]cac.DemandRow
+
 	mu     sync.RWMutex // guards closed against in-flight handoff sends
 	closed bool
 
 	handoffs    chan handoffItem
 	handoffDone chan struct{}
 
-	waves        atomic.Int64
-	handoffCount atomic.Int64
-	crossShard   atomic.Int64
-	drops        atomic.Int64
-	handoffErrs  atomic.Int64
-	exchanges    atomic.Int64
-	ghostRows    atomic.Int64
+	waves         atomic.Int64
+	handoffCount  atomic.Int64
+	crossShard    atomic.Int64
+	drops         atomic.Int64
+	handoffErrs   atomic.Int64
+	exchanges     atomic.Int64
+	ghostRows     atomic.Int64
+	ghostRowsAll  atomic.Int64
+	ticks         atomic.Int64
+	rebalances    atomic.Int64
+	migrations    atomic.Int64
+	migratedCalls atomic.Int64
 }
 
 // New validates the configuration, partitions the network, starts one
@@ -278,31 +420,48 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.MaxBatch < 1 {
 		return nil, fmt.Errorf("shard: MaxBatch must be >= 1, got %d", cfg.MaxBatch)
 	}
+	if cfg.Partition != PartitionRoundRobin && cfg.Partition != PartitionBlocks {
+		return nil, fmt.Errorf("shard: unknown partition strategy %d", cfg.Partition)
+	}
+	if cfg.RebalanceEveryTicks < 0 {
+		return nil, fmt.Errorf("shard: RebalanceEveryTicks must be >= 0, got %d", cfg.RebalanceEveryTicks)
+	}
 
+	stations := cfg.Network.Stations()
 	e := &Engine{
-		cfg:         cfg,
-		views:       make([]View, cfg.Shards),
-		services:    make([]*serve.Service, 0, cfg.Shards),
-		owner:       make(map[geo.Hex]int, cfg.Network.NumCells()),
-		handoffs:    make(chan handoffItem, cfg.Shards),
-		handoffDone: make(chan struct{}),
-		cellLocal:   true,
+		cfg:            cfg,
+		stations:       stations,
+		hexes:          make([]geo.Hex, len(stations)),
+		cellIdx:        make(map[geo.Hex]int32, len(stations)),
+		services:       make([]*serve.Service, 0, cfg.Shards),
+		interestRadius: -1,
+		cellLoad:       make([]int64, len(stations)),
+		loadBuf:        make([]float64, len(stations)),
+		handoffs:       make(chan handoffItem, cfg.Shards),
+		handoffDone:    make(chan struct{}),
+		cellLocal:      true,
 	}
-	// Deterministic round-robin partition over the network's (Q, R)
-	// station order: station i belongs to shard i mod N. Round-robin
-	// interleaves neighbouring cells across shards, balancing spatially
-	// concentrated load.
-	for i := range e.views {
-		e.views[i] = View{index: i, network: cfg.Network}
+	for i, bs := range stations {
+		e.hexes[i] = bs.Hex()
+		e.cellIdx[bs.Hex()] = int32(i)
 	}
-	for i, bs := range cfg.Network.Stations() {
-		s := i % cfg.Shards
-		e.owner[bs.Hex()] = s
-		e.views[s].stations = append(e.views[s].stations, bs)
+	// Epoch 0: the deterministic initial partition over the network's
+	// (Q, R) station order.
+	owner := make([]int32, len(stations))
+	for i := range stations {
+		switch cfg.Partition {
+		case PartitionBlocks:
+			owner[i] = int32(i * cfg.Shards / len(stations))
+		default:
+			owner[i] = int32(i % cfg.Shards)
+		}
 	}
+	initial := e.buildOwnership(owner, 0)
+	e.own.Store(initial)
+
 	ctrls := make([]cac.Controller, 0, cfg.Shards)
-	for i := range e.views {
-		ctrl, err := cfg.NewController(e.views[i])
+	for i := 0; i < cfg.Shards; i++ {
+		ctrl, err := cfg.NewController(initial.views[i])
 		if err != nil {
 			e.closeServices()
 			return nil, fmt.Errorf("shard: building controller for shard %d: %w", i, err)
@@ -327,6 +486,20 @@ func New(cfg Config) (*Engine, error) {
 	if !cfg.DisableExchange {
 		e.exchangers = demandExchangers(ctrls)
 	}
+	e.rebalanceErr = rebalanceSupport(ctrls, e.exchangers)
+	if cfg.RebalanceEveryTicks > 0 && e.rebalanceErr != nil {
+		e.closeServices()
+		return nil, e.rebalanceErr
+	}
+	if e.exchangers != nil && !cfg.DisableInterestScope {
+		e.interestRadius = interestRadius(e.exchangers)
+	}
+	if e.interestRadius >= 0 {
+		// Rebuild epoch 0 with interest sets (the radius was unknown
+		// before the controllers existed).
+		e.own.Store(e.buildOwnership(owner, 0))
+	}
+	e.scoped = make([][]cac.DemandRow, len(e.services))
 	e.waveRoutes = make([]waveRoute, len(e.services))
 	for s := range e.waveRoutes {
 		e.waveRoutes[s] = waveRoute{
@@ -361,6 +534,79 @@ func demandExchangers(ctrls []cac.Controller) []cac.DemandExchanger {
 	return out
 }
 
+// rebalanceSupport reports whether the controller set can be
+// rebalanced: every controller must be cac.CellLocal (nothing to move)
+// or a cac.CellMigrator (state moves through the seam), and active
+// exchangers must be cac.ExchangeResetters (ghost state re-seeds after
+// the epoch flips).
+func rebalanceSupport(ctrls []cac.Controller, exchangers []cac.DemandExchanger) error {
+	for i, ctrl := range ctrls {
+		_, local := ctrl.(cac.CellLocal)
+		_, mig := ctrl.(cac.CellMigrator)
+		if !local && !mig {
+			return fmt.Errorf("shard: rebalancing needs cell-local or migratable controllers; shard %d's %q is neither", i, ctrl.Name())
+		}
+	}
+	for i, ex := range exchangers {
+		if _, ok := ex.(cac.ExchangeResetter); !ok {
+			return fmt.Errorf("shard: rebalancing an exchanging engine needs resettable exchangers; shard %d's %q is not", i, ex.Name())
+		}
+	}
+	return nil
+}
+
+// interestRadius returns the exchange's read radius: the maximum over
+// every exchanger's declared cac.InterestScoped radius, or -1
+// (all-to-all) when any exchanger lacks the interface or declares no
+// bound.
+func interestRadius(exchangers []cac.DemandExchanger) int {
+	radius := 0
+	for _, ex := range exchangers {
+		is, ok := ex.(cac.InterestScoped)
+		if !ok {
+			return -1
+		}
+		r := is.InterestRadiusCells()
+		if r < 0 {
+			return -1
+		}
+		if r > radius {
+			radius = r
+		}
+	}
+	return radius
+}
+
+// buildOwnership materializes one epoch: per-shard views in station
+// order plus (when the exchange is interest-scoped) each shard's
+// interest set — its owned cells dilated by interestRadius hex rings.
+func (e *Engine) buildOwnership(owner []int32, epoch uint64) *ownership {
+	n := e.cfg.Shards
+	o := &ownership{epoch: epoch, owner: owner, views: make([]View, n)}
+	for s := 0; s < n; s++ {
+		o.views[s] = View{index: s, network: e.cfg.Network}
+	}
+	for i, s := range owner {
+		o.views[s].stations = append(o.views[s].stations, e.stations[i])
+	}
+	if e.interestRadius >= 0 {
+		o.interest = make([]bitset, n)
+		for s := range o.interest {
+			o.interest[s] = newBitset(len(e.stations))
+		}
+		for j, s := range owner {
+			hj := e.hexes[j]
+			set := o.interest[s]
+			for i, hi := range e.hexes {
+				if hj.DistanceTo(hi) <= e.interestRadius {
+					set.set(i)
+				}
+			}
+		}
+	}
+	return o
+}
+
 // closeServices tears down the services started so far (construction
 // failure path).
 func (e *Engine) closeServices() {
@@ -377,26 +623,39 @@ func (e *Engine) Shards() int { return len(e.services) }
 // cac.CellLocal, making outcomes shard-count-invariant.
 func (e *Engine) CellLocal() bool { return e.cellLocal }
 
-// ShardOf returns the shard owning cell h, or false for a hex outside
-// the deployment.
+// Epoch returns the current ownership version: 0 until the first
+// applied rebalance, incremented once per applied migration plan.
+func (e *Engine) Epoch() uint64 { return e.own.Load().epoch }
+
+// InterestScoped reports that the ghost exchange routes rows by
+// interest sets instead of all-to-all.
+func (e *Engine) InterestScoped() bool { return e.interestRadius >= 0 }
+
+// ShardOf returns the shard owning cell h at the current epoch, or
+// false for a hex outside the deployment.
 func (e *Engine) ShardOf(h geo.Hex) (int, bool) {
-	s, ok := e.owner[h]
-	return s, ok
+	ci, ok := e.cellIdx[h]
+	if !ok {
+		return 0, false
+	}
+	return int(e.own.Load().owner[ci]), true
 }
 
-// View returns shard s's slice of the network.
-func (e *Engine) View(s int) View { return e.views[s] }
+// View returns shard s's slice of the network at the current epoch.
+func (e *Engine) View(s int) View { return e.own.Load().views[s] }
 
-// route resolves the owner shard of a request's station.
+// route resolves the owner shard of a request's station and counts the
+// decision against the cell's load window.
 func (e *Engine) route(req cac.Request) (int, error) {
 	if req.Station == nil {
 		return 0, fmt.Errorf("shard: request for call %d has no station", req.Call.ID)
 	}
-	s, ok := e.owner[req.Station.Hex()]
+	ci, ok := e.cellIdx[req.Station.Hex()]
 	if !ok {
 		return 0, fmt.Errorf("shard: station %v is outside the engine's network", req.Station.Hex())
 	}
-	return s, nil
+	atomic.AddInt64(&e.cellLoad[ci], 1)
+	return int(e.own.Load().owner[ci]), nil
 }
 
 // Submit routes one request to its station's shard and blocks until
@@ -454,16 +713,22 @@ func (e *Engine) SubmitWaveTo(reqs []cac.Request, out []serve.Response) error {
 	routes, errs := e.waveRoutes, e.waveErrs
 	for lo := 0; lo < len(reqs); lo += e.cfg.MaxBatch {
 		hi := min(lo+e.cfg.MaxBatch, len(reqs))
+		own := e.own.Load()
 		for s := range routes {
 			routes[s].idx = routes[s].idx[:0]
 			routes[s].reqs = routes[s].reqs[:0]
 			errs[s] = nil
 		}
 		for i := lo; i < hi; i++ {
-			s, err := e.route(reqs[i])
-			if err != nil {
-				return err
+			if reqs[i].Station == nil {
+				return fmt.Errorf("shard: request for call %d has no station", reqs[i].Call.ID)
 			}
+			ci, ok := e.cellIdx[reqs[i].Station.Hex()]
+			if !ok {
+				return fmt.Errorf("shard: station %v is outside the engine's network", reqs[i].Station.Hex())
+			}
+			atomic.AddInt64(&e.cellLoad[ci], 1)
+			s := int(own.owner[ci])
 			routes[s].idx = append(routes[s].idx, i)
 			routes[s].reqs = append(routes[s].reqs, reqs[i])
 		}
@@ -504,12 +769,23 @@ func (e *Engine) SubmitWaveTo(reqs []cac.Request, out []serve.Response) error {
 // For demand-exchanging controllers (see Exchanging) the barrier also
 // hosts the ghost-demand exchange: once every shard has applied the
 // tick (and, for the SCC ledger, re-aggregated its matrix), each
-// shard's demand delta is collected and the union fanned back out, all
-// before Tick returns. The exchange cadence is therefore exactly the
-// tick cadence — deterministic and race-free by construction, since
-// both phases run as serialized ops on each shard's own decision loop.
-// Callers wanting a globally consistent exchange must quiesce
-// submissions across Tick, exactly as the closed-loop drivers do.
+// shard's demand delta is collected and fanned back out — to every
+// sibling, or only to interested ones when the exchange is scoped —
+// all before Tick returns. The exchange cadence is therefore exactly
+// the tick cadence — deterministic and race-free by construction,
+// since both phases run as serialized ops on each shard's own decision
+// loop.
+//
+// With RebalanceEveryTicks set, every Nth barrier additionally runs
+// one rebalance epoch between the flush and the exchange: plan,
+// migrate, publish the next ownership snapshot, re-seed exchange
+// state. The exchange that follows carries absolute demand matrices
+// (see cac.ExchangeResetter), so every ghost is consistent under the
+// new ownership before any post-barrier decision runs.
+//
+// Callers wanting a globally consistent exchange (and any caller using
+// rebalancing) must quiesce submissions across Tick, exactly as the
+// closed-loop drivers do.
 func (e *Engine) Tick(now float64) error {
 	for _, svc := range e.services {
 		if err := svc.Tick(now); err != nil {
@@ -519,6 +795,13 @@ func (e *Engine) Tick(now float64) error {
 	if err := e.Flush(); err != nil {
 		return err
 	}
+	if n := e.cfg.RebalanceEveryTicks; n > 0 {
+		if t := e.ticks.Add(1); t%int64(n) == 0 {
+			if err := e.rebalance(); err != nil {
+				return err
+			}
+		}
+	}
 	return e.exchangeDemand()
 }
 
@@ -527,15 +810,121 @@ func (e *Engine) Tick(now float64) error {
 // cac.DemandExchanger instance and Config.DisableExchange is unset.
 func (e *Engine) Exchanging() bool { return e.exchangers != nil }
 
+// ForceRebalance runs one rebalance epoch immediately: flush, plan,
+// migrate, publish, then a full exchange round. Like Tick it assumes
+// quiesced submissions. It returns an error when the controller set
+// does not support rebalancing (see Config.RebalanceEveryTicks).
+func (e *Engine) ForceRebalance() error {
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	if err := e.rebalance(); err != nil {
+		return err
+	}
+	return e.exchangeDemand()
+}
+
+// rebalance runs one epoch inside the barrier: snapshot the load
+// counters, plan, migrate each planned cell through the Do-op seam
+// (source loop first, then target loop), publish the next ownership
+// snapshot, and re-seed exchanger state. The caller runs (or is) the
+// tick barrier, so no wave is in flight and every Do op serializes
+// cleanly behind drained queues.
+func (e *Engine) rebalance() error {
+	if e.rebalanceErr != nil {
+		return e.rebalanceErr
+	}
+	cur := e.own.Load()
+	load := e.loadBuf
+	for i := range load {
+		// Decisions routed this epoch plus present occupancy: the former
+		// finds hot cells, the latter breaks ties toward cells whose
+		// calls would actually move. Both inputs are identical across
+		// shard counts, so plans replay identically too.
+		load[i] = float64(atomic.LoadInt64(&e.cellLoad[i])) + float64(e.stations[i].Used())
+	}
+	plan := PlanRebalance(load, cur.owner, len(e.services), e.cfg.Rebalance)
+	for i := range e.cellLoad {
+		atomic.StoreInt64(&e.cellLoad[i], 0)
+	}
+	if len(plan) == 0 {
+		return nil
+	}
+	for _, m := range plan {
+		if err := e.migrate(m); err != nil {
+			return err
+		}
+	}
+	next := make([]int32, len(cur.owner))
+	copy(next, cur.owner)
+	for _, m := range plan {
+		next[m.Cell] = int32(m.To)
+	}
+	e.own.Store(e.buildOwnership(next, cur.epoch+1))
+	if e.exchangers != nil {
+		if err := e.eachShard(func(s int) error {
+			return e.services[s].Do(func(ctrl cac.Controller) {
+				if r, ok := ctrl.(cac.ExchangeResetter); ok {
+					r.ResetExchange()
+				}
+			})
+		}); err != nil {
+			return err
+		}
+	}
+	e.rebalances.Add(1)
+	e.migrations.Add(int64(len(plan)))
+	return nil
+}
+
+// migrate moves one cell: detach its station's call slots and extract
+// its controller state on the source shard's loop, then attach and
+// insert both on the target shard's loop. Two serialized ops — at
+// every instant the cell's state lives on exactly one loop.
+func (e *Engine) migrate(m Migration) error {
+	bs := e.stations[m.Cell]
+	h := e.hexes[m.Cell]
+	var attachErr error
+	if err := e.services[m.From].Do(func(ctrl cac.Controller) {
+		if e.cfg.Commit {
+			e.migCalls = bs.DetachCalls(e.migCalls[:0])
+		}
+		if mig, ok := ctrl.(cac.CellMigrator); ok {
+			e.migRows = mig.MigrateOut(h, e.migRows[:0])
+		}
+	}); err != nil {
+		return err
+	}
+	if err := e.services[m.To].Do(func(ctrl cac.Controller) {
+		if e.cfg.Commit {
+			attachErr = bs.AttachCalls(e.migCalls)
+		}
+		if mig, ok := ctrl.(cac.CellMigrator); ok {
+			mig.MigrateIn(e.migRows)
+		}
+	}); err != nil {
+		return err
+	}
+	if attachErr != nil {
+		return fmt.Errorf("shard: migrating cell %v from shard %d to %d: %w", h, m.From, m.To, attachErr)
+	}
+	e.migratedCalls.Add(int64(len(e.migCalls)))
+	e.migCalls = e.migCalls[:0]
+	e.migRows = e.migRows[:0]
+	return nil
+}
+
 // exchangeDemand runs one exchange round inside the tick barrier:
 // phase 1 collects every shard's demand delta (a serialized op on each
-// shard's loop), phase 2 applies the union — every delta except a
-// shard's own, in ascending source-shard order — on every shard. Both
-// phases complete before the caller's Tick returns.
+// shard's loop), phase 2 applies the union on every shard — every
+// delta except a shard's own, in ascending source-shard order,
+// filtered down to the receiver's interest set when the exchange is
+// scoped. Both phases complete before the caller's Tick returns.
 func (e *Engine) exchangeDemand() error {
 	if e.exchangers == nil {
 		return nil
 	}
+	own := e.own.Load()
 	deltas := make([]cac.DemandDelta, len(e.services))
 	collect := func(s int) error {
 		return e.services[s].Do(func(cac.Controller) { deltas[s] = e.exchangers[s].ExportDemand() })
@@ -549,19 +938,37 @@ func (e *Engine) exchangeDemand() error {
 	}
 	apply := func(s int) error {
 		return e.services[s].Do(func(cac.Controller) {
+			var fanned int64
 			for src := range deltas {
 				if src == s || len(deltas[src].Rows) == 0 {
 					continue
 				}
-				e.exchangers[s].ApplyGhost(src, deltas[src])
+				d := deltas[src]
+				if own.interest != nil {
+					// Keep only rows inside this shard's read set; the
+					// generation still advances on empty filtered deltas so
+					// replay guards stay aligned with the exporter.
+					buf := e.scoped[s][:0]
+					set := own.interest[s]
+					for _, r := range d.Rows {
+						if ci, ok := e.cellIdx[r.Cell]; ok && set.has(int(ci)) {
+							buf = append(buf, r)
+						}
+					}
+					e.scoped[s] = buf
+					d = cac.DemandDelta{Gen: d.Gen, Rows: buf}
+				}
+				fanned += int64(len(d.Rows))
+				e.exchangers[s].ApplyGhost(src, d)
 			}
+			e.ghostRows.Add(fanned)
 		})
 	}
 	if err := e.eachShard(apply); err != nil {
 		return err
 	}
 	e.exchanges.Add(1)
-	e.ghostRows.Add(rows * int64(len(e.services)-1))
+	e.ghostRowsAll.Add(rows * int64(len(e.services)-1))
 	return nil
 }
 
@@ -604,21 +1011,21 @@ func (e *Engine) Do(s int, fn func(ctrl cac.Controller)) error {
 // Release retires a carried call on its station's shard, ordered after
 // everything already enqueued there (see serve.Service.Release).
 func (e *Engine) Release(callID int, station *cell.BaseStation, now float64) error {
-	s, ok := e.owner[station.Hex()]
+	ci, ok := e.cellIdx[station.Hex()]
 	if !ok {
 		return fmt.Errorf("shard: station %v is outside the engine's network", station.Hex())
 	}
-	return e.services[s].Release(callID, station, now)
+	return e.services[e.own.Load().owner[ci]].Release(callID, station, now)
 }
 
 // UpdateState delivers a fresh kinematic estimate for a carried call to
 // its station's shard (see serve.Service.UpdateState).
 func (e *Engine) UpdateState(callID int, est gps.Estimate, station *cell.BaseStation) error {
-	s, ok := e.owner[station.Hex()]
+	ci, ok := e.cellIdx[station.Hex()]
 	if !ok {
 		return fmt.Errorf("shard: station %v is outside the engine's network", station.Hex())
 	}
-	return e.services[s].UpdateState(callID, est, station)
+	return e.services[e.own.Load().owner[ci]].UpdateState(callID, est, station)
 }
 
 // HandoffAsync enqueues one handoff on the engine's FIFO protocol
@@ -667,13 +1074,15 @@ func (e *Engine) processHandoff(h Handoff) HandoffResult {
 		res.Err = fmt.Errorf("shard: handoff of call %d needs both stations", h.CallID)
 		return res
 	}
-	src, okSrc := e.owner[h.From.Hex()]
-	dst, okDst := e.owner[h.To.Hex()]
+	srcCi, okSrc := e.cellIdx[h.From.Hex()]
+	dstCi, okDst := e.cellIdx[h.To.Hex()]
 	if !okSrc || !okDst {
 		e.handoffErrs.Add(1)
 		res.Err = fmt.Errorf("shard: handoff of call %d touches a station outside the engine's network", h.CallID)
 		return res
 	}
+	own := e.own.Load()
+	src, dst := int(own.owner[srcCi]), int(own.owner[dstCi])
 	res.CrossShard = src != dst
 
 	// Phase 1: release at the source, serialized inside the source
@@ -710,6 +1119,7 @@ func (e *Engine) processHandoff(h Handoff) HandoffResult {
 		Handoff: true,
 		Now:     h.Now,
 	}
+	atomic.AddInt64(&e.cellLoad[dstCi], 1)
 	resps, err := e.services[dst].SubmitAll([]cac.Request{req})
 	if err != nil {
 		e.handoffErrs.Add(1)
@@ -731,45 +1141,27 @@ func (e *Engine) processHandoff(h Handoff) HandoffResult {
 // into engine totals. After Flush (or Close) the snapshot is exact.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Shards:     len(e.services),
-		CellLocal:  e.cellLocal,
-		PerShard:   make([]serve.Stats, len(e.services)),
-		Waves:      e.waves.Load(),
-		Handoffs:   e.handoffCount.Load(),
-		CrossShard: e.crossShard.Load(),
-		Drops:      e.drops.Load(),
-		Errs:       e.handoffErrs.Load(),
-		Exchanges:  e.exchanges.Load(),
-		GhostRows:  e.ghostRows.Load(),
+		Shards:            len(e.services),
+		CellLocal:         e.cellLocal,
+		PerShard:          make([]serve.Stats, len(e.services)),
+		Waves:             e.waves.Load(),
+		Handoffs:          e.handoffCount.Load(),
+		CrossShard:        e.crossShard.Load(),
+		Drops:             e.drops.Load(),
+		Errs:              e.handoffErrs.Load(),
+		Exchanges:         e.exchanges.Load(),
+		GhostRows:         e.ghostRows.Load(),
+		GhostRowsAllToAll: e.ghostRowsAll.Load(),
+		InterestScoped:    e.interestRadius >= 0,
+		Epoch:             e.own.Load().epoch,
+		Rebalances:        e.rebalances.Load(),
+		Migrations:        e.migrations.Load(),
+		MigratedCalls:     e.migratedCalls.Load(),
 	}
-	var latSum int64
 	for i, svc := range e.services {
 		s := svc.Stats()
 		st.PerShard[i] = s
-		st.Total.Submitted += s.Submitted
-		st.Total.Decided += s.Decided
-		st.Total.Accepted += s.Accepted
-		st.Total.Rejected += s.Rejected
-		st.Total.Committed += s.Committed
-		st.Total.Batches += s.Batches
-		st.Total.Waves += s.Waves
-		st.Total.Ops += s.Ops
-		st.Total.Ticks += s.Ticks
-		st.Total.CommitErrs += s.CommitErrs
-		st.Total.OpErrs += s.OpErrs
-		if s.MaxBatch > st.Total.MaxBatch {
-			st.Total.MaxBatch = s.MaxBatch
-		}
-		if s.MaxLatency > st.Total.MaxLatency {
-			st.Total.MaxLatency = s.MaxLatency
-		}
-		latSum += int64(s.AvgLatency) * s.Decided
-		for b := range s.LatencyHist {
-			st.Total.LatencyHist[b] += s.LatencyHist[b]
-		}
-	}
-	if st.Total.Decided > 0 {
-		st.Total.AvgLatency = time.Duration(latSum / st.Total.Decided)
+		st.Total = st.Total.Merge(s)
 	}
 	return st
 }

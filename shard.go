@@ -68,3 +68,47 @@ type (
 	DemandDelta = icac.DemandDelta
 	DemandRow   = icac.DemandRow
 )
+
+// ShardPartition selects the deterministic initial station-to-shard
+// assignment: round-robin (the balanced historical default) or
+// contiguous blocks (spatially coherent bands, the layout that makes
+// interest-scoped ghost fan-out sparse).
+type ShardPartition = ishard.Partition
+
+// Partition strategies for ShardedEngineConfig.Partition.
+const (
+	PartitionRoundRobin = ishard.PartitionRoundRobin
+	PartitionBlocks     = ishard.PartitionBlocks
+)
+
+// ShardMigration is one planned ownership move emitted by the elastic
+// rebalancing planner; ShardPlannerConfig bounds the planner (moves per
+// epoch, imbalance tolerance).
+type (
+	ShardMigration     = ishard.Migration
+	ShardPlannerConfig = ishard.PlannerConfig
+)
+
+// PlanShardRebalance is the deterministic greedy planner behind
+// elastic sharding — a pure function of the per-cell load snapshot and
+// ownership map, exposed for replay tooling and tests.
+var PlanShardRebalance = ishard.PlanRebalance
+
+// MigratableController marks controllers whose per-cell state can move
+// between shard instances at rebalance epochs through MigrateOut /
+// MigrateIn (the SCC ledger); MigratedCall is one carried call's
+// state in flight between instances.
+type (
+	MigratableController = icac.CellMigrator
+	MigratedCall         = icac.MigratedCall
+)
+
+// InterestScopedController marks demand exchangers that bound how far
+// from a call's home cell their exported demand rows can land, letting
+// the engine route ghost rows only to interested shards;
+// ExchangeResettingController marks exchangers whose ghost state can be
+// re-seeded after a rebalance epoch.
+type (
+	InterestScopedController    = icac.InterestScoped
+	ExchangeResettingController = icac.ExchangeResetter
+)
