@@ -17,6 +17,8 @@
 //	facs-serve -listen 127.0.0.1:4747 -controller scc
 //	facs-serve -shards 4 -rings 3                            # sharded engine
 //	facs-serve -loadgen 100000 -wave 128 -batch 64 -shards 4
+//	facs-serve -snapshot-dir /var/lib/facs -snapshot-every-ticks 8 -metrics :9090
+//	facs-serve -restore /var/lib/facs/engine.snap            # warm restart
 //
 // Request lines name a station by index plus the FLC1 observation
 // (speed/angle/distance), or give an absolute position (x/y metres,
@@ -48,16 +50,31 @@
 // its response.
 //
 // Flow control: each stream holds at most -max-inflight undecided
-// requests. A request line arriving with the window full is not
-// buffered; it is answered immediately with the documented error line
+// requests, and the window is class-aware — text requests may fill
+// only half of it and voice three quarters, so under pressure the
+// lowest class sheds first and video keeps the full window. A request
+// line arriving past its class cap is not buffered; it is answered
+// immediately with the documented error line
 //
-//	{"id":7,"error":"intake queue full: 1024 requests in flight; read responses before submitting more"}
+//	{"id":7,"class":"text","error":"intake queue full: 512 requests in flight (cap 512 for class text); read responses before submitting more"}
 //
 // so a well-behaved client treats it as backpressure and drains
 // responses before retrying. On stream end (or Ctrl-D) the engine
 // drains and a stats summary (including latency p50/p99) is printed to
 // stderr; for -controller scc it appends the aggregated demand-ledger
 // counters (guard-band fallbacks, rebuilds, ghost-exchange activity).
+//
+// Durability: -snapshot-dir names a directory for checksummed engine
+// snapshots (written atomically as engine.snap), cut every N tick
+// barriers with -snapshot-every-ticks and always once at shutdown;
+// -restore warm-starts a fresh process from such a file, refusing
+// snapshots from a different deployment shape (sharding, rings,
+// capacity, controller kind). SIGINT/SIGTERM shuts down gracefully:
+// in-flight batches drain, the final snapshot lands, profiles stop,
+// and the stats summary prints. -metrics serves the engine's counters
+// (decision throughput, the latency histogram, accept rate, per-class
+// intake sheds, SCC ledger activity, snapshot freshness) in Prometheus
+// text format at /metrics.
 //
 // With -controller scc and -shards > 1 the per-shard demand ledgers
 // exchange ghost demand at every tick barrier, restoring the Shadow
@@ -74,7 +91,10 @@ import (
 	"io"
 	"net"
 	"os"
+	"os/signal"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"facs"
@@ -121,6 +141,10 @@ type serveOptions struct {
 	cpuProfile   string
 	memProfile   string
 	traceOut     string
+	snapshotDir  string
+	snapshotTick int
+	restorePath  string
+	metricsAddr  string
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
@@ -150,6 +174,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile (stopped at shutdown) to this file")
 	fs.StringVar(&o.memProfile, "memprofile", "", "write a pprof allocs profile (post-GC, at shutdown) to this file")
 	fs.StringVar(&o.traceOut, "trace", "", "write a runtime execution trace to this file")
+	fs.StringVar(&o.snapshotDir, "snapshot-dir", "", "directory for durable engine snapshots (written atomically as engine.snap)")
+	fs.IntVar(&o.snapshotTick, "snapshot-every-ticks", 0, "snapshot every N tick barriers into -snapshot-dir (0 = only the final on-shutdown snapshot)")
+	fs.StringVar(&o.restorePath, "restore", "", "warm-start the engine from a snapshot file before serving")
+	fs.StringVar(&o.metricsAddr, "metrics", "", "serve Prometheus text metrics on this address at /metrics")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -191,6 +219,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	})
 	if o.loadgen > 0 && commitSet && !o.commit {
 		return fmt.Errorf("-loadgen always commits accepted calls; -commit=false is not supported with it")
+	}
+	if o.snapshotTick < 0 {
+		return fmt.Errorf("-snapshot-every-ticks must be >= 0, got %d", o.snapshotTick)
+	}
+	if o.snapshotTick > 0 && o.snapshotDir == "" {
+		return fmt.Errorf("-snapshot-every-ticks needs a -snapshot-dir")
+	}
+	if o.loadgen > 0 && (o.snapshotDir != "" || o.restorePath != "" || o.metricsAddr != "") {
+		return fmt.Errorf("-snapshot-dir, -restore and -metrics apply to serving runs, not -loadgen")
 	}
 
 	factory, err := controllerFactory(o, stderr)
@@ -244,21 +281,105 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	defer eng.Close()
 
+	if o.restorePath != "" {
+		if err := restoreEngine(eng, o.restorePath); err != nil {
+			return finishProf(err)
+		}
+		fmt.Fprintf(stderr, "facs-serve: restored engine state from %s\n", o.restorePath)
+	}
+
+	snaps := newSnapState(o.snapshotDir)
+	in := newIntake(o.maxInflight)
+	var front admitter = eng
+	if o.snapshotTick > 0 {
+		front = &snapshotFront{Engine: eng, snaps: snaps, every: int64(o.snapshotTick), stderr: stderr}
+	}
+	if o.metricsAddr != "" {
+		stopMetrics, err := serveMetrics(o.metricsAddr, eng, in, snaps, stderr)
+		if err != nil {
+			return finishProf(err)
+		}
+		defer stopMetrics()
+	}
+
+	// shutdownServe runs once whether the stream drains normally or a
+	// signal lands mid-serve: snapshot the ledger counters, cut the
+	// final durable snapshot while the engine is still live, close the
+	// loops and print the summary.
+	var shutdownOnce sync.Once
+	doShutdown := func() error {
+		var err error
+		shutdownOnce.Do(func() { err = shutdownServe(eng, snaps, stderr) })
+		return err
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
 	if o.listen != "" {
-		return finishProf(serveTCP(o.listen, eng, netw, o.maxInflight, stderr))
+		l, err := net.Listen("tcp", o.listen)
+		if err != nil {
+			return finishProf(err)
+		}
+		var stopping atomic.Bool
+		go func() {
+			s, ok := <-sig
+			if !ok {
+				return
+			}
+			fmt.Fprintf(stderr, "facs-serve: %v: shutting down\n", s)
+			stopping.Store(true)
+			l.Close()
+		}()
+		err = serveTCP(l, front, eng, netw, in, stderr)
+		if stopping.Load() {
+			err = nil
+		}
+		if err != nil {
+			return finishProf(err)
+		}
+		return finishProf(doShutdown())
 	}
-	if err := serveStream(eng, netw, stdin, stdout, o.maxInflight); err != nil {
+
+	// Stdin mode: the scanner blocks on the pipe, so a signal drives the
+	// drain-snapshot-close sequence directly and exits.
+	go func() {
+		s, ok := <-sig
+		if !ok {
+			return
+		}
+		fmt.Fprintf(stderr, "facs-serve: %v: draining and shutting down\n", s)
+		err := finishProf(doShutdown())
+		if err != nil {
+			fmt.Fprintln(stderr, "facs-serve:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}()
+	if err := serveStream(front, netw, stdin, stdout, in); err != nil {
 		return finishProf(err)
 	}
-	// Controller-side counters (the SCC ledger's guard-band fallbacks
-	// and ghost-exchange activity) are only reachable through the Do
-	// barrier, so snapshot them before Close tears the loops down.
+	return finishProf(doShutdown())
+}
+
+// shutdownServe drains and tears down the serving engine: controller
+// counters (only reachable through the Do barrier) and the final
+// durable snapshot are captured while the loops are live, then the
+// engine closes and the summary prints.
+func shutdownServe(eng *ishard.Engine, snaps *snapState, stderr io.Writer) error {
 	ledger, hasLedger := ledgerStats(eng)
+	if snaps.enabled() {
+		if err := snaps.capture(eng); err != nil {
+			fmt.Fprintln(stderr, "facs-serve: final snapshot:", err)
+		} else {
+			fmt.Fprintf(stderr, "facs-serve: final snapshot written to %s\n", snaps.path())
+		}
+	}
 	if err := eng.Close(); err != nil {
-		return finishProf(err)
+		return err
 	}
 	printEngineStats(stderr, eng, ledger, hasLedger)
-	return finishProf(nil)
+	return nil
 }
 
 // ledgerStats aggregates the per-shard SCC ledger snapshots through the
@@ -456,13 +577,9 @@ type handoffer interface {
 }
 
 // serveTCP accepts connections and streams each over the shared
-// engine. It runs until the listener fails (or the process is
-// stopped).
-func serveTCP(addr string, eng *ishard.Engine, netw *facs.Network, maxInflight int, stderr io.Writer) error {
-	l, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
+// engine. It runs until the listener closes (shutdown signal) or
+// fails.
+func serveTCP(l net.Listener, front admitter, eng *ishard.Engine, netw *facs.Network, in *intake, stderr io.Writer) error {
 	defer l.Close()
 	fmt.Fprintf(stderr, "facs-serve: listening on %s\n", l.Addr())
 	for {
@@ -472,7 +589,7 @@ func serveTCP(addr string, eng *ishard.Engine, netw *facs.Network, maxInflight i
 		}
 		go func() {
 			defer conn.Close()
-			if err := serveStream(eng, netw, conn, conn, maxInflight); err != nil {
+			if err := serveStream(front, netw, conn, conn, in); err != nil {
 				fmt.Fprintln(stderr, "facs-serve: connection:", err)
 			}
 			ledger, hasLedger := ledgerStats(eng)
@@ -498,9 +615,11 @@ type wireRequest struct {
 	Now     float64  `json:"now,omitempty"`
 }
 
-// wireResponse is one NDJSON output line.
+// wireResponse is one NDJSON output line. Class is set on shed
+// responses so clients can tell which per-class intake window filled.
 type wireResponse struct {
 	ID        int    `json:"id"`
+	Class     string `json:"class,omitempty"`
 	Decision  string `json:"decision,omitempty"`
 	Committed bool   `json:"committed,omitempty"`
 	LatencyUS int64  `json:"latency_us,omitempty"`
@@ -580,9 +699,9 @@ func buildRequest(netw *facs.Network, stations []*icell.BaseStation, w wireReque
 
 // serveStream pumps one NDJSON stream through the front end: request
 // lines are enqueued in order (decisions fan back as batches complete)
-// under a bounded in-flight window, op lines are serialized behind the
-// requests already enqueued on their stations' shards.
-func serveStream(front admitter, netw *facs.Network, r io.Reader, w io.Writer, maxInflight int) error {
+// under a bounded class-aware in-flight window, op lines are serialized
+// behind the requests already enqueued on their stations' shards.
+func serveStream(front admitter, netw *facs.Network, r io.Reader, w io.Writer, in *intake) error {
 	stations := netw.Stations()
 	var (
 		outMu sync.Mutex
@@ -603,8 +722,12 @@ func serveStream(front admitter, netw *facs.Network, r io.Reader, w io.Writer, m
 
 	// inflight bounds the undecided requests buffered for this stream:
 	// a full window sheds new request lines with the documented
-	// queue-full error instead of buffering them without limit.
-	inflight := make(chan struct{}, maxInflight)
+	// queue-full error instead of buffering them without limit. The
+	// window is class-aware: lower classes see a smaller cap, so under
+	// pressure text sheds first, then voice, and video keeps the full
+	// window (the scanner loop is the sole sender, so a level check
+	// against the class cap cannot race with another enqueue).
+	inflight := make(chan struct{}, in.max)
 
 	// committed maps call ID -> station for release and handoff ops.
 	var (
@@ -626,13 +749,19 @@ func serveStream(front admitter, netw *facs.Network, r io.Reader, w io.Writer, m
 		}
 		switch wr.Op {
 		case "":
-			select {
-			case inflight <- struct{}{}:
-			default:
-				writeLine(wireResponse{ID: wr.ID, Error: fmt.Sprintf(
-					"intake queue full: %d requests in flight; read responses before submitting more", maxInflight)})
+			class, err := parseClass(wr.Class)
+			if err != nil {
+				writeLine(wireResponse{ID: wr.ID, Error: err.Error()})
 				continue
 			}
+			if limit := in.capFor(class); len(inflight) >= limit {
+				in.shed(class)
+				writeLine(wireResponse{ID: wr.ID, Class: class.String(), Error: fmt.Sprintf(
+					"intake queue full: %d requests in flight (cap %d for class %s); read responses before submitting more",
+					len(inflight), limit, class)})
+				continue
+			}
+			inflight <- struct{}{}
 			req, err := buildRequest(netw, stations, wr)
 			if err != nil {
 				<-inflight

@@ -262,7 +262,7 @@ func TestBackpressureShedsWhenFull(t *testing.T) {
 		`{"id":2,"class":"text","station":0,"speed":10,"angle":0,"distance":1}`,
 	}, "\n") + "\n"
 	var out bytes.Buffer
-	if err := serveStream(eng, netw, strings.NewReader(in), &out, 1); err != nil {
+	if err := serveStream(eng, netw, strings.NewReader(in), &out, newIntake(1)); err != nil {
 		t.Fatal(err)
 	}
 	got := decodeLines(t, out.String())
@@ -298,7 +298,7 @@ func TestHandoffOpOverStream(t *testing.T) {
 	client, server := net.Pipe()
 	done := make(chan error, 1)
 	go func() {
-		done <- serveStream(eng, netw, server, server, 64)
+		done <- serveStream(eng, netw, server, server, newIntake(64))
 		server.Close()
 	}()
 
@@ -380,7 +380,7 @@ func TestServeStreamOverConnection(t *testing.T) {
 	client, server := net.Pipe()
 	done := make(chan error, 1)
 	go func() {
-		done <- serveStream(svc, netw, server, server, 1024)
+		done <- serveStream(svc, netw, server, server, newIntake(1024))
 		server.Close()
 	}()
 

@@ -20,6 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"facs"
@@ -68,6 +71,9 @@ type simOptions struct {
 	waves        int
 	measureMem   bool
 	materialize  bool
+	snapshotDir  string
+	snapshotTick int
+	restorePath  string
 	cpuProfile   string
 	memProfile   string
 	traceOut     string
@@ -106,6 +112,9 @@ func run(args []string) error {
 	fs.IntVar(&o.waves, "waves", 0, "decision waves for -metropolis (0 = one simulated day)")
 	fs.BoolVar(&o.measureMem, "measure-mem", false, "report heap bytes per concurrent call at the population peak (-metropolis)")
 	fs.BoolVar(&o.materialize, "metro-materialize", false, "materialize whole waves instead of streaming MaxBatch chunks (-metropolis A/B check)")
+	fs.StringVar(&o.snapshotDir, "snapshot-dir", "", "directory for durable run snapshots (-metropolis; written atomically as "+facs.MetroSnapshotFile+")")
+	fs.IntVar(&o.snapshotTick, "snapshot-every-ticks", 0, "snapshot every N tick barriers into -snapshot-dir (-metropolis; 0 = only on interrupt)")
+	fs.StringVar(&o.restorePath, "restore", "", "warm-start a -metropolis run from a snapshot file")
 	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	fs.StringVar(&o.memProfile, "memprofile", "", "write a pprof allocs profile (post-GC) to this file")
 	fs.StringVar(&o.traceOut, "trace", "", "write a runtime execution trace to this file")
@@ -142,6 +151,9 @@ func run(args []string) error {
 		}
 	} else if o.materialize {
 		return fmt.Errorf("-metro-materialize applies to -metropolis runs")
+	}
+	if !o.metropolis && (o.snapshotDir != "" || o.snapshotTick != 0 || o.restorePath != "") {
+		return fmt.Errorf("-snapshot-dir/-snapshot-every-ticks/-restore apply to -metropolis runs")
 	}
 	stopProf, err := prof.Start(prof.Config{
 		CPUProfile: o.cpuProfile,
@@ -393,6 +405,24 @@ func runMetropolis(o simOptions) error {
 	if err != nil {
 		return err
 	}
+
+	// SIGINT/SIGTERM closes the Stop channel: the run ends at the next
+	// wave boundary and, with -snapshot-dir set, cuts a final snapshot a
+	// later -restore run can resume from (restore-then-replay reproduces
+	// the uninterrupted run's DecisionHash exactly).
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		s, ok := <-sig
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "facs-sim: %v: stopping at the next wave\n", s)
+		close(stop)
+	}()
+
 	res, err := facs.RunMetropolis(facs.MetropolisConfig{
 		NewController:        func(v facs.ShardView) (facs.Controller, error) { return factory(v.Network()) },
 		Mode:                 mode,
@@ -407,6 +437,10 @@ func runMetropolis(o simOptions) error {
 		Seed:                 o.seed,
 		MeasureMem:           o.measureMem,
 		Materialize:          o.materialize,
+		SnapshotDir:          o.snapshotDir,
+		SnapshotEveryTicks:   o.snapshotTick,
+		Restore:              o.restorePath,
+		Stop:                 stop,
 	})
 	if err != nil {
 		return err
@@ -433,6 +467,16 @@ func runMetropolis(o simOptions) error {
 	}
 	if res.InterestScoped {
 		fmt.Printf("ghost rows    %d fanned of %d all-to-all\n", res.GhostRows, res.GhostRowsAllToAll)
+	}
+	if res.Snapshots > 0 {
+		fmt.Printf("snapshots     %d written to %s\n", res.Snapshots, o.snapshotDir)
+	}
+	if res.Stopped {
+		fmt.Printf("stopped       interrupted after %d waves", res.Waves)
+		if o.snapshotDir != "" {
+			fmt.Printf(" (resume with -restore %s)", filepath.Join(o.snapshotDir, facs.MetroSnapshotFile))
+		}
+		fmt.Println()
 	}
 	if o.measureMem {
 		fmt.Printf("memory        %.0f bytes/call at peak\n", res.BytesPerCall)

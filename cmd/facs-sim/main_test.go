@@ -1,9 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"facs"
 	ifacs "facs/internal/facs"
 )
 
@@ -200,6 +203,31 @@ func TestRunElasticShardingFlags(t *testing.T) {
 	if err := run(append(sharded, "-partition", "blocks", "-rebalance-ticks", "1",
 		"-rebalance-max-moves", "2")); err != nil {
 		t.Fatalf("elastic sharded metropolis: %v", err)
+	}
+}
+
+// TestRunMetropolisSnapshotFlags drives the durable flags through the
+// CLI: a run with periodic snapshots leaves the snapshot file behind,
+// a second run warm-starts from it, and the flags refuse non-metropolis
+// or inconsistent combinations.
+func TestRunMetropolisSnapshotFlags(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-metropolis", "-rings", "2", "-target", "300", "-waves", "12", "-controller", "guard"}
+	if err := run(append(base, "-snapshot-dir", dir, "-snapshot-every-ticks", "1")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, facs.MetroSnapshotFile)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("snapshot file missing after periodic run: %v", err)
+	}
+	if err := run(append(base, "-restore", path)); err != nil {
+		t.Fatalf("restore run: %v", err)
+	}
+	if err := run([]string{"-n", "10", "-snapshot-dir", dir}); err == nil {
+		t.Fatal("-snapshot-dir without -metropolis should fail")
+	}
+	if err := run(append(base, "-snapshot-every-ticks", "2")); err == nil {
+		t.Fatal("-snapshot-every-ticks without -snapshot-dir should fail")
 	}
 }
 

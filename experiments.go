@@ -174,6 +174,12 @@ const (
 // modes (at matching chunk sizes).
 var RunMetropolis = iexp.RunMetropolis
 
+// MetroSnapshotFile is the file name periodic metropolis snapshots
+// take inside MetropolisConfig.SnapshotDir; pass its path as Restore
+// to warm-start a later run. Restore-then-replay is byte-identical to
+// an uninterrupted run (same DecisionHash).
+const MetroSnapshotFile = iexp.MetroSnapshotFile
+
 // Series is a labelled (x, y) curve, the unit of figure regeneration.
 type Series = imetrics.Series
 

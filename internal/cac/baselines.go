@@ -2,8 +2,11 @@ package cac
 
 import (
 	"fmt"
+	"io"
+	"sort"
 
 	"facs/internal/cell"
+	"facs/internal/snap"
 	"facs/internal/traffic"
 )
 
@@ -47,6 +50,7 @@ var (
 	_ BatchController     = GuardChannel{}
 	_ BatchIntoController = GuardChannel{}
 	_ CellLocal           = GuardChannel{}
+	_ Snapshotter         = GuardChannel{}
 )
 
 // NewGuardChannel validates and constructs the scheme.
@@ -120,6 +124,30 @@ func (g GuardChannel) DecideBatchInto(reqs []Request, out []Decision) error {
 	return nil
 }
 
+// guardSnapshotHash fingerprints everything a guard-channel decision
+// depends on beyond station state: the reserved bandwidth.
+func (g GuardChannel) guardSnapshotHash() uint64 {
+	return snap.NewHasher().Str("guard-channel").Int(g.GuardBU).Sum()
+}
+
+// SnapshotTo implements cac.Snapshotter. The guard channel is
+// stateless (stations carry all occupancy), so the payload is empty;
+// the envelope still pins the configuration, so restoring a snapshot
+// taken under a different guard bandwidth fails stale.
+func (g GuardChannel) SnapshotTo(w io.Writer) error {
+	return snap.NewEncoder(w, "guard-channel", g.guardSnapshotHash()).Close()
+}
+
+// RestoreFrom implements cac.Snapshotter: validation only (there is no
+// state to install).
+func (g GuardChannel) RestoreFrom(r io.Reader) error {
+	d, err := snap.NewDecoder(r, "guard-channel", g.guardSnapshotHash())
+	if err != nil {
+		return err
+	}
+	return d.Close()
+}
+
 // ThresholdPolicy is the Multi-Priority Threshold policy shape referenced
 // by the paper ([4], Bartolini & Chlamtac): each class may only occupy
 // bandwidth up to its own threshold. Admission requires both the global
@@ -135,6 +163,7 @@ var (
 	_ BatchController     = ThresholdPolicy{}
 	_ BatchIntoController = ThresholdPolicy{}
 	_ CellLocal           = ThresholdPolicy{}
+	_ Snapshotter         = ThresholdPolicy{}
 )
 
 // NewThresholdPolicy validates and constructs the policy.
@@ -189,6 +218,37 @@ func (p ThresholdPolicy) DecideBatch(reqs []Request) ([]Decision, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// thresholdSnapshotHash fingerprints the per-class ceilings in sorted
+// class order, so map iteration order never perturbs the hash.
+func (p ThresholdPolicy) thresholdSnapshotHash() uint64 {
+	classes := make([]traffic.Class, 0, len(p.MaxBU))
+	for class := range p.MaxBU {
+		classes = append(classes, class)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	h := snap.NewHasher().Str("multi-priority-threshold")
+	for _, class := range classes {
+		h.Int(int(class)).Int(p.MaxBU[class])
+	}
+	return h.Sum()
+}
+
+// SnapshotTo implements cac.Snapshotter. The policy is stateless
+// (per-class occupancy lives on the stations), so the payload is
+// empty; the envelope pins the threshold table.
+func (p ThresholdPolicy) SnapshotTo(w io.Writer) error {
+	return snap.NewEncoder(w, "multi-priority-threshold", p.thresholdSnapshotHash()).Close()
+}
+
+// RestoreFrom implements cac.Snapshotter: validation only.
+func (p ThresholdPolicy) RestoreFrom(r io.Reader) error {
+	d, err := snap.NewDecoder(r, "multi-priority-threshold", p.thresholdSnapshotHash())
+	if err != nil {
+		return err
+	}
+	return d.Close()
 }
 
 // DecideBatchInto implements BatchIntoController: DecideBatch semantics

@@ -2,6 +2,7 @@ package cac
 
 import (
 	"fmt"
+	"io"
 
 	"facs/internal/cell"
 	"facs/internal/geo"
@@ -220,6 +221,35 @@ type ExchangeResetter interface {
 	// ResetExchange clears ghost demand and forces the next export to be
 	// absolute. Generation counters keep rising monotonically.
 	ResetExchange()
+}
+
+// Snapshotter is implemented by components whose state can be captured
+// into (and restored from) the versioned snapshot envelope of
+// internal/snap — the seam behind durable serving. Stateful
+// controllers (the SCC demand ledger), stations and the sharded engine
+// implement it; stateless controllers implement it with an empty
+// payload whose envelope still validates the configuration, so a
+// restore into a differently-configured deployment fails stale instead
+// of silently diverging.
+//
+// Consistency is the caller's job: SnapshotTo and RestoreFrom must run
+// with no decision in flight — inside a serve.Service.Do op, inside
+// the shard engine's tick barrier, or before the serving loops start.
+// Restore contracts are exact: a component restored from a snapshot
+// continues byte-identically to the instance that was captured
+// (replaying the same inputs yields the same decisions, exports and
+// counters), which is what makes warm failover indistinguishable from
+// an uninterrupted run.
+type Snapshotter interface {
+	// SnapshotTo writes the component's state as one self-describing
+	// snapshot blob.
+	SnapshotTo(w io.Writer) error
+	// RestoreFrom replaces the component's state from a blob written by
+	// SnapshotTo on an identically-configured instance. Decode failures
+	// wrap snap.ErrSnapshotStale or snap.ErrSnapshotCorrupt and leave
+	// the component unchanged or empty-but-valid, never half-restored
+	// in a way that could corrupt later decisions.
+	RestoreFrom(r io.Reader) error
 }
 
 // Observer is implemented by controllers that maintain per-call state

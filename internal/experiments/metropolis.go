@@ -147,6 +147,25 @@ type MetropolisConfig struct {
 	// stream and DecisionHash. Materialize exists for exactly that
 	// identity check (and for A/B measurement).
 	Materialize bool
+	// SnapshotDir, when non-empty, enables durable snapshots: the run
+	// writes metropolis.snap into this directory (atomically, via a
+	// temp-file rename) every SnapshotEveryTicks tick barriers and once
+	// more when Stop fires. Snapshot writes happen between waves, never
+	// inside the wave loop's hot path.
+	SnapshotDir string
+	// SnapshotEveryTicks is the snapshot cadence in tick barriers
+	// (default 0: only the final on-stop snapshot is written).
+	SnapshotEveryTicks int
+	// Restore, when non-empty, warm-starts the run from a snapshot file
+	// written by a previous run with an identical configuration. The
+	// restored run continues exactly where the snapshot was cut:
+	// replaying the remaining waves reproduces the uninterrupted run's
+	// DecisionHash byte for byte.
+	Restore string
+	// Stop, when non-nil, requests a graceful early exit: the run
+	// finishes the wave in flight, writes a final snapshot (if
+	// SnapshotDir is set) and returns with Stopped set.
+	Stop <-chan struct{}
 }
 
 func (c MetropolisConfig) withDefaults() MetropolisConfig {
@@ -260,6 +279,12 @@ func (c MetropolisConfig) Validate() error {
 	if c.MaxBatch < 1 {
 		return fmt.Errorf("experiments: MaxBatch must be >= 1, got %d", c.MaxBatch)
 	}
+	if c.SnapshotEveryTicks < 0 {
+		return fmt.Errorf("experiments: SnapshotEveryTicks must be >= 0, got %d", c.SnapshotEveryTicks)
+	}
+	if c.SnapshotEveryTicks > 0 && c.SnapshotDir == "" {
+		return fmt.Errorf("experiments: SnapshotEveryTicks needs a SnapshotDir")
+	}
 	if err := c.SpeedKmh.Validate(); err != nil {
 		return err
 	}
@@ -305,6 +330,10 @@ type MetropolisResult struct {
 	// BytesPerCall is live heap bytes per concurrent call measured at
 	// the predicted population peak (0 unless MeasureMem).
 	BytesPerCall float64
+	// Snapshots counts durable snapshot files written; Stopped reports
+	// whether the run exited early on the Stop channel.
+	Snapshots int
+	Stopped   bool
 	// Elapsed is the wall-clock of the wave loop (excludes network and
 	// controller construction).
 	Elapsed time.Duration
@@ -817,9 +846,35 @@ func RunMetropolis(cfg MetropolisConfig) (MetropolisResult, error) {
 		return MetropolisResult{}, err
 	}
 	defer r.engine.close()
+	if r.cfg.Restore != "" {
+		if err := r.restoreFromFile(r.cfg.Restore); err != nil {
+			return MetropolisResult{}, err
+		}
+	}
 	start := time.Now()
 	for r.wave < r.cfg.Waves {
+		select {
+		case <-r.cfg.Stop:
+			r.result.Stopped = true
+		default:
+		}
+		if r.result.Stopped {
+			break
+		}
 		if err := r.runWave(); err != nil {
+			return MetropolisResult{}, err
+		}
+		// Durable snapshots ride the tick cadence and run strictly
+		// between waves, outside the allocation-gated hot path.
+		if r.cfg.SnapshotDir != "" && r.cfg.SnapshotEveryTicks > 0 &&
+			r.wave%(r.cfg.TickEveryWaves*r.cfg.SnapshotEveryTicks) == 0 {
+			if err := r.writeSnapshot(); err != nil {
+				return MetropolisResult{}, err
+			}
+		}
+	}
+	if r.result.Stopped && r.cfg.SnapshotDir != "" {
+		if err := r.writeSnapshot(); err != nil {
 			return MetropolisResult{}, err
 		}
 	}
@@ -836,6 +891,12 @@ type metroRun struct {
 	workload   *metroWorkload
 	callRNG    *rand.Rand
 	handoffRNG *rand.Rand
+	// callSrc/handoffSrc count the RNG streams' draws so a snapshot can
+	// record each stream as a single replayable position (see
+	// sim.CountedSource); the counting costs one increment per draw and
+	// allocates nothing.
+	callSrc    *sim.CountedSource
+	handoffSrc *sim.CountedSource
 	result     MetropolisResult
 	hash       fnv1a
 	ledger     metroLedger
@@ -897,12 +958,16 @@ func newMetroRun(cfg MetropolisConfig) (*metroRun, error) {
 		engine = newInlineMetroEngine(ctrl, maxBatch)
 	}
 
+	callRNG, callSrc := sim.NewCountedStream(cfg.Seed, "metro-calls")
+	handoffRNG, handoffSrc := sim.NewCountedStream(cfg.Seed, "metro-handoff")
 	r := &metroRun{
 		cfg:        cfg,
 		engine:     engine,
 		workload:   newMetroWorkload(cfg, net),
-		callRNG:    sim.NewStream(cfg.Seed, "metro-calls"),
-		handoffRNG: sim.NewStream(cfg.Seed, "metro-handoff"),
+		callRNG:    callRNG,
+		handoffRNG: handoffRNG,
+		callSrc:    callSrc,
+		handoffSrc: handoffSrc,
 		hash:       fnv1a(fnvOffset64),
 		nextID:     1,
 		peakWave:   -1,

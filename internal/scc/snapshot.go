@@ -1,0 +1,263 @@
+package scc
+
+import (
+	"io"
+	"sort"
+
+	"facs/internal/cac"
+	"facs/internal/geo"
+	"facs/internal/snap"
+)
+
+var _ cac.Snapshotter = (*Ledger)(nil)
+
+// snapshotHash fingerprints everything the demand matrix's meaning
+// depends on: every Config parameter that shapes footprints, limits or
+// reservations, plus the network's cell layout and capacities. Two
+// ledgers with equal hashes project identical demand for identical
+// calls, so a snapshot restores only onto such a twin.
+func (l *Ledger) snapshotHash() uint64 {
+	h := snap.NewHasher().
+		Str("scc-ledger").
+		F64(l.cfg.DeltaT).
+		Int(l.cfg.Horizon).
+		F64(l.cfg.Threshold).
+		F64(l.cfg.SigmaPosM).
+		F64(l.cfg.SpreadAlpha).
+		F64(l.cfg.MeanHoldingSec).
+		F64(l.cfg.MinProb).
+		Int(int(l.cfg.Reservation)).
+		F64(l.cfg.InclusionProb).
+		F64(l.cfg.MaxSpeedKmh).
+		Bool(l.cfg.RequireClusterCoverage).
+		Int(len(l.stations))
+	for _, bs := range l.stations {
+		h.Int(bs.Hex().Q).Int(bs.Hex().R).Int(bs.Capacity())
+	}
+	return h.Sum()
+}
+
+// SnapshotTo implements cac.Snapshotter: it captures the ledger's full
+// replay state — tracked calls, the demand/ghost/exported matrices
+// verbatim (bit patterns, not re-derived sums), the dirty-row export
+// queue, exchange generations and observability counters.
+//
+// The matrices are stored verbatim rather than rebuilt on restore
+// deliberately: incremental float accumulation drifts in the low bits
+// between rebuilds, and the restored instance must continue with
+// exactly the drifted values the captured instance held — a restore-
+// side Rebuild would produce exact sums and break the byte-identity of
+// subsequent exports and guard-band comparisons.
+func (l *Ledger) SnapshotTo(w io.Writer) error {
+	e := snap.NewEncoder(w, "scc-ledger", l.snapshotHash())
+
+	e.U32(uint32(len(l.ids)))
+	for _, id := range l.ids {
+		lt := l.active[id]
+		e.Int(id)
+		e.Int(lt.bu)
+		e.F64(lt.pos.X)
+		e.F64(lt.pos.Y)
+		e.F64(lt.headingDeg)
+		e.F64(lt.speedMps)
+		e.Int(lt.home.Q)
+		e.Int(lt.home.R)
+	}
+
+	e.F64s(l.demand)
+	e.F64s(l.ghost)
+	e.Bool(l.exported != nil)
+	if l.exported != nil {
+		e.F64s(l.exported)
+	}
+	e.U64(l.exportGen)
+
+	shards := make([]int, 0, len(l.ghostGens))
+	for s := range l.ghostGens {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	e.U32(uint32(len(shards)))
+	for _, s := range shards {
+		e.Int(s)
+		e.U64(l.ghostGens[s])
+	}
+
+	e.Int(l.ops)
+	e.U64(l.dirtyEpoch)
+	e.U32(uint32(len(l.dirtyIdx)))
+	for _, i := range l.dirtyIdx {
+		e.Int(i)
+	}
+
+	e.I64(l.fallbacks)
+	e.I64(l.rebuilds)
+	e.I64(l.exports)
+	e.I64(l.ghostApplies)
+	e.I64(l.ghostRows)
+	e.I64(l.migratedOut)
+	e.I64(l.migratedIn)
+
+	return e.Close()
+}
+
+// RestoreFrom implements cac.Snapshotter: it replaces the ledger's
+// state with a snapshot captured from an identically-configured
+// instance. The blob is fully decoded and validated before any state
+// changes; per-call footprints are not stored but re-derived with the
+// same deterministic footprint computation OnAdmit and MigrateIn use,
+// so they are bit-identical to the captured instance's cached ones.
+func (l *Ledger) RestoreFrom(r io.Reader) error {
+	d, err := snap.NewDecoder(r, "scc-ledger", l.snapshotHash())
+	if err != nil {
+		return err
+	}
+
+	nTracks := int(d.U32())
+	// A track costs 8 fields x 8 bytes of payload.
+	if d.Err() == nil && nTracks*64 > d.Len() {
+		d.Fail("%d tracks declared, %d payload bytes left", nTracks, d.Len())
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	ids := make([]int, nTracks)
+	tracks := make([]track, nTracks)
+	for i := range tracks {
+		ids[i] = d.Int()
+		tracks[i] = track{
+			bu:         d.Int(),
+			pos:        geo.Point{X: d.F64(), Y: d.F64()},
+			headingDeg: d.F64(),
+			speedMps:   d.F64(),
+			home:       geo.Hex{Q: d.Int(), R: d.Int()},
+		}
+		if d.Err() != nil {
+			break
+		}
+		if i > 0 && ids[i] <= ids[i-1] {
+			d.Fail("track IDs not strictly ascending at %d", ids[i])
+		}
+		if tracks[i].bu <= 0 {
+			d.Fail("track %d has non-positive bandwidth %d", ids[i], tracks[i].bu)
+		}
+		if _, ok := l.idx[tracks[i].home]; !ok {
+			d.Fail("track %d homes at unknown cell %v", ids[i], tracks[i].home)
+		}
+	}
+
+	demand := d.F64s()
+	ghost := d.F64s()
+	var exported []float64
+	if d.Bool() {
+		exported = d.F64s()
+		if d.Err() == nil && exported == nil {
+			exported = []float64{}
+		}
+	}
+	if d.Err() == nil {
+		if len(demand) != len(l.demand) {
+			d.Fail("demand matrix has %d entries, want %d", len(demand), len(l.demand))
+		}
+		if len(ghost) != len(l.ghost) {
+			d.Fail("ghost matrix has %d entries, want %d", len(ghost), len(l.ghost))
+		}
+		if exported != nil && len(exported) != len(l.demand) {
+			d.Fail("exported matrix has %d entries, want %d", len(exported), len(l.demand))
+		}
+	}
+	exportGen := d.U64()
+
+	nGens := int(d.U32())
+	if d.Err() == nil && nGens*16 > d.Len() {
+		d.Fail("%d ghost generations declared, %d payload bytes left", nGens, d.Len())
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	genShards := make([]int, nGens)
+	genVals := make([]uint64, nGens)
+	for i := range genShards {
+		genShards[i] = d.Int()
+		genVals[i] = d.U64()
+		if d.Err() == nil && i > 0 && genShards[i] <= genShards[i-1] {
+			d.Fail("ghost-generation shards not strictly ascending at %d", genShards[i])
+		}
+	}
+
+	ops := d.Int()
+	dirtyEpoch := d.U64()
+	if d.Err() == nil && dirtyEpoch == 0 {
+		d.Fail("dirty epoch must be >= 1")
+	}
+	nDirty := int(d.U32())
+	if d.Err() == nil && nDirty*8 > d.Len() {
+		d.Fail("%d dirty rows declared, %d payload bytes left", nDirty, d.Len())
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	dirtyIdx := make([]int, nDirty)
+	for i := range dirtyIdx {
+		dirtyIdx[i] = d.Int()
+		if d.Err() == nil && (dirtyIdx[i] < 0 || dirtyIdx[i] >= len(l.demand)) {
+			d.Fail("dirty row %d out of range", dirtyIdx[i])
+		}
+	}
+
+	fallbacks := d.I64()
+	rebuilds := d.I64()
+	exports := d.I64()
+	ghostApplies := d.I64()
+	ghostRows := d.I64()
+	migratedOut := d.I64()
+	migratedIn := d.I64()
+
+	if err := d.Close(); err != nil {
+		return err
+	}
+
+	// Everything validated: install the snapshot.
+	l.active = make(map[int]*ledgerTrack, nTracks)
+	l.ids = ids
+	for i, tr := range tracks {
+		lt := &ledgerTrack{track: tr}
+		lt.foot = l.footprint(nil, tr)
+		l.active[ids[i]] = lt
+	}
+	copy(l.demand, demand)
+	copy(l.ghost, ghost)
+	if exported == nil {
+		l.exported = nil
+	} else {
+		if l.exported == nil {
+			l.exported = make([]float64, len(l.demand))
+		}
+		copy(l.exported, exported)
+	}
+	l.exportGen = exportGen
+	l.ghostGens = make(map[int]uint64, nGens)
+	for i, s := range genShards {
+		l.ghostGens[s] = genVals[i]
+	}
+	l.ops = ops
+	l.dirtyEpoch = dirtyEpoch
+	l.dirtyIdx = append(l.dirtyIdx[:0], dirtyIdx...)
+	if l.dirtyStamp == nil {
+		l.dirtyStamp = make([]uint64, len(l.demand))
+	}
+	for i := range l.dirtyStamp {
+		l.dirtyStamp[i] = 0
+	}
+	for _, i := range dirtyIdx {
+		l.dirtyStamp[i] = dirtyEpoch
+	}
+	l.fallbacks = fallbacks
+	l.rebuilds = rebuilds
+	l.exports = exports
+	l.ghostApplies = ghostApplies
+	l.ghostRows = ghostRows
+	l.migratedOut = migratedOut
+	l.migratedIn = migratedIn
+	return nil
+}

@@ -33,6 +33,64 @@ func NewStream(master int64, name string) *rand.Rand {
 	return NewRNG(StreamSeed(master, name))
 }
 
+// CountedSource wraps a rand.Source64 and counts every state advance.
+// Each Int63 or Uint64 call consumes exactly one step of the underlying
+// generator, so Draws is the stream's replayable position: a fresh
+// source with the same seed reaches the identical state after
+// Skip(Draws()). This is what lets a snapshot record an RNG stream as a
+// single integer instead of serializing generator internals.
+type CountedSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+// NewCountedSource wraps src. The counter starts at zero, so src must
+// be freshly seeded and unused.
+func NewCountedSource(src rand.Source64) *CountedSource {
+	return &CountedSource{src: src}
+}
+
+// NewCountedStream returns a generator seeded by StreamSeed(master,
+// name) together with its counting source. The stream produces exactly
+// the same draw sequence as NewStream(master, name).
+func NewCountedStream(master int64, name string) (*rand.Rand, *CountedSource) {
+	cs := NewCountedSource(rand.NewSource(StreamSeed(master, name)).(rand.Source64))
+	return rand.New(cs), cs
+}
+
+// Int63 implements rand.Source.
+func (c *CountedSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (c *CountedSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the draw counter along with
+// the underlying generator.
+func (c *CountedSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.draws = 0
+}
+
+// Draws reports how many state advances the source has served.
+func (c *CountedSource) Draws() uint64 {
+	return c.draws
+}
+
+// Skip fast-forwards the source by n state advances, as if n draws had
+// been served and discarded.
+func (c *CountedSource) Skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.src.Uint64()
+	}
+	c.draws += n
+}
+
 // Exponential draws from an exponential distribution with the given mean.
 // A non-positive or non-finite mean yields 0.
 func Exponential(rng *rand.Rand, mean float64) float64 {

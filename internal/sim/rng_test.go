@@ -152,3 +152,70 @@ func TestWeightedChoiceValidityProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCountedStreamMatchesStream pins that wrapping the source changes
+// nothing about the draw sequence: a counted stream and a plain stream
+// with the same master seed and name produce identical values across
+// the mixed draw kinds the metropolis workload uses.
+func TestCountedStreamMatchesStream(t *testing.T) {
+	plain := NewStream(42, "counted")
+	counted, src := NewCountedStream(42, "counted")
+	for i := 0; i < 500; i++ {
+		switch i % 4 {
+		case 0:
+			if a, b := plain.Float64(), counted.Float64(); a != b {
+				t.Fatalf("draw %d: Float64 %v vs %v", i, a, b)
+			}
+		case 1:
+			if a, b := plain.Intn(97), counted.Intn(97); a != b {
+				t.Fatalf("draw %d: Intn %v vs %v", i, a, b)
+			}
+		case 2:
+			if a, b := plain.ExpFloat64(), counted.ExpFloat64(); a != b {
+				t.Fatalf("draw %d: ExpFloat64 %v vs %v", i, a, b)
+			}
+		case 3:
+			if a, b := plain.NormFloat64(), counted.NormFloat64(); a != b {
+				t.Fatalf("draw %d: NormFloat64 %v vs %v", i, a, b)
+			}
+		}
+	}
+	if src.Draws() == 0 {
+		t.Fatal("counted source served draws but Draws() == 0")
+	}
+}
+
+// TestCountedSourceSkipReproducesState pins the snapshot contract: a
+// fresh stream skipped to Draws() continues with exactly the sequence
+// the original stream would have produced.
+func TestCountedSourceSkipReproducesState(t *testing.T) {
+	orig, origSrc := NewCountedStream(7, "skip")
+	for i := 0; i < 333; i++ {
+		switch i % 3 {
+		case 0:
+			orig.Float64()
+		case 1:
+			orig.Intn(1000)
+		case 2:
+			orig.NormFloat64()
+		}
+	}
+	pos := origSrc.Draws()
+
+	resumed, resumedSrc := NewCountedStream(7, "skip")
+	resumedSrc.Skip(pos)
+	if resumedSrc.Draws() != pos {
+		t.Fatalf("Draws after Skip = %d, want %d", resumedSrc.Draws(), pos)
+	}
+	for i := 0; i < 200; i++ {
+		if a, b := orig.Float64(), resumed.Float64(); a != b {
+			t.Fatalf("post-skip draw %d: %v vs %v", i, a, b)
+		}
+		if a, b := orig.Intn(12345), resumed.Intn(12345); a != b {
+			t.Fatalf("post-skip draw %d: Intn %v vs %v", i, a, b)
+		}
+	}
+	if origSrc.Draws() != resumedSrc.Draws() {
+		t.Fatalf("draw counters diverge after identical draws: %d vs %d", origSrc.Draws(), resumedSrc.Draws())
+	}
+}

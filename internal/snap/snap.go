@@ -1,0 +1,453 @@
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// FormatVersion is the snapshot envelope version written by NewEncoder.
+// Bump it whenever any component's byte layout changes; a decoder only
+// accepts blobs of exactly this version, so every consumer restarts
+// cold after a format change instead of misreading old bytes.
+const FormatVersion = 1
+
+// snapMagic identifies a snapshot component blob.
+var snapMagic = [4]byte{'F', 'S', 'N', 'P'}
+
+// Snapshot sentinel errors. Callers that implement a restore-or-cold-
+// start path treat both as "no usable snapshot": the blob is discarded
+// and the component starts empty.
+var (
+	// ErrSnapshotStale reports that a blob was written for a different
+	// configuration (config hash or kind mismatch) or an older format
+	// version.
+	ErrSnapshotStale = errors.New("snap: snapshot is stale")
+	// ErrSnapshotCorrupt reports structural damage: bad magic,
+	// truncated payload or checksum mismatch.
+	ErrSnapshotCorrupt = errors.New("snap: snapshot is corrupt")
+)
+
+// Encoder writes one component snapshot in the versioned envelope
+// format. Every write feeds an FNV-64a digest; Close appends the
+// digest so DecodeBlob can detect truncation or bit rot independently
+// of the semantic config hash.
+//
+// Layout (all integers little-endian):
+//
+//	magic "FSNP" | version u32 | kind | configHash u64
+//	component payload (the component's own writes)
+//	checksum u64 (FNV-64a of every preceding byte)
+//
+// Strings are a u32 length plus raw bytes; floats are IEEE-754 bits as
+// u64. Nested component blobs are embedded length-prefixed with Blob,
+// each a complete self-describing envelope of its own.
+type Encoder struct {
+	w   io.Writer // the raw destination (checksum goes here only)
+	mw  io.Writer // destination + digest
+	h   hash.Hash64
+	err error
+}
+
+// NewEncoder starts a component envelope on w. kind names the
+// component ("scc-ledger", "base-station", ...) and is validated on
+// decode; configHash fingerprints everything the payload's meaning
+// depends on, so a restore into a differently-configured component
+// fails stale instead of misreading state.
+func NewEncoder(w io.Writer, kind string, configHash uint64) *Encoder {
+	h := fnv.New64a()
+	e := &Encoder{w: w, mw: io.MultiWriter(w, h), h: h}
+	e.write(snapMagic[:])
+	e.U32(FormatVersion)
+	e.Str(kind)
+	e.U64(configHash)
+	return e
+}
+
+func (e *Encoder) write(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.mw.Write(b)
+}
+
+// U8 writes one byte.
+func (e *Encoder) U8(v byte) { e.write([]byte{v}) }
+
+// Bool writes a bool as one byte (0 or 1).
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// U32 writes a little-endian uint32.
+func (e *Encoder) U32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.write(b[:])
+}
+
+// U64 writes a little-endian uint64.
+func (e *Encoder) U64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.write(b[:])
+}
+
+// I64 writes an int64 as its two's-complement uint64 bits.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Int writes an int as an int64.
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// F64 writes a float64 as its IEEE-754 bits, preserving the exact bit
+// pattern (including negative zero and NaN payloads).
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Str writes a u32 length plus the raw bytes.
+func (e *Encoder) Str(s string) {
+	e.U32(uint32(len(s)))
+	if e.err == nil {
+		_, e.err = io.WriteString(e.mw, s)
+	}
+}
+
+// F64s writes a u32 count followed by the float64 bit patterns.
+func (e *Encoder) F64s(vals []float64) {
+	e.U32(uint32(len(vals)))
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	e.write(buf)
+}
+
+// Blob embeds a nested component blob, length-prefixed. The nested
+// bytes are normally a complete envelope written by another Encoder
+// into a bytes.Buffer, so composite snapshots stay self-describing at
+// every level.
+func (e *Encoder) Blob(b []byte) {
+	e.U32(uint32(len(b)))
+	e.write(b)
+}
+
+// Close finishes the envelope by appending the FNV-64a checksum of
+// everything written so far, and reports the first error encountered.
+func (e *Encoder) Close() error {
+	if e.err != nil {
+		return e.err
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], e.h.Sum64())
+	_, e.err = e.w.Write(b[:])
+	return e.err
+}
+
+// Decoder is a cursor over a checksum-validated component payload. The
+// first structural problem latches an error wrapping
+// ErrSnapshotCorrupt; subsequent reads return zero values, so
+// components can decode a whole section and check Err once at natural
+// points instead of after every read.
+type Decoder struct {
+	buf []byte
+	err error
+}
+
+// NewDecoder reads one component blob from r and validates the
+// envelope: checksum and magic guard against corruption
+// (ErrSnapshotCorrupt), the format version, kind and the caller's
+// expected configHash guard against staleness (ErrSnapshotStale). The
+// returned Decoder is positioned at the start of the component
+// payload; every error it can subsequently latch wraps one of the two
+// sentinels.
+func NewDecoder(r io.Reader, kind string, wantConfigHash uint64) (*Decoder, error) {
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	// magic + version + kind length + configHash + checksum.
+	if len(blob) < len(snapMagic)+4+4+8+8 {
+		return nil, fmt.Errorf("%w: %d-byte blob is too short", ErrSnapshotCorrupt, len(blob))
+	}
+	payload, sum := blob[:len(blob)-8], binary.LittleEndian.Uint64(blob[len(blob)-8:])
+	h := fnv.New64a()
+	h.Write(payload)
+	if h.Sum64() != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrSnapshotCorrupt)
+	}
+	d := &Decoder{buf: payload}
+	var magic [4]byte
+	d.bytes(magic[:])
+	if d.err == nil && magic != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrSnapshotCorrupt, magic[:])
+	}
+	if v := d.U32(); d.err == nil && v != FormatVersion {
+		return nil, fmt.Errorf("%w: format version %d, want %d", ErrSnapshotStale, v, FormatVersion)
+	}
+	if got := d.Str(); d.err == nil && got != kind {
+		return nil, fmt.Errorf("%w: component kind %q, want %q", ErrSnapshotStale, got, kind)
+	}
+	if got := d.U64(); d.err == nil && got != wantConfigHash {
+		return nil, fmt.Errorf("%w: config hash %#x, want %#x", ErrSnapshotStale, got, wantConfigHash)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return d, nil
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.buf) {
+		d.err = fmt.Errorf("%w: truncated payload: need %d bytes, have %d", ErrSnapshotCorrupt, n, len(d.buf))
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *Decoder) bytes(dst []byte) {
+	if b := d.take(len(dst)); b != nil {
+		copy(dst, b)
+	}
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() byte {
+	if b := d.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+// Bool reads a byte written by Encoder.Bool; any value other than 0 or
+// 1 latches a corruption error.
+func (d *Decoder) Bool() bool {
+	switch v := d.U8(); v {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("%w: bad bool byte %d", ErrSnapshotCorrupt, v)
+		}
+		return false
+	}
+}
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	if b := d.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	if b := d.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+// I64 reads an int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Int reads an int written by Encoder.Int.
+func (d *Decoder) Int() int { return int(d.I64()) }
+
+// F64 reads a float64, preserving the exact encoded bit pattern.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Str reads a u32-length-prefixed string. The declared length is
+// validated against the remaining payload before the bytes are taken,
+// so a corrupt length cannot drive an oversized allocation.
+func (d *Decoder) Str() string {
+	n := int(d.U32())
+	if d.err == nil && n > len(d.buf) {
+		d.err = fmt.Errorf("%w: truncated string: %d bytes declared, %d left", ErrSnapshotCorrupt, n, len(d.buf))
+		return ""
+	}
+	return string(d.take(n))
+}
+
+// F64s reads a float64 slice written by Encoder.F64s. The declared
+// count is validated against the remaining payload before allocating.
+func (d *Decoder) F64s() []float64 {
+	n := int(d.U32())
+	b := d.take(8 * n)
+	if b == nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// Blob reads a nested component blob written by Encoder.Blob. The
+// returned slice aliases the decoder's buffer; wrap it in a
+// bytes.Reader to decode the nested envelope.
+func (d *Decoder) Blob() []byte {
+	n := int(d.U32())
+	if d.err == nil && n > len(d.buf) {
+		d.err = fmt.Errorf("%w: truncated blob: %d bytes declared, %d left", ErrSnapshotCorrupt, n, len(d.buf))
+		return nil
+	}
+	return d.take(n)
+}
+
+// Len reports the unread payload bytes, letting components bound
+// declared element counts (count × element size must fit in Len)
+// before allocating.
+func (d *Decoder) Len() int { return len(d.buf) }
+
+// Err reports the first structural error latched so far (always
+// wrapping ErrSnapshotCorrupt), or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Fail latches a component-level validation error wrapping
+// ErrSnapshotCorrupt, so decoded-value range checks surface through
+// the same sentinel as structural damage.
+func (d *Decoder) Fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: "+format, append([]any{ErrSnapshotCorrupt}, args...)...)
+	}
+}
+
+// Close finishes the payload: it reports any latched error, and
+// otherwise requires the cursor to have consumed every payload byte
+// (trailing garbage decodes as corruption, not silence).
+func (d *Decoder) Close() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(d.buf))
+	}
+	return nil
+}
+
+// Hasher folds configuration values into an FNV-64a config hash, the
+// semantic fingerprint carried by every envelope. Components feed
+// every value their payload's meaning depends on (capacities, horizon,
+// shard count, network shape, ...) so that a restore into a different
+// configuration fails with ErrSnapshotStale.
+type Hasher struct{ sum uint64 }
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// NewHasher returns a Hasher at the FNV-64a offset basis.
+func NewHasher() *Hasher { return &Hasher{sum: fnvOffset64} }
+
+func (h *Hasher) byte(b byte) {
+	h.sum ^= uint64(b)
+	h.sum *= fnvPrime64
+}
+
+// U64 folds a uint64 (little-endian byte order) and returns h.
+func (h *Hasher) U64(v uint64) *Hasher {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+	return h
+}
+
+// I64 folds an int64.
+func (h *Hasher) I64(v int64) *Hasher { return h.U64(uint64(v)) }
+
+// Int folds an int.
+func (h *Hasher) Int(v int) *Hasher { return h.I64(int64(v)) }
+
+// F64 folds a float64's IEEE-754 bits.
+func (h *Hasher) F64(v float64) *Hasher { return h.U64(math.Float64bits(v)) }
+
+// Bool folds a bool as one byte.
+func (h *Hasher) Bool(v bool) *Hasher {
+	if v {
+		h.byte(1)
+	} else {
+		h.byte(0)
+	}
+	return h
+}
+
+// Str folds a string's length and bytes.
+func (h *Hasher) Str(s string) *Hasher {
+	h.U64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+	return h
+}
+
+// Sum returns the folded hash.
+func (h *Hasher) Sum() uint64 { return h.sum }
+
+// WriteFileAtomic writes a snapshot file atomically: write writes the
+// bytes to a temporary file in the destination directory, which is
+// then fsynced and renamed over path. Readers (and a crash at any
+// point) see either the complete previous snapshot or the complete new
+// one, never a torn write. It returns the byte size of the written
+// snapshot.
+func WriteFileAtomic(path string, write func(io.Writer) error) (int64, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	cw := &countingWriter{w: tmp}
+	if err := write(cw); err != nil {
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		return 0, err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		os.Remove(name)
+		return 0, err
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,21 @@
+// Package telemetry renders operational metrics in the Prometheus text
+// exposition format (version 0.0.4) with no dependency beyond the
+// standard library.
+//
+// Writer emits counter, gauge and histogram families with # HELP and
+// # TYPE headers deduplicated per family, label escaping per the
+// format, and the histogram triple (_bucket/_sum/_count) spelled out
+// with an explicit le="+Inf" bucket. LatencyBuckets adapts serve's
+// power-of-two nanosecond latency histogram to fixed cumulative bucket
+// bounds in seconds, so scrapes aggregate across shards, processes and
+// restarts. Parse is the inverse smoke check: it validates that a
+// payload is well-formed exposition text (every sample preceded by its
+// # TYPE, every value a float), which tests and CI use to gate the
+// /metrics endpoint.
+//
+// The package is deliberately write-only and stateless: the serving
+// binaries already maintain their counters (serve.Stats, shard.Stats,
+// scc.LedgerStats, snapshot age/size/duration), so the exporter just
+// snapshots and renders them per scrape instead of mirroring them into
+// a second registry.
+package telemetry

@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Label is one name="value" pair attached to a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Writer renders metrics in the Prometheus text exposition format
+// (version 0.0.4). Each metric family gets its # HELP and # TYPE
+// header once, on first emission; errors latch and surface from Err.
+type Writer struct {
+	w    io.Writer
+	err  error
+	seen map[string]bool
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, seen: make(map[string]bool)}
+}
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) printf(format string, args ...any) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = fmt.Fprintf(w.w, format, args...)
+}
+
+// escapeHelp escapes backslashes and newlines for # HELP lines.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslashes, newlines and quotes for label values.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// formatValue renders a sample value; NaN and infinities use the
+// exposition format's spellings.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Name, escapeLabel(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (w *Writer) header(name, help, typ string) {
+	if w.seen[name] {
+		return
+	}
+	w.seen[name] = true
+	w.printf("# HELP %s %s\n", name, escapeHelp(help))
+	w.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Counter emits one sample of a counter family. Repeated calls with
+// the same name (and different labels) share one header.
+func (w *Writer) Counter(name, help string, value float64, labels ...Label) {
+	w.header(name, help, "counter")
+	w.printf("%s%s %s\n", name, formatLabels(labels), formatValue(value))
+}
+
+// Gauge emits one sample of a gauge family.
+func (w *Writer) Gauge(name, help string, value float64, labels ...Label) {
+	w.header(name, help, "gauge")
+	w.printf("%s%s %s\n", name, formatLabels(labels), formatValue(value))
+}
+
+// Histogram emits a full histogram family: one cumulative _bucket line
+// per bound, the implicit le="+Inf" bucket, then _sum and _count.
+// cumulative must be one element longer than bounds; its last element
+// is the total observation count (the +Inf bucket).
+func (w *Writer) Histogram(name, help string, bounds []float64, cumulative []uint64, sum float64) {
+	if w.err != nil {
+		return
+	}
+	if len(cumulative) != len(bounds)+1 {
+		w.err = fmt.Errorf("telemetry: histogram %s has %d cumulative counts for %d bounds (want bounds+1)",
+			name, len(cumulative), len(bounds))
+		return
+	}
+	w.header(name, help, "histogram")
+	for i, le := range bounds {
+		w.printf("%s_bucket{le=\"%s\"} %d\n", name, formatValue(le), cumulative[i])
+	}
+	w.printf("%s_bucket{le=\"+Inf\"} %d\n", name, cumulative[len(bounds)])
+	w.printf("%s_sum %s\n", name, formatValue(sum))
+	w.printf("%s_count %d\n", name, cumulative[len(bounds)])
+}
+
+// The exported slice of serve's 64 power-of-two latency buckets:
+// 2^10 ns (~1 µs) through 2^34 ns (~17 s). Latencies below the range
+// fold into the first bucket (cumulative buckets absorb them by
+// construction); above it they only appear in +Inf. The bounds are
+// fixed so scrapes stay aggregatable across processes and restarts.
+const (
+	latencyBucketMin = 10
+	latencyBucketMax = 34
+)
+
+// LatencyBuckets converts a power-of-two nanosecond histogram — bucket
+// i counting observations in [2^(i-1), 2^i) ns, as serve.Stats
+// maintains — into cumulative Prometheus buckets with upper bounds in
+// seconds. The returned cumulative slice is one longer than bounds;
+// its last element is the total count.
+func LatencyBuckets(hist []int64) (bounds []float64, cumulative []uint64) {
+	bounds = make([]float64, 0, latencyBucketMax-latencyBucketMin+1)
+	cumulative = make([]uint64, 0, latencyBucketMax-latencyBucketMin+2)
+	var running uint64
+	for i, n := range hist {
+		if n > 0 {
+			running += uint64(n)
+		}
+		if i >= latencyBucketMin && i <= latencyBucketMax {
+			bounds = append(bounds, float64(uint64(1)<<uint(i))/1e9)
+			cumulative = append(cumulative, running)
+		}
+	}
+	cumulative = append(cumulative, running)
+	return bounds, cumulative
+}
+
+// Parse validates a Prometheus text exposition payload: every
+// non-comment line must be a well-formed sample whose metric family
+// was declared by a preceding # TYPE line. It returns the number of
+// samples, or an error naming the first offending line. This is the
+// scrape-smoke half of the telemetry contract, used by tests and CI.
+func Parse(data []byte) (samples int, err error) {
+	typed := make(map[string]string)
+	for ln, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# ") {
+			fields := strings.SplitN(line[2:], " ", 3)
+			if len(fields) < 3 || (fields[0] != "HELP" && fields[0] != "TYPE") {
+				return samples, fmt.Errorf("line %d: malformed comment %q", ln+1, line)
+			}
+			if fields[0] == "TYPE" {
+				switch fields[2] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return samples, fmt.Errorf("line %d: unknown metric type %q", ln+1, fields[2])
+				}
+				typed[fields[1]] = fields[2]
+			}
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if !validMetricName(name) {
+			return samples, fmt.Errorf("line %d: invalid metric name %q", ln+1, name)
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typed[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		if _, ok := typed[family]; !ok {
+			return samples, fmt.Errorf("line %d: sample %q has no preceding # TYPE", ln+1, name)
+		}
+		rest := line[len(name):]
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, "}")
+			if end < 0 {
+				return samples, fmt.Errorf("line %d: unterminated label set", ln+1)
+			}
+			rest = rest[end+1:]
+		}
+		value := strings.TrimSpace(rest)
+		if i := strings.IndexByte(value, ' '); i >= 0 {
+			// An optional timestamp may follow the value.
+			value = value[:i]
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return samples, fmt.Errorf("line %d: unparseable sample value %q", ln+1, value)
+		}
+		samples++
+	}
+	return samples, nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

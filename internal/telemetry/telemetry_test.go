@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriterFamilies(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Counter("facs_decisions_total", "Admission decisions rendered.", 1234)
+	w.Counter("facs_shed_total", "Requests shed at intake.", 3, Label{"class", "text"})
+	w.Counter("facs_shed_total", "Requests shed at intake.", 1, Label{"class", "voice"})
+	w.Gauge("facs_accept_rate", "Accepted / decided.", 0.875)
+	w.Histogram("facs_decision_latency_seconds", "Decision latency.",
+		[]float64{0.001, 0.01}, []uint64{5, 9, 10}, 0.042)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	if n := strings.Count(out, "# TYPE facs_shed_total counter"); n != 1 {
+		t.Fatalf("shed family header appears %d times, want 1:\n%s", n, out)
+	}
+	for _, want := range []string{
+		"facs_decisions_total 1234\n",
+		`facs_shed_total{class="text"} 3` + "\n",
+		`facs_shed_total{class="voice"} 1` + "\n",
+		"facs_accept_rate 0.875\n",
+		`facs_decision_latency_seconds_bucket{le="0.001"} 5` + "\n",
+		`facs_decision_latency_seconds_bucket{le="+Inf"} 10` + "\n",
+		"facs_decision_latency_seconds_sum 0.042\n",
+		"facs_decision_latency_seconds_count 10\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if n, err := Parse(buf.Bytes()); err != nil || n != 9 {
+		t.Fatalf("Parse = (%d, %v), want (9, nil)", n, err)
+	}
+}
+
+func TestWriterEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Gauge("m_x", "line one\nline \\two", 1, Label{"path", `C:\a "b"` + "\n"})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# HELP m_x line one\nline \\two`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `m_x{path="C:\\a \"b\"\n"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+	if _, err := Parse(buf.Bytes()); err != nil {
+		t.Fatalf("Parse of escaped output: %v", err)
+	}
+}
+
+func TestWriterSpecialValues(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Gauge("m_nan", "h", math.NaN())
+	w.Gauge("m_inf", "h", math.Inf(1))
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); !strings.Contains(out, "m_nan NaN\n") || !strings.Contains(out, "m_inf +Inf\n") {
+		t.Fatalf("special values misrendered:\n%s", out)
+	}
+	if _, err := Parse(buf.Bytes()); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+}
+
+func TestHistogramShapeError(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	w.Histogram("m", "h", []float64{1, 2}, []uint64{1, 2}, 0)
+	if w.Err() == nil {
+		t.Fatal("mismatched bucket shape not rejected")
+	}
+}
+
+// TestLatencyBuckets pins the power-of-two conversion: bucket i of the
+// source histogram counts [2^(i-1), 2^i) ns, so an observation in
+// source bucket i lands in every exported bucket with bound >= 2^i ns.
+func TestLatencyBuckets(t *testing.T) {
+	hist := make([]int64, 64)
+	hist[0] = 7   // sub-nanosecond: below the exported range
+	hist[12] = 10 // [2^11, 2^12) ns
+	hist[30] = 3  // [2^29, 2^30) ns
+	hist[60] = 2  // way above the exported range: only in +Inf
+	bounds, cumulative := LatencyBuckets(hist)
+	if len(bounds) != latencyBucketMax-latencyBucketMin+1 || len(cumulative) != len(bounds)+1 {
+		t.Fatalf("shape: %d bounds, %d cumulative", len(bounds), len(cumulative))
+	}
+	if bounds[0] != float64(1<<latencyBucketMin)/1e9 {
+		t.Fatalf("first bound = %v", bounds[0])
+	}
+	// Ascending bounds, monotone cumulative counts.
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not ascending at %d", i)
+		}
+		if cumulative[i] < cumulative[i-1] {
+			t.Fatalf("cumulative not monotone at %d", i)
+		}
+	}
+	// The 2^12 ns bound (index 12-latencyBucketMin) sees the sub-range
+	// spill plus bucket 12; the top bound sees all but bucket 60.
+	if got := cumulative[12-latencyBucketMin]; got != 17 {
+		t.Fatalf("cumulative at 2^12 ns = %d, want 17", got)
+	}
+	if got := cumulative[len(bounds)-1]; got != 20 {
+		t.Fatalf("cumulative at top bound = %d, want 20", got)
+	}
+	if got := cumulative[len(cumulative)-1]; got != 22 {
+		t.Fatalf("total = %d, want 22", got)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no type":      "orphan_metric 1\n",
+		"bad value":    "# TYPE m gauge\nm one\n",
+		"bad name":     "# TYPE m gauge\n0m 1\n",
+		"bad type":     "# TYPE m matrix\nm 1\n",
+		"open labels":  "# TYPE m gauge\nm{a=\"b\" 1\n",
+		"bare comment": "# bogus\n",
+	}
+	for name, payload := range cases {
+		if _, err := Parse([]byte(payload)); err == nil {
+			t.Errorf("%s: Parse accepted %q", name, payload)
+		}
+	}
+}
