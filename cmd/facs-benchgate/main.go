@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 func main() {
@@ -146,8 +147,10 @@ func gate(base, cand benchDoc, maxGrowthPct float64) ([]verdict, error) {
 		byName[r.Name] = r
 	}
 	sameHost := base.GOOS == cand.GOOS && base.GOARCH == cand.GOARCH
+	gated := make(map[string]bool, len(base.Runs))
 	verdicts := make([]verdict, 0, len(base.Runs))
 	for _, b := range base.Runs {
+		gated[b.Name] = true
 		c, ok := byName[b.Name]
 		if !ok {
 			return nil, fmt.Errorf("candidate is missing run %q", b.Name)
@@ -168,6 +171,23 @@ func gate(base, cand benchDoc, maxGrowthPct float64) ([]verdict, error) {
 			v.note = fmt.Sprintf("(decision hash drifted: %s -> %s)", b.DecisionHash, c.DecisionHash)
 		}
 		verdicts = append(verdicts, v)
+	}
+	// Candidate-only runs pass ungated (there is no baseline to compare
+	// against) but are listed, so a renamed run cannot silently escape
+	// the gate. The names come out of a map: sort them, keeping the
+	// report byte-stable and golden-testable.
+	var extra []string
+	for name := range byName { //facs:orderless key collection; sorted before reporting
+		if !gated[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		verdicts = append(verdicts, verdict{
+			name: name, ok: true, candidate: byName[name].BytesPerCall,
+			note: "(new run: no baseline, not gated)",
+		})
 	}
 	return verdicts, nil
 }

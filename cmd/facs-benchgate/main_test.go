@@ -56,6 +56,33 @@ func TestGateHashDriftFails(t *testing.T) {
 	}
 }
 
+// TestGateListsNewRunsSorted: candidate-only runs pass ungated but are
+// reported after the gated rows in sorted name order — the set comes
+// out of a map, and sorting keeps the report deterministic enough for
+// golden assertions.
+func TestGateListsNewRunsSorted(t *testing.T) {
+	cand := doc(150, "0xabc")
+	cand.Runs = append(cand.Runs,
+		benchRun{Name: "zeta/new", BytesPerCall: 200},
+		benchRun{Name: "alpha/new", BytesPerCall: 100},
+	)
+	vs, err := gate(doc(150, "0xabc"), cand, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 || vs[0].name != "guard/batch" {
+		t.Fatalf("want the gated row then 2 new rows, got %+v", vs)
+	}
+	if vs[1].name != "alpha/new" || vs[2].name != "zeta/new" {
+		t.Fatalf("new runs not reported in sorted order: %q, %q", vs[1].name, vs[2].name)
+	}
+	for _, v := range vs[1:] {
+		if !v.ok || !strings.Contains(v.note, "new run") {
+			t.Fatalf("new run should pass ungated with a note: %+v", v)
+		}
+	}
+}
+
 func TestGateScaleMismatchErrors(t *testing.T) {
 	other := doc(150, "0xabc")
 	other.Rings = 18

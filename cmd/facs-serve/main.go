@@ -92,6 +92,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -506,11 +508,33 @@ func runLoadgen(o serveOptions, factory func(*facs.Network) (facs.Controller, er
 		float64(res.Requested)/elapsed.Seconds(), elapsed.Seconds())
 	fmt.Fprintf(stdout, "latency       avg %s p50 %s p99 %s max %s\n",
 		res.Stats.AvgLatency, res.Stats.P50Latency(), res.Stats.P99Latency(), res.Stats.MaxLatency)
+	fmt.Fprintf(stdout, "per-class     %s\n", classBreakdown(res.ByClass))
 	fmt.Fprintf(stdout, "service       %s\n", res.Stats)
 	if res.Ledger != nil {
 		fmt.Fprintf(stdout, "controller    %s\n", res.Ledger)
 	}
 	return nil
+}
+
+// classBreakdown renders per-class accept rates in ascending class
+// order, so the summary line is byte-stable run to run (and golden
+// tests can pin it).
+func classBreakdown(m map[facs.Class]facs.ClassTally) string {
+	classes := make([]facs.Class, 0, len(m))
+	for c := range m { //facs:orderless key collection; rendered in sorted class order below
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	parts := make([]string, 0, len(classes))
+	for _, c := range classes {
+		t := m[c]
+		pct := 0.0
+		if t.Requested > 0 {
+			pct = 100 * float64(t.Accepted) / float64(t.Requested)
+		}
+		parts = append(parts, fmt.Sprintf("%s %d/%d (%.1f%%)", c, t.Accepted, t.Requested, pct))
+	}
+	return strings.Join(parts, "  ")
 }
 
 // shardPartitions maps the -partition flag to layouts.
@@ -556,6 +580,7 @@ func runShardedLoadgen(o serveOptions, factory func(*facs.Network) (facs.Control
 		float64(res.Requested)/elapsed.Seconds(), elapsed.Seconds())
 	fmt.Fprintf(stdout, "latency       avg %s p50 %s p99 %s max %s\n",
 		total.AvgLatency, total.P50Latency(), total.P99Latency(), total.MaxLatency)
+	fmt.Fprintf(stdout, "per-class     %s\n", classBreakdown(res.ByClass))
 	fmt.Fprintf(stdout, "engine        %s\n", res.Stats)
 	if len(res.Ledgers) > 0 {
 		fmt.Fprintf(stdout, "controller    %s across %d shard ledgers\n", res.LedgerTotal(), len(res.Ledgers))

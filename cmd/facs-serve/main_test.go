@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -158,6 +160,46 @@ func TestLoadgenSummary(t *testing.T) {
 	for _, want := range []string{"closed-loop streaming", "guard-channel", "requested     300", "throughput", "decided 300", "p50", "p99"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("loadgen summary missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestLoadgenPerClassSummarySorted pins the per-class breakdown line:
+// classes render in ascending class order (text, voice, video), so the
+// summary is byte-stable across runs and golden tests can pin it, and
+// the per-class tallies cover every streamed request.
+func TestLoadgenPerClassSummarySorted(t *testing.T) {
+	for _, args := range [][]string{
+		{"-loadgen", "300", "-wave", "32", "-controller", "cs"},
+		{"-loadgen", "300", "-wave", "32", "-shards", "4", "-rings", "2", "-controller", "cs"},
+	} {
+		var out, errw bytes.Buffer
+		if err := run(args, strings.NewReader(""), &out, &errw); err != nil {
+			t.Fatal(err)
+		}
+		var line string
+		for _, l := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(l, "per-class") {
+				line = l
+			}
+		}
+		if line == "" {
+			t.Fatalf("summary missing per-class line:\n%s", out.String())
+		}
+		ti, vi, di := strings.Index(line, "text "), strings.Index(line, "voice "), strings.Index(line, "video ")
+		if ti < 0 || vi < 0 || di < 0 || ti > vi || vi > di {
+			t.Fatalf("per-class line not in sorted class order:\n%s", line)
+		}
+		total := 0
+		for _, m := range regexp.MustCompile(`/(\d+) `).FindAllStringSubmatch(line+" ", -1) {
+			n, err := strconv.Atoi(m[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += n
+		}
+		if total != 300 {
+			t.Fatalf("per-class tallies cover %d of 300 requests:\n%s", total, line)
 		}
 	}
 }

@@ -1,0 +1,89 @@
+// Command facs-vet runs the repo's static contract analyzers — the
+// compile-time mirror of the runtime determinism, zero-alloc and
+// snapshot gates — over a set of packages:
+//
+//	facs-vet ./...
+//	facs-vet -list
+//	facs-vet -run maprange,rngtime ./internal/scc/...
+//
+// It prints one diagnostic per line (file:line:col: analyzer: message)
+// and exits 1 when any are found, 2 on usage or load errors. The
+// container this repo builds in has no module proxy access, so the
+// suite is self-contained over the standard library's go/ast and
+// go/types instead of golang.org/x/tools/go/analysis; facs-vet is its
+// standalone driver (invoke it directly rather than through
+// `go vet -vettool`, whose unitchecker wire protocol lives in x/tools).
+// Suppression comments and per-analyzer contracts are documented in
+// facs/internal/analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"facs/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("facs-vet", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	dir := fs.String("C", ".", "directory to resolve package patterns in")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := analysis.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "facs-vet: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "facs-vet: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run(prog, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "facs-vet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "facs-vet: %d diagnostic(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// runCapture invokes run with stdout redirected, returning the exit
+// status and everything printed.
+func runCapture(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	status := run(args)
+	os.Stdout = old
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return status, string(out)
+}
+
+// TestVetDirtyModule runs the full suite over the fixture module and
+// pins the contract the CI job relies on: any diagnostic means exit 1,
+// and the count is exactly the fixture's two seeded violations (one
+// map range, one wall-clock read, each in an in-scope package).
+func TestVetDirtyModule(t *testing.T) {
+	status, out := runCapture(t, "-C", "testdata/module", "./...")
+	if status != 1 {
+		t.Fatalf("exit status = %d, want 1\noutput:\n%s", status, out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d diagnostics, want 2:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"maprange:", "rngtime:"} {
+		found := false
+		for _, l := range lines {
+			if strings.Contains(l, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no %s diagnostic in:\n%s", want, out)
+		}
+	}
+}
+
+// TestVetCleanPackage: a package outside every scope yields exit 0 and
+// no output.
+func TestVetCleanPackage(t *testing.T) {
+	status, out := runCapture(t, "-C", "testdata/module", "./clean")
+	if status != 0 || out != "" {
+		t.Fatalf("exit status = %d, output %q; want 0 with no output", status, out)
+	}
+}
+
+// TestVetSingleAnalyzer: -run restricts the suite.
+func TestVetSingleAnalyzer(t *testing.T) {
+	status, out := runCapture(t, "-C", "testdata/module", "-run", "maprange", "./...")
+	if status != 1 {
+		t.Fatalf("exit status = %d, want 1\noutput:\n%s", status, out)
+	}
+	if strings.Contains(out, "rngtime:") || !strings.Contains(out, "maprange:") {
+		t.Fatalf("-run maprange ran the wrong analyzers:\n%s", out)
+	}
+}
+
+// TestVetUsageErrors: unknown analyzers and unparsable flags exit 2.
+func TestVetUsageErrors(t *testing.T) {
+	if status, _ := runCapture(t, "-run", "nosuch", "./..."); status != 2 {
+		t.Fatalf("unknown analyzer: exit status = %d, want 2", status)
+	}
+	if status, _ := runCapture(t, "-nosuchflag"); status != 2 {
+		t.Fatalf("bad flag: exit status = %d, want 2", status)
+	}
+}
+
+// TestVetList: -list names all four analyzers and exits 0.
+func TestVetList(t *testing.T) {
+	status, out := runCapture(t, "-list")
+	if status != 0 {
+		t.Fatalf("exit status = %d, want 0", status)
+	}
+	for _, name := range []string{"maprange", "rngtime", "hotpath", "snapsym"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package clean is outside every analyzer's package scope and holds no
+// program-level roots: facs-vet over it alone must exit 0.
+package clean
+
+func Sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,3 @@
+module facs
+
+go 1.24

@@ -1,0 +1,13 @@
+// Package scc carries one violation per line-scoped analyzer, so the
+// smoke test can pin facs-vet's exit status and diagnostic count.
+package scc
+
+import "time"
+
+func Dirty(m map[int]int) (int, time.Time) {
+	total := 0
+	for k := range m {
+		total += k
+	}
+	return total, time.Now()
+}

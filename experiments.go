@@ -117,6 +117,9 @@ var RunBatchAdmission = iexp.RunBatchAdmission
 type (
 	StreamingConfig = iexp.StreamingConfig
 	StreamingResult = iexp.StreamingResult
+	// ClassTally counts one traffic class's streamed outcomes; summary
+	// printers must render per-class maps in sorted class order.
+	ClassTally = iexp.ClassTally
 )
 
 // RunStreaming executes the closed-loop streaming scenario. Equal

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static contract checker. The framework mirrors the
+// golang.org/x/tools/go/analysis shape (Name/Doc/Run over a typed
+// package) but is self-contained: the container this repo builds in has
+// no module proxy access, so the suite runs on the standard library's
+// go/ast and go/types alone, driven by the loader in load.go.
+type Analyzer struct {
+	// Name is the analyzer's short name, used as the diagnostic prefix.
+	Name string
+	// Doc is a one-paragraph description of the contract enforced.
+	Doc string
+	// Packages scopes a per-package analyzer to import paths: an entry
+	// matches exactly, or as a prefix when it ends in "/". Nil means
+	// every loaded package.
+	Packages []string
+	// ProgramLevel marks analyzers that run once over the whole program
+	// (pass.Pkg == nil) instead of once per package; hotpath walks a
+	// cross-package call graph and needs the global view.
+	ProgramLevel bool
+	// Run reports the analyzer's diagnostics through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// InScope reports whether the analyzer applies to the package path.
+func (a *Analyzer) InScope(path string) bool {
+	if a.Packages == nil {
+		return true
+	}
+	for _, p := range a.Packages {
+		if strings.HasSuffix(p, "/") {
+			if strings.HasPrefix(path, p) {
+				return true
+			}
+		} else if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer invocation's inputs: the loaded program,
+// the package under analysis (nil for program-level analyzers) and the
+// diagnostic sink.
+type Pass struct {
+	Prog     *Program
+	Pkg      *Package
+	Analyzer *Analyzer
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported contract violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// All is the full facs-vet suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Maprange, Rngtime, Hotpath, Snapsym}
+}
+
+// Run applies the analyzers to every in-scope package of prog and
+// returns the diagnostics sorted by position, deduplicated.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	sink := func(d Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		if a.ProgramLevel {
+			pass := &Pass{Prog: prog, Analyzer: a, report: sink}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
+		}
+		for _, pkg := range prog.Packages {
+			if !a.InScope(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Prog: prog, Pkg: pkg, Analyzer: a, report: sink}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one //facs: comment. The suite defines six:
+//
+//	//facs:hotpath              — marks a zero-alloc root (hotpath walks from it)
+//	//facs:coldpath <why>       — excludes a function from the hotpath walk
+//	//facs:alloc <why>          — waives one allocation site on the same line
+//	//facs:orderless <why>      — waives one map iteration (order cannot escape)
+//	//facs:wallclock <why>      — waives one time.Now site (never feeds decisions)
+//	//facs:nosnap <why>         — waives one exported field from snapshot coverage
+//
+// Every waiver requires a non-empty justification; a bare waiver is
+// itself a diagnostic and suppresses nothing. A directive applies to
+// the line it is written on, or to the line directly below when it
+// stands alone; function-level directives (hotpath, coldpath) live in
+// the function's doc comment.
+type Directive struct {
+	Name string // "orderless", "hotpath", ...
+	Arg  string // the justification text, may be empty
+	Pos  token.Pos
+}
+
+const directivePrefix = "//facs:"
+
+// parseDirective decodes one comment, or returns false.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	if !strings.HasPrefix(c.Text, directivePrefix) {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(c.Text, directivePrefix)
+	name, arg, _ := strings.Cut(rest, " ")
+	return Directive{Name: name, Arg: strings.TrimSpace(arg), Pos: c.Pos()}, true
+}
+
+// directivesByLine indexes every //facs: comment of the package by file
+// and line.
+func (p *Package) directivesByLine(fset *token.FileSet) map[string]map[int][]Directive {
+	if p.directives != nil {
+		return p.directives
+	}
+	p.directives = map[string]map[int][]Directive{}
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := p.directives[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]Directive{}
+					p.directives[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+			}
+		}
+	}
+	return p.directives
+}
+
+// directiveAt returns the named directive governing pos: on the same
+// line, or alone on the line directly above.
+func (pass *Pass) directiveAt(pkg *Package, pos token.Pos, name string) (Directive, bool) {
+	position := pass.Prog.Fset.Position(pos)
+	byLine := pkg.directivesByLine(pass.Prog.Fset)[position.Filename]
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.Name == name {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// suppressed reports whether a diagnostic at pos is waived by the named
+// directive. A waiver without a justification does not suppress — it
+// is reported instead, so every suppression in the tree documents why
+// the contract does not apply.
+func (pass *Pass) suppressed(pkg *Package, pos token.Pos, name string) bool {
+	d, ok := pass.directiveAt(pkg, pos, name)
+	if !ok {
+		return false
+	}
+	if d.Arg == "" {
+		pass.Reportf(d.Pos, "//facs:%s needs a justification (\"//facs:%s <why>\")", name, name)
+		return true // the site is acknowledged; the missing rationale is the diagnostic
+	}
+	return true
+}
+
+// funcDirective scans a function's doc comment for the named directive.
+func funcDirective(decl *ast.FuncDecl, name string) (Directive, bool) {
+	if decl.Doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range decl.Doc.List {
+		if d, ok := parseDirective(c); ok && d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// isTestFile reports whether the file defining pos is a _test.go file.
+// The contracts bind production code; tests exercise them at runtime
+// and may freely range maps, stamp wall-clock times or allocate.
+func (pass *Pass) isTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(pass.Prog.Fset.Position(pos).Filename, "_test.go")
+}

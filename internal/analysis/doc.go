@@ -1,0 +1,65 @@
+// Package analysis implements facs-vet, the repo's static contract
+// checkers. The suite encodes, as compile-time checks, the invariants
+// the runtime gates can only catch after the fact: decision-trace
+// determinism, the zero-alloc steady state, seeded-stream reproducibility
+// and snapshot round-trip fidelity. ARCHITECTURE.md "Static contract
+// enforcement" maps each analyzer onto the runtime gate it mirrors.
+//
+// # Analyzers
+//
+// maprange flags `for ... range` over a map in packages whose output
+// feeds DecisionHash, NDJSON exports or ExportDemand. Go map iteration
+// order is randomized per run, so any map range on those paths is a
+// latent determinism bug: collect the keys, sort them, then iterate.
+// Ranges whose order genuinely cannot be observed are waived with
+// `//facs:orderless <why>`.
+//
+// rngtime flags ambient entropy: package-level math/rand state anywhere,
+// rand.New outside internal/sim (all randomness must flow through named
+// sim.NewStream streams), and time.Now in decision or simulation
+// packages (simulated time comes from the scheduler; wall-clock reads
+// that feed only operational metrics are waived with
+// `//facs:wallclock <why>`).
+//
+// hotpath walks the call graph from every function annotated
+// `//facs:hotpath` and flags allocation-prone constructs on the way:
+// fmt.* calls, string concatenation, make/new, map/slice/composite
+// literals, &composite, closure creation, append to anything but the
+// slice being assigned, and interface boxing of non-pointer values. The
+// walk resolves static calls only (interface and function-value calls
+// are out of reach — the runtime allocation gate backstops those) and
+// honours two escapes: `//facs:coldpath <why>` on a function declaration
+// removes it from the walk, `//facs:alloc <why>` on a line waives one
+// measured-warm or amortized allocation.
+//
+// snapsym pairs every SnapshotTo with its RestoreFrom and checks that
+// the decoder mirrors the encoder's call sequence (loop bodies are
+// collapsed, branches compared as path sets, error-path returns
+// ignored), and that every exported field of the receiver is referenced
+// by the snapshot method. Fields that are derived, config-hashed or
+// deliberately transient are waived with `//facs:nosnap <why>`.
+//
+// # Directives
+//
+// Every waiver requires a justification after the directive word; a bare
+// waiver still suppresses its diagnostic but is itself reported, so the
+// suite can never be silenced without leaving a reason in the source.
+// Line-scoped waivers (`orderless`, `wallclock`, `alloc`, `nosnap`)
+// apply to their own line or to the line directly below; the
+// function-scoped ones (`hotpath`, `coldpath`) live in the declaration's
+// doc comment.
+//
+// # Loader
+//
+// The container this repo builds in has no module proxy access, so the
+// framework is self-contained: load.go shells out to `go list` for
+// package metadata, type-checks module packages from source in
+// dependency order, and imports standard-library dependencies from the
+// build cache's export data. LoadTestdata loads the analyzers' fixture
+// trees under testdata/<analyzer>/src the same way.
+//
+// # Running
+//
+// `go run ./cmd/facs-vet ./...` runs the whole suite from the repo root
+// and exits 1 on any diagnostic; see cmd/README.md for flags.
+package analysis

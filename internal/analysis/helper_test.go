@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/types"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runTestdata loads testdata/<name>, runs the analyzers over it, and
+// compares the diagnostics against `// want` comments in the fixture
+// sources: each backtick-quoted regexp must match exactly one
+// "<analyzer>: <message>" diagnostic reported on the comment's line,
+// and every diagnostic must be claimed by a want. This is the
+// analysistest idiom, self-contained (see the package doc for why
+// golang.org/x/tools is unavailable here).
+func runTestdata(t *testing.T, name string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	prog, err := LoadTestdata("testdata/" + name)
+	if err != nil {
+		t.Fatalf("loading testdata/%s: %v", name, err)
+	}
+	diags, err := Run(prog, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers over testdata/%s: %v", name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	quoted := regexp.MustCompile("`([^`]*)`")
+	wants := map[key][]*regexp.Regexp{}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					_, rest, ok := strings.Cut(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					ms := quoted.FindAllStringSubmatch(rest, -1)
+					if len(ms) == 0 {
+						t.Fatalf("%s:%d: want comment with no backtick-quoted pattern", pos.Filename, pos.Line)
+					}
+					for _, m := range ms {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+						}
+						wants[k] = append(wants[k], re)
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		hit := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Analyzer + ": " + d.Message) {
+				hit = i
+				break
+			}
+		}
+		if hit < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		wants[k] = append(wants[k][:hit], wants[k][hit+1:]...)
+	}
+	for k, rs := range wants {
+		for _, re := range rs {
+			t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
+		}
+	}
+	return diags
+}
+
+func TestMaprange(t *testing.T) { runTestdata(t, "maprange", Maprange) }
+
+func TestRngtime(t *testing.T) { runTestdata(t, "rngtime", Rngtime) }
+
+func TestHotpath(t *testing.T) { runTestdata(t, "hotpath", Hotpath) }
+
+func TestSnapsym(t *testing.T) { runTestdata(t, "snapsym", Snapsym) }
+
+// TestBareWaiversAreDiagnosed pins the suppression contract: a waiver
+// without a justification still suppresses the underlying diagnostic,
+// but is itself reported — so every silenced site in the tree documents
+// why its contract does not apply. The expectations live here rather
+// than in want comments because the diagnostic lands on the directive
+// comment itself, where a same-line want comment cannot follow.
+func TestBareWaiversAreDiagnosed(t *testing.T) {
+	prog, err := LoadTestdata("testdata/bare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(prog, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (one per bare waiver):\n%v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "needs a justification") {
+			t.Errorf("diagnostic does not name the missing justification: %s", d)
+		}
+	}
+}
+
+// TestLoadModulePackage exercises the real go-list-backed loader on an
+// in-module package: sources parsed, types resolved, bodies indexed.
+func TestLoadModulePackage(t *testing.T) {
+	prog, err := Load("../..", "./internal/geo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := prog.ByPath["facs/internal/geo"]
+	if pkg == nil {
+		t.Fatalf("facs/internal/geo not loaded; have %d packages", len(prog.Packages))
+	}
+	if len(pkg.Files) == 0 || pkg.Types == nil || pkg.Info == nil {
+		t.Fatalf("package loaded without syntax or type info: %+v", pkg)
+	}
+	funcs := 0
+	for _, obj := range pkg.Info.Defs {
+		if _, ok := obj.(*types.Func); ok {
+			funcs++
+		}
+	}
+	if funcs == 0 {
+		t.Fatal("no functions type-checked in facs/internal/geo")
+	}
+}

@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotpath turns the runtime 0-allocs/wave gate
+// (TestMetropolisSteadyStateAllocs) into a compile-time diagnostic.
+// Functions annotated //facs:hotpath — the metropolis runWave chain,
+// the DecideBatchInto implementations, serve.SubmitAllInto,
+// shard.SubmitWaveTo, scc ExportDemand, the BaseStation admit/release
+// path — are walked transitively through every statically-resolvable
+// call with a body in the module, and each allocation-prone construct
+// is reported at its line: fmt.* calls, string concatenation,
+// make/new, map and slice literals (and &composite literals), closure
+// creation, non-self append, and interface boxing of non-pointer
+// values at call sites.
+//
+// Bounds, by construction: calls through interface values or function
+// variables are not resolved (the five controller DecideBatchInto
+// implementations are therefore each annotated directly rather than
+// relying on the cac.DecideAllInto dispatch), and the walk stops at
+// functions annotated //facs:coldpath <why> (error formatting and
+// other branches the runtime gate never measures warm). Self-appends
+// (x = append(x, ...), including through a reslice of x) are allowed:
+// they amortize to zero at steady state once scratch is warm, which is
+// exactly what the runtime gate measures. A site the gate has proven
+// warm-only can be waived with //facs:alloc <why>.
+var Hotpath = &Analyzer{
+	Name:         "hotpath",
+	Doc:          "flags allocation-prone constructs reachable from //facs:hotpath roots",
+	ProgramLevel: true,
+	Run:          runHotpath,
+}
+
+const (
+	hotpathMaxDepth = 32
+	hotpathMaxFuncs = 2048
+)
+
+type hotpathWalker struct {
+	pass    *Pass
+	visited map[*types.Func]bool
+	queue   []hotpathItem
+}
+
+type hotpathItem struct {
+	fn    *types.Func
+	root  string
+	depth int
+}
+
+func runHotpath(pass *Pass) error {
+	w := &hotpathWalker{pass: pass, visited: map[*types.Func]bool{}}
+	// Roots in deterministic (load, file, declaration) order.
+	for _, pkg := range pass.Prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if _, ok := funcDirective(fd, "hotpath"); !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				w.enqueue(fn, funcLabel(fn), 0)
+			}
+		}
+	}
+	for len(w.queue) > 0 {
+		item := w.queue[0]
+		w.queue = w.queue[1:]
+		w.scan(item)
+	}
+	return nil
+}
+
+func funcLabel(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+func (w *hotpathWalker) enqueue(fn *types.Func, root string, depth int) {
+	if w.visited[fn] || depth > hotpathMaxDepth || len(w.visited) >= hotpathMaxFuncs {
+		return
+	}
+	w.visited[fn] = true
+	w.queue = append(w.queue, hotpathItem{fn: fn, root: root, depth: depth})
+}
+
+// scan reports allocation-prone constructs in one function body and
+// enqueues its statically-resolved callees.
+func (w *hotpathWalker) scan(item hotpathItem) {
+	body := w.pass.Prog.FuncDecl(item.fn)
+	if body == nil {
+		return // out-of-module or bodyless: the walk's documented bound
+	}
+	if d, ok := funcDirective(body.Decl, "coldpath"); ok {
+		if d.Arg == "" {
+			w.pass.Reportf(d.Pos, "//facs:coldpath needs a justification (\"//facs:coldpath <why>\")")
+		}
+		return
+	}
+	pkg := body.Pkg
+	info := pkg.Info
+	flag := func(pos token.Pos, format string, args ...any) {
+		if w.pass.suppressed(pkg, pos, "alloc") {
+			return
+		}
+		msg := fmt.Sprintf(format, args...)
+		w.pass.Reportf(pos, "%s (on the zero-alloc path of //facs:hotpath %s)", msg, item.root)
+	}
+
+	// ast.Inspect is pre-order, so an assignment is seen before the
+	// append call on its right-hand side; record the pairing to
+	// recognize the self-append idiom when the call is visited.
+	assignOf := map[*ast.CallExpr]*ast.AssignStmt{}
+	ast.Inspect(body.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			w.scanCall(item, pkg, n, assignOf[n], flag)
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Map:
+				flag(n.Pos(), "map literal allocates")
+			case *types.Slice:
+				flag(n.Pos(), "slice literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					flag(n.Pos(), "&composite literal allocates")
+				}
+			}
+		case *ast.FuncLit:
+			flag(n.Pos(), "closure creation allocates")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.Types[n.X].Type) {
+				flag(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(info.Types[n.Lhs[0]].Type) {
+				flag(n.Pos(), "string += allocates")
+			}
+			if len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+					assignOf[call] = n
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (w *hotpathWalker) scanCall(item hotpathItem, pkg *Package, call *ast.CallExpr, assign *ast.AssignStmt, flag func(token.Pos, string, ...any)) {
+	info := pkg.Info
+
+	// Conversions, including boxing into an interface type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && boxes(info.Types[call.Args[0]].Type) {
+			flag(call.Pos(), "converting %s to %s boxes a non-pointer value", typeLabel(info.Types[call.Args[0]].Type), typeLabel(tv.Type))
+		}
+		return
+	}
+
+	var callee *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Builtin:
+			w.scanBuiltin(obj.Name(), call, assign, flag)
+			return
+		case *types.Func:
+			callee = obj
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			callee = fn
+		}
+	}
+	if callee == nil {
+		return // function value or unresolvable: documented bound
+	}
+	if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		flag(call.Pos(), "fmt.%s allocates", callee.Name())
+		return
+	}
+	// Interface-typed parameters box concrete non-pointer arguments.
+	sig, ok := callee.Type().(*types.Signature)
+	if ok {
+		params := sig.Params()
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= params.Len()-1:
+				if call.Ellipsis.IsValid() {
+					continue // passing a slice through, no per-element boxing
+				}
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			case i < params.Len():
+				pt = params.At(i).Type()
+			}
+			if pt != nil && types.IsInterface(pt) && boxes(info.Types[arg].Type) {
+				flag(arg.Pos(), "passing %s as %s boxes a non-pointer value", typeLabel(info.Types[arg].Type), typeLabel(pt))
+			}
+		}
+	}
+	w.enqueue(callee, item.root, item.depth+1)
+}
+
+func (w *hotpathWalker) scanBuiltin(name string, call *ast.CallExpr, assign *ast.AssignStmt, flag func(token.Pos, string, ...any)) {
+	switch name {
+	case "make":
+		flag(call.Pos(), "make allocates")
+	case "new":
+		flag(call.Pos(), "new allocates")
+	case "append":
+		if !selfAppend(call, assign) {
+			flag(call.Pos(), "append to a fresh slice allocates; grow a reused buffer (x = append(x, ...)) instead")
+		}
+	}
+}
+
+// selfAppend recognizes the amortized-zero idiom x = append(x, ...),
+// including appends through a reslice of x (x = append(x[:0], ...)):
+// the enclosing statement must be a plain assignment whose single LHS
+// is the same expression as append's first argument.
+func selfAppend(call *ast.CallExpr, assign *ast.AssignStmt) bool {
+	if len(call.Args) == 0 || assign == nil || len(assign.Lhs) != 1 || assign.Tok != token.ASSIGN {
+		return false
+	}
+	dst := call.Args[0]
+	for {
+		if s, ok := dst.(*ast.SliceExpr); ok {
+			dst = s.X
+			continue
+		}
+		break
+	}
+	return types.ExprString(assign.Lhs[0]) == types.ExprString(dst)
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// boxes reports whether storing a value of type t in an interface
+// allocates: every kind except pointer-shaped ones (pointers, maps,
+// channels, funcs, unsafe pointers) and interfaces themselves. Untyped
+// nil never boxes.
+func boxes(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil && u.Kind() != types.UnsafePointer
+	}
+	return true
+}

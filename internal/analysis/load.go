@@ -1,0 +1,369 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one source-loaded, type-checked package.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	directives map[string]map[int][]Directive // filename -> line -> directives
+}
+
+// Program is a whole-module view: every package named by the load
+// patterns plus their in-module dependencies, type-checked from source
+// so analyzers can walk function bodies across package boundaries.
+// Standard-library (and any other out-of-module) dependencies are
+// imported from compiler export data and carry no syntax.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package // dependency order: callees before callers
+	ByPath   map[string]*Package
+
+	funcs map[*types.Func]*FuncBody
+}
+
+// FuncBody locates the declaration of a module function.
+type FuncBody struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load builds a Program for the given `go list` patterns, resolved in
+// dir (any directory inside the module). It shells out to
+// `go list -export -deps`, which works offline: module sources are
+// parsed and type-checked here, while every out-of-module dependency is
+// imported from the export data the go tool just compiled into the
+// build cache.
+//
+// Only GoFiles are loaded — _test.go files never participate, matching
+// the analyzers' scope (the determinism and allocation contracts bind
+// production code; tests exercise them at runtime).
+func Load(dir string, patterns ...string) (*Program, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Imports,ImportMap,Export,Standard,Module,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.Bytes())
+	}
+
+	var listed []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		listed = append(listed, &p)
+	}
+
+	mainModule, err := moduleName(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	prog := &Program{Fset: token.NewFileSet(), ByPath: map[string]*Package{}}
+	imp := newProgImporter(prog)
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		inModule := p.Module != nil && p.Module.Path == mainModule && !p.Standard
+		if !inModule {
+			if p.Export != "" {
+				imp.exports[p.ImportPath] = p.Export
+			}
+			continue
+		}
+		// go list -deps emits dependencies before dependents, so every
+		// in-module import of p is already type-checked.
+		if err := prog.check(imp, p); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// LoadTestdata builds a Program from an analysistest-style tree:
+// dir/src/<importpath>/*.go, each directory one package importable by
+// its path relative to src. Imports between testdata packages resolve
+// to each other; anything else resolves through `go list -export`
+// (standard library, or the real module when a testdata package
+// imports e.g. facs/internal/snap is *not* supported — stub it under
+// src instead, so fixtures stay hermetic).
+func LoadTestdata(dir string) (*Program, error) {
+	src := filepath.Join(dir, "src")
+	var pkgDirs []string
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		files, err := filepath.Glob(filepath.Join(path, "*.go"))
+		if err != nil {
+			return err
+		}
+		if len(files) > 0 {
+			pkgDirs = append(pkgDirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(pkgDirs)
+
+	prog := &Program{Fset: token.NewFileSet(), ByPath: map[string]*Package{}}
+	imp := newProgImporter(prog)
+
+	type tdPkg struct {
+		p     *listedPackage
+		after map[string]bool // testdata deps
+	}
+	var pkgs []*tdPkg
+	external := map[string]bool{}
+	for _, pd := range pkgDirs {
+		rel, err := filepath.Rel(src, pd)
+		if err != nil {
+			return nil, err
+		}
+		importPath := filepath.ToSlash(rel)
+		files, _ := filepath.Glob(filepath.Join(pd, "*.go"))
+		sort.Strings(files)
+		lp := &listedPackage{ImportPath: importPath, Dir: pd}
+		for _, f := range files {
+			lp.GoFiles = append(lp.GoFiles, filepath.Base(f))
+		}
+		pkgs = append(pkgs, &tdPkg{p: lp, after: map[string]bool{}})
+	}
+	isTestdata := func(path string) bool {
+		for _, tp := range pkgs {
+			if tp.p.ImportPath == path {
+				return true
+			}
+		}
+		return false
+	}
+	// Parse just the import clauses to order testdata packages and
+	// collect external dependencies.
+	for _, tp := range pkgs {
+		for _, f := range tp.p.GoFiles {
+			af, err := parser.ParseFile(token.NewFileSet(), filepath.Join(tp.p.Dir, f), nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			for _, spec := range af.Imports {
+				path := strings.Trim(spec.Path.Value, `"`)
+				if isTestdata(path) {
+					tp.after[path] = true
+				} else {
+					external[path] = true
+				}
+			}
+		}
+	}
+	if len(external) > 0 {
+		paths := make([]string, 0, len(external))
+		for p := range external {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		if err := listExports(dir, paths, imp.exports); err != nil {
+			return nil, err
+		}
+	}
+	// Check in dependency order (testdata trees are tiny; a quadratic
+	// ready-list is fine).
+	done := map[string]bool{}
+	for len(pkgs) > 0 {
+		progress := false
+		rest := pkgs[:0]
+		for _, tp := range pkgs {
+			ready := true
+			for dep := range tp.after {
+				if !done[dep] {
+					ready = false
+				}
+			}
+			if !ready {
+				rest = append(rest, tp)
+				continue
+			}
+			if err := prog.check(imp, tp.p); err != nil {
+				return nil, err
+			}
+			done[tp.p.ImportPath] = true
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("import cycle among testdata packages in %s", dir)
+		}
+		pkgs = rest
+	}
+	return prog, nil
+}
+
+// check parses and type-checks one source package into prog.
+func (prog *Program) check(imp *progImporter, p *listedPackage) error {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		af, err := parser.ParseFile(prog.Fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		files = append(files, af)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	imp.importMap = p.ImportMap
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(p.ImportPath, prog.Fset, files, info)
+	if err != nil {
+		return fmt.Errorf("type-checking %s: %w", p.ImportPath, err)
+	}
+	pkg := &Package{Path: p.ImportPath, Name: tpkg.Name(), Dir: p.Dir, Files: files, Types: tpkg, Info: info}
+	prog.Packages = append(prog.Packages, pkg)
+	prog.ByPath[p.ImportPath] = pkg
+	return nil
+}
+
+// FuncDecl returns the declaration of fn if its source is loaded.
+func (prog *Program) FuncDecl(fn *types.Func) *FuncBody {
+	if prog.funcs == nil {
+		prog.funcs = map[*types.Func]*FuncBody{}
+		for _, pkg := range prog.Packages {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						prog.funcs[fn] = &FuncBody{Pkg: pkg, Decl: fd}
+					}
+				}
+			}
+		}
+	}
+	return prog.funcs[fn]
+}
+
+// moduleName reports the main module path governing dir.
+func moduleName(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -m: %w", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// listExports resolves import paths to export-data files via
+// `go list -export -deps` and merges them into exports.
+func listExports(dir string, paths []string, exports map[string]string) error {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list -export %s: %v\n%s", strings.Join(paths, " "), err, stderr.Bytes())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+// progImporter resolves imports during type-checking: in-program
+// packages by identity, everything else through the gc importer backed
+// by the export files `go list -export` reported.
+type progImporter struct {
+	prog      *Program
+	exports   map[string]string
+	importMap map[string]string // the package currently being checked
+	gc        types.Importer
+}
+
+func newProgImporter(prog *Program) *progImporter {
+	pi := &progImporter{prog: prog, exports: map[string]string{}}
+	pi.gc = importer.ForCompiler(prog.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := pi.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return pi
+}
+
+func (pi *progImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := pi.importMap[path]; ok {
+		path = mapped
+	}
+	if pkg, ok := pi.prog.ByPath[path]; ok {
+		return pkg.Types, nil
+	}
+	return pi.gc.Import(path)
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Maprange enforces the decision-determinism contract on iteration
+// order: in every package whose output feeds the metropolis
+// DecisionHash, the NDJSON wire, or the ghost-demand exchange
+// (ExportDemand), ranging over a map is a replay-identity hazard — Go
+// randomizes map order per run, so a lucky seed passes `go test` while
+// production replays diverge. Every map range in scope must either be
+// rewritten as sorted-key iteration or carry //facs:orderless with a
+// justification for why the order provably cannot escape (keys
+// collected then sorted, commutative reduction, ...).
+var Maprange = &Analyzer{
+	Name: "maprange",
+	Doc:  "flags nondeterministic map iteration in packages that feed DecisionHash, NDJSON output or ExportDemand",
+	Packages: []string{
+		"facs",
+		"facs/cmd/",
+		"facs/internal/cac",
+		"facs/internal/cell",
+		"facs/internal/experiments",
+		"facs/internal/facs",
+		"facs/internal/scc",
+		"facs/internal/serve",
+		"facs/internal/shard",
+	},
+	Run: runMaprange,
+}
+
+func runMaprange(pass *Pass) error {
+	pkg := pass.Pkg
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pkg.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.isTestFile(rng.For) || pass.suppressed(pkg, rng.For, "orderless") {
+				return true
+			}
+			pass.Reportf(rng.For, "range over map %s is nondeterministic; iterate sorted keys or annotate //facs:orderless <why>", typeLabel(tv.Type))
+			return true
+		})
+	}
+	return nil
+}
+
+// typeLabel renders a type tersely for diagnostics.
+func typeLabel(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

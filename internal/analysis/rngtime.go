@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Rngtime enforces the replay contract on entropy and clocks: decision
+// and simulation packages must draw randomness through the seeded,
+// draw-counted streams of facs/internal/sim (NewRNG/NewCountedStream)
+// and take time from the simulation clock, never the host. A
+// package-level math/rand call uses the process-global source (shared,
+// unseedable per run), a rand.New outside internal/sim creates an
+// untracked stream whose draws a snapshot cannot fast-forward, and a
+// time.Now in a decision path makes restore-then-replay diverge from
+// the uninterrupted run. Wall-clock reads that provably never feed a
+// decision (latency stamps, progress logs) carry //facs:wallclock with
+// a justification.
+var Rngtime = &Analyzer{
+	Name: "rngtime",
+	Doc:  "forbids global math/rand, rand.New outside internal/sim, and time.Now in decision/simulation packages",
+	Packages: []string{
+		"facs",
+		"facs/internal/cac",
+		"facs/internal/cell",
+		"facs/internal/experiments",
+		"facs/internal/facs",
+		"facs/internal/fuzzy",
+		"facs/internal/geo",
+		"facs/internal/gps",
+		"facs/internal/mobility",
+		"facs/internal/scc",
+		"facs/internal/serve",
+		"facs/internal/shard",
+		"facs/internal/sim",
+		"facs/internal/traffic",
+	},
+	Run: runRngtime,
+}
+
+// simPackage is the one package allowed to construct math/rand sources:
+// it wraps them in counted, snapshot-resumable streams.
+const simPackage = "facs/internal/sim"
+
+func runRngtime(pass *Pass) error {
+	pkg := pass.Pkg
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if pass.isTestFile(call.Pos()) {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if fn.Type().(*types.Signature).Recv() != nil {
+					return true // methods on an explicit *rand.Rand are fine
+				}
+				switch fn.Name() {
+				case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+					if pkg.Path == simPackage {
+						return true
+					}
+					pass.Reportf(call.Pos(), "rand.%s outside %s creates an untracked stream; build it through sim.NewRNG or sim.NewCountedStream", fn.Name(), simPackage)
+				default:
+					pass.Reportf(call.Pos(), "package-level rand.%s draws from the process-global source; use a seeded *rand.Rand from %s", fn.Name(), simPackage)
+				}
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					if pass.suppressed(pkg, call.Pos(), "wallclock") {
+						return true
+					}
+					pass.Reportf(call.Pos(), "time.%s reads the host clock in a decision/simulation package; take simulated time, or annotate //facs:wallclock <why> if it never feeds a decision", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

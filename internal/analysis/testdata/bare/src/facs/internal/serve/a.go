@@ -1,0 +1,16 @@
+// Package serve holds waivers with no justification: each suppresses
+// its underlying diagnostic but is reported itself (asserted directly
+// in TestBareWaiversAreDiagnosed — the diagnostic lands on the
+// directive comment, where no want comment can follow on the line).
+package serve
+
+import "time"
+
+func Bare(m map[int]int) (int, time.Time) {
+	total := 0
+	for _, v := range m { //facs:orderless
+		total += v
+	}
+	now := time.Now() //facs:wallclock
+	return total, now
+}

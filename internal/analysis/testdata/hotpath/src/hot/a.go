@@ -1,0 +1,66 @@
+// Package hot exercises the hotpath walk: a //facs:hotpath root, its
+// transitive callees, the coldpath/alloc escape hatches and the
+// self-append idiom.
+package hot
+
+import "fmt"
+
+type sink interface{ accept() }
+
+type box struct{ n int }
+
+func (box) accept() {}
+
+var global []int
+
+// Root is the annotated zero-alloc root.
+//
+//facs:hotpath
+func Root(xs []int, scratch []int) string {
+	msg := fmt.Sprintf("%d", len(xs)) // want `hotpath: fmt.Sprintf allocates`
+	msg = msg + "!"                   // want `hotpath: string concatenation allocates`
+	buf := make([]int, len(xs))       // want `hotpath: make allocates`
+	_ = buf
+	pairs := map[int]int{} // want `hotpath: map literal allocates`
+	_ = pairs
+	lit := []int{1, 2} // want `hotpath: slice literal allocates`
+	_ = lit
+	ptr := &box{n: 1} // want `hotpath: &composite literal allocates`
+	_ = ptr
+	f := func() {} // want `hotpath: closure creation allocates`
+	f()
+	global = append(global, 1) // self-append: amortized to zero once warm
+	fresh := append(xs, 1)     // want `hotpath: append to a fresh slice allocates`
+	_ = fresh
+	scratch = append(scratch[:0], 1) // self-append through a reslice: clean
+	_ = scratch
+	helper()
+	cold()
+	waived()
+	take(box{}) // want `hotpath: passing hot.box as hot.sink boxes a non-pointer value`
+	return msg
+}
+
+// helper is reached transitively from Root.
+func helper() {
+	_ = make([]byte, 8) // want `hotpath: make allocates`
+}
+
+// cold is excluded from the walk.
+//
+//facs:coldpath error formatting exercised only on rejected input
+func cold() {
+	_ = fmt.Errorf("boom")
+}
+
+// waived allocates at a site the runtime gate has measured warm-only.
+func waived() {
+	_ = make([]byte, 8) //facs:alloc scratch warmed during the first wave; steady state reuses it
+}
+
+func take(s sink) { s.accept() }
+
+// Unrooted is not reachable from any //facs:hotpath root: clean.
+func Unrooted() {
+	_ = make([]byte, 8)
+}

@@ -1,0 +1,11 @@
+// Command tool exercises the "facs/cmd/" prefix scope entry.
+package main
+
+func main() {
+	counts := map[string]int{"a": 1, "b": 2}
+	keys := ""
+	for k := range counts { // want `maprange: range over map map\[string\]int is nondeterministic`
+		keys += k
+	}
+	_ = keys
+}

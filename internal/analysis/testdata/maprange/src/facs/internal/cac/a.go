@@ -1,0 +1,46 @@
+// Package cac is a maprange fixture standing in for the real
+// facs/internal/cac (the import path, not the code, puts it in scope).
+package cac
+
+import "sort"
+
+// Class mirrors the traffic class key type used by the real policies.
+type Class int
+
+// SumBU ranges a map with observable order: flagged.
+func SumBU(m map[Class]int) int {
+	total := 0
+	for _, bu := range m { // want `maprange: range over map map\[cac.Class\]int is nondeterministic`
+		total += bu
+	}
+	return total
+}
+
+// SumBUWaived carries a justified waiver: the reduction commutes.
+func SumBUWaived(m map[Class]int) int {
+	total := 0
+	//facs:orderless commutative integer sum; order cannot escape
+	for _, bu := range m {
+		total += bu
+	}
+	return total
+}
+
+// Keys is the sanctioned collect-then-sort idiom, waived inline.
+func Keys(m map[Class]int) []Class {
+	keys := make([]Class, 0, len(m))
+	for k := range m { //facs:orderless key collection; sorted before any order-sensitive use
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Ordered iterates a slice, not a map: clean.
+func Ordered(classes []Class, m map[Class]int) int {
+	total := 0
+	for _, c := range classes {
+		total += m[c]
+	}
+	return total
+}

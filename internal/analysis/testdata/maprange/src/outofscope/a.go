@@ -1,0 +1,12 @@
+// Package outofscope ranges a map outside the analyzer's package
+// scope: its output feeds none of the deterministic surfaces, so no
+// diagnostic is expected.
+package outofscope
+
+func Sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

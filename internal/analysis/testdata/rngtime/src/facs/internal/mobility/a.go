@@ -1,0 +1,34 @@
+// Package mobility is an rngtime fixture standing in for the real
+// facs/internal/mobility.
+package mobility
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter draws from the process-global source: flagged.
+func Jitter() float64 {
+	return rand.Float64() // want `rngtime: package-level rand.Float64 draws from the process-global source`
+}
+
+// NewWalker constructs an untracked stream outside internal/sim: both
+// the constructor and its source constructor are flagged.
+func NewWalker(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `rngtime: rand.New outside facs/internal/sim` `rngtime: rand.NewSource outside facs/internal/sim`
+}
+
+// Step draws through an explicitly threaded *rand.Rand: clean.
+func Step(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+// Stamp reads the host clock: flagged.
+func Stamp() time.Time {
+	return time.Now() // want `rngtime: time.Now reads the host clock`
+}
+
+// Progress is a justified wall-clock read: clean.
+func Progress(start time.Time) time.Duration {
+	return time.Since(start) //facs:wallclock progress reporting only; never feeds a decision
+}

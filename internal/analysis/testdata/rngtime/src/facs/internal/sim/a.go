@@ -1,0 +1,16 @@
+// Package sim is the one package allowed to construct math/rand
+// sources (it wraps them in counted, snapshot-resumable streams) — but
+// even here, package-level draws stay forbidden.
+package sim
+
+import "math/rand"
+
+// NewRNG constructs a tracked stream: the constructor exemption.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Draw still uses the process-global source: flagged even in sim.
+func Draw() float64 {
+	return rand.Float64() // want `rngtime: package-level rand.Float64 draws from the process-global source`
+}

@@ -1,0 +1,96 @@
+// Package fix exercises the snapsym sequence and field-coverage
+// checks against the stubbed snap codec.
+package fix
+
+import "facs/internal/snap"
+
+// Good round-trips symmetrically: an unrolled header, a length-prefixed
+// loop (taken once and run-collapsed on both sides), all exported
+// fields captured.
+type Good struct {
+	Count int
+	Items []float64
+}
+
+func (g *Good) SnapshotTo(e *snap.Encoder) error {
+	e.Int(g.Count)
+	e.U32(uint32(len(g.Items)))
+	for _, v := range g.Items {
+		e.F64(v)
+	}
+	return e.Close()
+}
+
+func (g *Good) RestoreFrom(d *snap.Decoder) error {
+	g.Count = d.Int()
+	n := d.U32()
+	g.Items = g.Items[:0]
+	for i := uint32(0); i < n; i++ {
+		g.Items = append(g.Items, d.F64())
+	}
+	return d.Err()
+}
+
+// Sheared writes a U64 the reader consumes as U32: every later field
+// would silently shift, which is exactly the defect class flagged.
+type Sheared struct {
+	Gen uint64
+}
+
+func (s *Sheared) SnapshotTo(e *snap.Encoder) error {
+	e.U64(s.Gen)
+	return e.Close()
+}
+
+func (s *Sheared) RestoreFrom(d *snap.Decoder) error { // want `snapsym: Sheared.RestoreFrom does not mirror SnapshotTo: write path \[U64\] has no matching read path`
+	s.Gen = uint64(d.U32())
+	return d.Err()
+}
+
+// Partial misses one exported field, waives another, and may ignore
+// unexported scratch.
+type Partial struct {
+	Kept   int
+	Lost   int // want `snapsym: exported field Partial.Lost is not referenced by SnapshotTo`
+	Waived int //facs:nosnap derived cache; rebuilt on first use after restore
+	hidden int
+}
+
+func (p *Partial) SnapshotTo(e *snap.Encoder) error {
+	e.Int(p.Kept)
+	e.Int(p.hidden)
+	return e.Close()
+}
+
+func (p *Partial) RestoreFrom(d *snap.Decoder) error {
+	p.Kept = d.Int()
+	p.hidden = d.Int()
+	return d.Err()
+}
+
+// ViaHelper captures one field through a hash helper (transitive
+// reference coverage) and takes an early error return the sequence
+// comparison must drop.
+type ViaHelper struct {
+	A int
+	B int
+}
+
+func (v *ViaHelper) hash() int { return v.A ^ v.B }
+
+func (v *ViaHelper) SnapshotTo(e *snap.Encoder) error {
+	if v.B < 0 {
+		return errNegative()
+	}
+	e.Int(v.hash())
+	e.Int(v.B)
+	return e.Close()
+}
+
+func (v *ViaHelper) RestoreFrom(d *snap.Decoder) error {
+	_ = d.Int()
+	v.B = d.Int()
+	return d.Err()
+}
+
+func errNegative() error { return nil }

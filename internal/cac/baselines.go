@@ -99,6 +99,8 @@ func (g GuardChannel) DecideBatch(reqs []Request) ([]Decision, error) {
 
 // DecideBatchInto implements BatchIntoController: DecideBatch semantics
 // into a caller-provided buffer, with zero allocations.
+//
+//facs:hotpath
 func (g GuardChannel) DecideBatchInto(reqs []Request, out []Decision) error {
 	var station *cell.BaseStation
 	free := 0
@@ -168,7 +170,16 @@ var (
 
 // NewThresholdPolicy validates and constructs the policy.
 func NewThresholdPolicy(maxBU map[traffic.Class]int) (ThresholdPolicy, error) {
-	for class, limit := range maxBU {
+	// Validate in sorted class order so a table with several bad
+	// entries reports the same error on every run, not whichever
+	// entry map iteration happened to visit first.
+	classes := make([]traffic.Class, 0, len(maxBU))
+	for class := range maxBU { //facs:orderless key collection; sorted before any order-sensitive use
+		classes = append(classes, class)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, class := range classes {
+		limit := maxBU[class]
 		if !class.Valid() {
 			return ThresholdPolicy{}, fmt.Errorf("cac: threshold for invalid class %v", class)
 		}
@@ -177,7 +188,7 @@ func NewThresholdPolicy(maxBU map[traffic.Class]int) (ThresholdPolicy, error) {
 		}
 	}
 	copied := make(map[traffic.Class]int, len(maxBU))
-	for k, v := range maxBU {
+	for k, v := range maxBU { //facs:orderless map-to-map copy; insertion order is unobservable
 		copied[k] = v
 	}
 	return ThresholdPolicy{MaxBU: copied}, nil
@@ -224,7 +235,7 @@ func (p ThresholdPolicy) DecideBatch(reqs []Request) ([]Decision, error) {
 // class order, so map iteration order never perturbs the hash.
 func (p ThresholdPolicy) thresholdSnapshotHash() uint64 {
 	classes := make([]traffic.Class, 0, len(p.MaxBU))
-	for class := range p.MaxBU {
+	for class := range p.MaxBU { //facs:orderless key collection; hashed in sorted class order below
 		classes = append(classes, class)
 	}
 	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
@@ -253,6 +264,8 @@ func (p ThresholdPolicy) RestoreFrom(r io.Reader) error {
 
 // DecideBatchInto implements BatchIntoController: DecideBatch semantics
 // into a caller-provided buffer, with zero allocations.
+//
+//facs:hotpath
 func (p ThresholdPolicy) DecideBatchInto(reqs []Request, out []Decision) error {
 	var station *cell.BaseStation
 	free := 0

@@ -72,6 +72,8 @@ func DecideAll(c Controller, reqs []Request) ([]Decision, error) {
 // allocation behaviour differs. Controllers with native Into support
 // make the whole call allocation-free, which is what the steady-state
 // zero-alloc gates on the metropolis wave loop pin.
+//
+//facs:hotpath
 func DecideAllInto(c Controller, reqs []Request, out []Decision) error {
 	if len(out) < len(reqs) {
 		return errShortDecisionBuffer(len(reqs), len(out))
@@ -98,6 +100,9 @@ func DecideAllInto(c Controller, reqs []Request, out []Decision) error {
 	return nil
 }
 
+// errShortDecisionBuffer formats the buffer-misuse error.
+//
+//facs:coldpath error constructor; called only on caller misuse
 func errShortDecisionBuffer(reqs, slots int) error {
 	return fmt.Errorf("cac: decision buffer too short: %d requests, %d slots", reqs, slots)
 }

@@ -57,13 +57,13 @@ type Request struct {
 // Validate checks structural preconditions shared by all controllers.
 func (r Request) Validate() error {
 	if r.Station == nil {
-		return fmt.Errorf("cac: request for call %d has no station", r.Call.ID)
+		return fmt.Errorf("cac: request for call %d has no station", r.Call.ID) //facs:alloc reject/error path; formats nothing on the steady-state wave
 	}
 	if r.Call.BU <= 0 {
-		return fmt.Errorf("cac: request for call %d has non-positive bandwidth %d", r.Call.ID, r.Call.BU)
+		return fmt.Errorf("cac: request for call %d has non-positive bandwidth %d", r.Call.ID, r.Call.BU) //facs:alloc reject/error path; formats nothing on the steady-state wave
 	}
 	if !r.Call.Class.Valid() {
-		return fmt.Errorf("cac: request for call %d has invalid class %v", r.Call.ID, r.Call.Class)
+		return fmt.Errorf("cac: request for call %d has invalid class %v", r.Call.ID, r.Call.Class) //facs:alloc reject/error path; formats nothing on the steady-state wave
 	}
 	return nil
 }

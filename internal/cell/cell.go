@@ -139,7 +139,7 @@ func (p *callPool) reserve(n int) {
 	copy(dense, p.dense)
 	p.dense = dense
 	index := make(map[int]int32, n)
-	for id, slot := range p.index {
+	for id, slot := range p.index { //facs:orderless map-to-map rehash; the rebuilt index is order-free
 		index[id] = slot
 	}
 	p.index = index
@@ -230,18 +230,20 @@ func (b *BaseStation) Fits(bu int) bool { return bu > 0 && bu <= b.Free() }
 // must fit and its ID must be new, otherwise the ledger is unchanged and
 // an error wrapping ErrInsufficientBandwidth / ErrDuplicateCall is
 // returned.
+//
+//facs:hotpath
 func (b *BaseStation) Admit(c Call) error {
 	if c.BU <= 0 {
-		return fmt.Errorf("cell: call %d has non-positive bandwidth %d", c.ID, c.BU)
+		return fmt.Errorf("cell: call %d has non-positive bandwidth %d", c.ID, c.BU) //facs:alloc reject/error path; formats nothing on the steady-state wave
 	}
 	if !c.Class.Valid() {
-		return fmt.Errorf("cell: call %d has invalid class %v", c.ID, c.Class)
+		return fmt.Errorf("cell: call %d has invalid class %v", c.ID, c.Class) //facs:alloc reject/error path; formats nothing on the steady-state wave
 	}
 	if _, dup := b.pool.index[c.ID]; dup {
-		return fmt.Errorf("cell: admitting call %d at %v: %w", c.ID, b.hex, ErrDuplicateCall)
+		return fmt.Errorf("cell: admitting call %d at %v: %w", c.ID, b.hex, ErrDuplicateCall) //facs:alloc reject/error path; formats nothing on the steady-state wave
 	}
 	if c.BU > b.Free() {
-		return fmt.Errorf("cell: admitting call %d (%d BU) at %v with %d BU free: %w",
+		return fmt.Errorf("cell: admitting call %d (%d BU) at %v with %d BU free: %w", //facs:alloc reject/error path; formats nothing on the steady-state wave
 			c.ID, c.BU, b.hex, b.Free(), ErrInsufficientBandwidth)
 	}
 	b.pool.put(c)
@@ -255,10 +257,12 @@ func (b *BaseStation) Admit(c Call) error {
 }
 
 // Release removes a call from the ledger, crediting its bandwidth back.
+//
+//facs:hotpath
 func (b *BaseStation) Release(id int) (Call, error) {
 	c, ok := b.pool.take(id)
 	if !ok {
-		return Call{}, fmt.Errorf("cell: releasing call %d at %v: %w", id, b.hex, ErrUnknownCall)
+		return Call{}, fmt.Errorf("cell: releasing call %d at %v: %w", id, b.hex, ErrUnknownCall) //facs:alloc reject/error path; formats nothing on the steady-state wave
 	}
 	if c.Class.RealTime() {
 		b.usedRT -= c.BU

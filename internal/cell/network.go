@@ -104,7 +104,7 @@ func (n *Network) StationAt(p geo.Point) (*BaseStation, error) {
 	h := n.layout.HexAt(p)
 	bs, ok := n.stations[h]
 	if !ok {
-		return nil, fmt.Errorf("cell: %v maps to %v: %w", p, h, ErrOutsideCoverage)
+		return nil, fmt.Errorf("cell: %v maps to %v: %w", p, h, ErrOutsideCoverage) //facs:alloc reject/error path; formats nothing on the steady-state wave
 	}
 	return bs, nil
 }

@@ -642,25 +642,25 @@ type metroWorkload struct {
 	inradiusM float64
 }
 
+// gauss is the unnormalized Gaussian bump exp(-(x-mu)^2 / (2 sigma^2)),
+// shared by the day-profile shapes below (a package function rather than
+// a per-call closure: the profiles sit on the wave hot path).
+func gauss(x, mu, sigma float64) float64 {
+	d := x - mu
+	return math.Exp(-d * d / (2 * sigma * sigma))
+}
+
 // diurnal is the double-hump day profile in [~0.15, 1]: morning and
 // evening rush peaks with a midday shoulder and a deep night valley.
 func diurnal(hour float64) float64 {
-	g := func(mu, sigma float64) float64 {
-		d := hour - mu
-		return math.Exp(-d * d / (2 * sigma * sigma))
-	}
-	peak := math.Max(g(8.5, 2.2), g(18, 2.5))
-	peak = math.Max(peak, 0.55*g(13, 3.5))
+	peak := math.Max(gauss(hour, 8.5, 2.2), gauss(hour, 18, 2.5))
+	peak = math.Max(peak, 0.55*gauss(hour, 13, 3.5))
 	return 0.15 + 0.85*peak
 }
 
 // rushFactor is the rush-hour intensity in [0, 1] driving hotspot skew.
 func rushFactor(hour float64) float64 {
-	g := func(mu, sigma float64) float64 {
-		d := hour - mu
-		return math.Exp(-d * d / (2 * sigma * sigma))
-	}
-	return math.Max(g(8.5, 1.5), g(18, 1.5))
+	return math.Max(gauss(hour, 8.5, 1.5), gauss(hour, 18, 1.5))
 }
 
 // rushDirection steers handoffs: positive (toward hotspots) through the
@@ -851,7 +851,7 @@ func RunMetropolis(cfg MetropolisConfig) (MetropolisResult, error) {
 			return MetropolisResult{}, err
 		}
 	}
-	start := time.Now()
+	start := time.Now() //facs:wallclock wall-time Elapsed metric only; never feeds a decision
 	for r.wave < r.cfg.Waves {
 		select {
 		case <-r.cfg.Stop:
@@ -878,7 +878,7 @@ func RunMetropolis(cfg MetropolisConfig) (MetropolisResult, error) {
 			return MetropolisResult{}, err
 		}
 	}
-	r.result.Elapsed = time.Since(start)
+	r.result.Elapsed = time.Since(start) //facs:wallclock wall-time Elapsed metric only
 	return r.finish()
 }
 
@@ -1013,6 +1013,8 @@ func newMetroRun(cfg MetropolisConfig) (*metroRun, error) {
 
 // runWave advances the scenario by one wave: releases, the tick
 // barrier, the handoff round, then the wave's arrivals.
+//
+//facs:hotpath
 func (r *metroRun) runWave() error {
 	cfg, workload, engine := r.cfg, r.workload, r.engine
 	wave := r.wave

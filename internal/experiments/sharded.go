@@ -189,6 +189,9 @@ type ShardedResult struct {
 	// HandoffDecisions the target-side outcomes in handoff order.
 	Decisions        []cac.Decision
 	HandoffDecisions []cac.Decision
+	// ByClass tallies requested/accepted decisions per traffic class.
+	// Summary printers must render it in sorted class order.
+	ByClass map[traffic.Class]ClassTally
 	// Stats is the engine-side counter snapshot after drain.
 	Stats shard.Stats
 	// Ledgers holds one scc.LedgerStats per shard when the controllers
@@ -288,6 +291,7 @@ func RunSharded(cfg ShardedConfig) (ShardedResult, error) {
 		Shards:    engine.Shards(),
 		CellLocal: engine.CellLocal(),
 		Decisions: make([]cac.Decision, 0, cfg.Requests),
+		ByClass:   map[traffic.Class]ClassTally{},
 	}
 	if err := engine.Do(0, func(ctrl cac.Controller) { result.ControllerName = ctrl.Name() }); err != nil {
 		return ShardedResult{}, err
@@ -378,6 +382,7 @@ func RunSharded(cfg ShardedConfig) (ShardedResult, error) {
 				return ShardedResult{}, resp.Err
 			}
 			result.Decisions = append(result.Decisions, resp.Decision)
+			tallyClass(result.ByClass, reqs[i].Call.Class, resp.Decision.Accepted())
 			if resp.Decision.Accepted() {
 				result.Accepted++
 			}

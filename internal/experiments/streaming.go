@@ -131,12 +131,31 @@ type StreamingResult struct {
 	Waves int
 	// Decisions holds the per-request outcomes in stream order.
 	Decisions []cac.Decision
+	// ByClass tallies requested/accepted decisions per traffic class.
+	// Summary printers must render it in sorted class order.
+	ByClass map[traffic.Class]ClassTally
 	// Stats is the service-side counter snapshot after drain.
 	Stats serve.Stats
 	// Ledger holds the controller's counter snapshot when it is an SCC
 	// demand ledger (taken through the service's Do barrier before
 	// shutdown); nil otherwise.
 	Ledger *scc.LedgerStats
+}
+
+// ClassTally counts one traffic class's streamed outcomes.
+type ClassTally struct {
+	// Requested / Accepted count this class's decisions.
+	Requested, Accepted int
+}
+
+// tallyClass accumulates one decision into a per-class map.
+func tallyClass(m map[traffic.Class]ClassTally, c traffic.Class, accepted bool) {
+	t := m[c]
+	t.Requested++
+	if accepted {
+		t.Accepted++
+	}
+	m[c] = t
 }
 
 // AcceptedPct returns 100 * accepted / requested.
@@ -202,6 +221,7 @@ func RunStreaming(cfg StreamingConfig) (StreamingResult, error) {
 	result := StreamingResult{
 		ControllerName: controller.Name(),
 		Decisions:      make([]cac.Decision, 0, cfg.Requests),
+		ByClass:        map[traffic.Class]ClassTally{},
 	}
 	var active []streamedCall
 	now := 0.0
@@ -252,6 +272,7 @@ func RunStreaming(cfg StreamingConfig) (StreamingResult, error) {
 				return StreamingResult{}, resp.Err
 			}
 			result.Decisions = append(result.Decisions, resp.Decision)
+			tallyClass(result.ByClass, reqs[i].Call.Class, resp.Decision.Accepted())
 			if resp.Decision.Accepted() {
 				result.Accepted++
 			}

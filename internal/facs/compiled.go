@@ -255,7 +255,8 @@ func (c *CompiledController) Evaluate(obs gps.Observation, requestBU, usedBU int
 	// neighbouring cell of the admission surface, so bound the slope
 	// and the interpolation error over every Cv-axis cell that
 	// interval touches before propagating the upstream error.
-	slope, b2, err := c.surf2.AxisRangeBounds(0, []float64{cv - b1, cv + b1}, cv, float64(requestBU), float64(usedBU))
+	cvSpan := [2]float64{cv - b1, cv + b1}
+	slope, b2, err := c.surf2.AxisRangeBounds(0, cvSpan[:], cv, float64(requestBU), float64(usedBU))
 	if err != nil {
 		return Evaluation{}, err
 	}
@@ -298,6 +299,8 @@ func (c *CompiledController) DecideBatch(reqs []cac.Request) ([]cac.Decision, er
 // DecideBatchInto implements cac.BatchIntoController: DecideBatch
 // semantics into a caller-provided buffer. Surface lookups allocate
 // nothing, so the fast path (no guard-band fallback) is allocation-free.
+//
+//facs:hotpath
 func (c *CompiledController) DecideBatchInto(reqs []cac.Request, out []cac.Decision) error {
 	var station *cell.BaseStation
 	used, free := 0, 0

@@ -198,7 +198,7 @@ type Evaluation struct {
 func (s *System) Predict(obs gps.Observation) (float64, error) {
 	cv, err := s.flc1.EvaluateVec(obs.SpeedKmh, obs.AngleDeg, obs.DistanceKm)
 	if err != nil {
-		return 0, fmt.Errorf("facs: FLC1: %w", err)
+		return 0, fmt.Errorf("facs: FLC1: %w", err) //facs:alloc reject/error path; formats nothing on the steady-state wave
 	}
 	return cv, nil
 }
@@ -212,7 +212,7 @@ func (s *System) Evaluate(obs gps.Observation, requestBU, usedBU int, handoff bo
 	}
 	ar, err := s.flc2.EvaluateVec(cv, float64(requestBU), float64(usedBU))
 	if err != nil {
-		return Evaluation{}, fmt.Errorf("facs: FLC2: %w", err)
+		return Evaluation{}, fmt.Errorf("facs: FLC2: %w", err) //facs:alloc reject/error path; formats nothing on the steady-state wave
 	}
 	if handoff {
 		ar += s.handoffBias
@@ -244,6 +244,8 @@ func (s *System) DecideBatch(reqs []cac.Request) ([]cac.Decision, error) {
 // DecideBatchInto implements cac.BatchIntoController: DecideBatch
 // semantics into a caller-provided buffer (the Mamdani inference still
 // allocates internally; the buffer only removes the per-batch slice).
+//
+//facs:hotpath
 func (s *System) DecideBatchInto(reqs []cac.Request, out []cac.Decision) error {
 	for i := range reqs {
 		d, err := s.Decide(reqs[i])

@@ -212,6 +212,8 @@ func (e *Engine) EvaluateVec(vals ...float64) (float64, error) {
 
 // Infer runs fuzzification and rule aggregation, returning the aggregated
 // output fuzzy set without defuzzifying it.
+//
+//facs:coldpath exact-inference fallback builds its aggregation state per call; steady-state waves run the compiled surfaces and reach here only when an interpolation bound misses the decision margin
 func (e *Engine) Infer(vals []float64) (*AggregatedOutput, error) {
 	if len(vals) != len(e.inputs) {
 		return nil, fmt.Errorf("fuzzy: got %d input values, want %d", len(vals), len(e.inputs))

@@ -541,7 +541,7 @@ func (s *Surface) EvaluateVec(vals ...float64) (float64, error) {
 // margin and fall back to the exact engine when it does not clear.
 func (s *Surface) EvaluateVecWithBound(vals ...float64) (value, bound float64, err error) {
 	if len(vals) != len(s.axes) {
-		return 0, 0, fmt.Errorf("fuzzy: got %d input values, want %d", len(vals), len(s.axes))
+		return 0, 0, fmt.Errorf("fuzzy: got %d input values, want %d", len(vals), len(s.axes)) //facs:alloc reject/error path; formats nothing on the steady-state wave
 	}
 	var frac [maxSurfaceDims]float64
 	base, cell := 0, 0
@@ -599,10 +599,10 @@ func (s *Surface) AxisSlopeBound(axis int, vals ...float64) (float64, error) {
 // touches matter, not just the cell the interpolated value fell in.
 func (s *Surface) AxisRangeBounds(axis int, extra []float64, vals ...float64) (slope, errBound float64, err error) {
 	if len(vals) != len(s.axes) {
-		return 0, 0, fmt.Errorf("fuzzy: got %d input values, want %d", len(vals), len(s.axes))
+		return 0, 0, fmt.Errorf("fuzzy: got %d input values, want %d", len(vals), len(s.axes)) //facs:alloc reject/error path; formats nothing on the steady-state wave
 	}
 	if axis < 0 || axis >= len(s.axes) {
-		return 0, 0, fmt.Errorf("fuzzy: axis %d out of range (surface has %d)", axis, len(s.axes))
+		return 0, 0, fmt.Errorf("fuzzy: axis %d out of range (surface has %d)", axis, len(s.axes)) //facs:alloc reject/error path; formats nothing on the steady-state wave
 	}
 	base := 0
 	cell := 0

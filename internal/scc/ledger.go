@@ -382,9 +382,11 @@ func (l *Ledger) OnTick(now float64) {
 // aliases a buffer the ledger reuses — it is valid until the next
 // ExportDemand call, matching the exchange barrier's lifecycle (every
 // receiver applies the delta before the next tick's export).
+//
+//facs:hotpath
 func (l *Ledger) ExportDemand() DemandDelta {
 	if l.exported == nil {
-		l.exported = make([]float64, len(l.demand))
+		l.exported = make([]float64, len(l.demand)) //facs:alloc one-time lazy init; amortized to zero at steady state
 	}
 	h := l.cfg.Horizon + 1
 	// Ascending dense index == cell-major (cell, interval) order, the
@@ -664,6 +666,8 @@ func (l *Ledger) DecideBatch(reqs []cac.Request) ([]cac.Decision, error) {
 // DecideBatchInto implements cac.BatchIntoController: DecideBatch
 // semantics into a caller-provided buffer, allocation-free (the decision
 // path reads the matrix through controller-resident scratch).
+//
+//facs:hotpath
 func (l *Ledger) DecideBatchInto(reqs []cac.Request, out []cac.Decision) error {
 	for i := range reqs {
 		d, err := l.Decide(reqs[i])

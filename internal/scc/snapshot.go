@@ -73,7 +73,7 @@ func (l *Ledger) SnapshotTo(w io.Writer) error {
 	e.U64(l.exportGen)
 
 	shards := make([]int, 0, len(l.ghostGens))
-	for s := range l.ghostGens {
+	for s := range l.ghostGens { //facs:orderless key collection; encoded in sorted shard order below
 		shards = append(shards, s)
 	}
 	sort.Ints(shards)

@@ -375,7 +375,7 @@ func (s *Service) Submit(req cac.Request) Response {
 // order — and therefore the decision order — is the call order. After
 // Close the response carries ErrClosed.
 func (s *Service) SubmitAsync(req cac.Request) <-chan Response {
-	p := &pending{req: req, enq: time.Now(), reply: make(chan Response, 1)}
+	p := &pending{req: req, enq: time.Now(), reply: make(chan Response, 1)} //facs:wallclock latency stamp; feeds the latency gauges only
 	s.submitted.Add(1)
 	if err := s.send(item{single: p}); err != nil {
 		s.submitted.Add(-1)
@@ -409,14 +409,17 @@ func (s *Service) SubmitAll(reqs []cac.Request) ([]Response, error) {
 // must hold at least len(reqs) entries; outcomes are identical to
 // SubmitAll in every respect. The buffer must not be read until
 // SubmitAllInto returns, and is safe to reuse immediately afterwards.
+//
+//facs:hotpath
 func (s *Service) SubmitAllInto(reqs []cac.Request, out []Response) error {
 	if len(reqs) == 0 {
 		return nil
 	}
 	if len(out) < len(reqs) {
-		return fmt.Errorf("serve: response buffer too short: %d requests, %d slots", len(reqs), len(out))
+		return fmt.Errorf("serve: response buffer too short: %d requests, %d slots", len(reqs), len(out)) //facs:alloc reject/error path; formats nothing on the steady-state wave
 	}
-	w := &wave{reqs: reqs, out: out[:len(reqs)], enq: time.Now(), reply: make(chan []Response, 1)}
+	enq := time.Now()                                                                       //facs:wallclock latency stamp; feeds the latency gauges only
+	w := &wave{reqs: reqs, out: out[:len(reqs)], enq: enq, reply: make(chan []Response, 1)} //facs:alloc one wave header and reply channel per batch, not per request; the per-request path is alloc-free
 	s.submitted.Add(int64(len(reqs)))
 	if err := s.send(item{wave: w}); err != nil {
 		s.submitted.Add(int64(-len(reqs)))
@@ -567,7 +570,7 @@ func (s *Service) coalesce(first *pending) *item {
 	batch := append(s.pendScratch[:0], first)
 	var interrupt *item
 	if s.cfg.MaxDelay > 0 && s.cfg.MaxBatch > 1 {
-		wait := s.cfg.MaxDelay - time.Since(first.enq)
+		wait := s.cfg.MaxDelay - time.Since(first.enq) //facs:wallclock shapes batch boundaries only; the outcome contracts pin decision equality across batchings
 		if wait > 0 {
 			timer := time.NewTimer(wait)
 		fill:
@@ -722,7 +725,7 @@ func (s *Service) noteBatch(n int) {
 // requests all complete together, so its latency weighs n times into
 // the average).
 func (s *Service) noteLatency(enq time.Time, n int) time.Duration {
-	lat := time.Since(enq)
+	lat := time.Since(enq) //facs:wallclock latency metric only
 	s.latSumNs.Add(int64(lat) * int64(n))
 	if int64(lat) > s.latMaxNs.Load() {
 		s.latMaxNs.Store(int64(lat))

@@ -701,12 +701,14 @@ func (e *Engine) SubmitWave(reqs []cac.Request) ([]serve.Response, error) {
 // state lives on the engine and is reused across waves, so a steady
 // caller that also reuses out allocates nothing per wave. out must
 // hold at least len(reqs) slots.
+//
+//facs:hotpath
 func (e *Engine) SubmitWaveTo(reqs []cac.Request, out []serve.Response) error {
 	if len(reqs) == 0 {
 		return nil
 	}
 	if len(out) < len(reqs) {
-		return fmt.Errorf("shard: response buffer too short: %d requests, %d slots", len(reqs), len(out))
+		return fmt.Errorf("shard: response buffer too short: %d requests, %d slots", len(reqs), len(out)) //facs:alloc reject/error path; formats nothing on the steady-state wave
 	}
 	e.waveMu.Lock()
 	defer e.waveMu.Unlock()
@@ -721,11 +723,11 @@ func (e *Engine) SubmitWaveTo(reqs []cac.Request, out []serve.Response) error {
 		}
 		for i := lo; i < hi; i++ {
 			if reqs[i].Station == nil {
-				return fmt.Errorf("shard: request for call %d has no station", reqs[i].Call.ID)
+				return fmt.Errorf("shard: request for call %d has no station", reqs[i].Call.ID) //facs:alloc reject/error path; formats nothing on the steady-state wave
 			}
 			ci, ok := e.cellIdx[reqs[i].Station.Hex()]
 			if !ok {
-				return fmt.Errorf("shard: station %v is outside the engine's network", reqs[i].Station.Hex())
+				return fmt.Errorf("shard: station %v is outside the engine's network", reqs[i].Station.Hex()) //facs:alloc reject/error path; formats nothing on the steady-state wave
 			}
 			atomic.AddInt64(&e.cellLoad[ci], 1)
 			s := int(own.owner[ci])
@@ -738,7 +740,7 @@ func (e *Engine) SubmitWaveTo(reqs []cac.Request, out []serve.Response) error {
 				continue
 			}
 			wg.Add(1)
-			go func(s int) {
+			go func(s int) { //facs:alloc one fan-out goroutine per owning shard per batch, not per request
 				defer wg.Done()
 				n := len(routes[s].reqs)
 				if err := e.services[s].SubmitAllInto(routes[s].reqs, routes[s].out[:n]); err != nil {
